@@ -1,0 +1,222 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure-level claim of the paper via
+   Relpipe_experiments (E1-E14 of DESIGN.md) — the paper is a
+   complexity/algorithms paper, so its "tables" are worked examples,
+   optimality claims and reduction equivalences rather than testbed
+   timings.
+
+   Part 2 runs Bechamel micro-benchmarks of the computational kernels (one
+   Test.make per kernel) so the polynomial-vs-exponential landscape of
+   Section 4 is visible as wall-clock numbers. *)
+
+open Bechamel
+open Relpipe_model
+open Relpipe_core
+module Rng = Relpipe_util.Rng
+
+let make_fully_hetero seed ~n ~m =
+  let rng = Rng.create seed in
+  let pipeline =
+    Relpipe_workload.App_gen.random rng
+      { Relpipe_workload.App_gen.n; work = (1.0, 20.0); data = (0.5, 10.0) }
+  in
+  let platform =
+    Relpipe_workload.Plat_gen.random_fully_heterogeneous rng ~m
+      ~speed:(1.0, 10.0) ~failure:(0.05, 0.6) ~bandwidth:(0.5, 10.0)
+  in
+  Instance.make pipeline platform
+
+let make_comm_homog seed ~n ~m =
+  let rng = Rng.create seed in
+  let pipeline =
+    Relpipe_workload.App_gen.random rng
+      { Relpipe_workload.App_gen.n; work = (1.0, 20.0); data = (0.5, 10.0) }
+  in
+  let platform =
+    Relpipe_workload.Plat_gen.random_comm_homogeneous rng ~m ~speed:(1.0, 10.0)
+      ~failure:(0.2, 0.2) ~bandwidth:4.0
+  in
+  Instance.make pipeline platform
+
+let benchmarks () =
+  let inst_ch = make_comm_homog 1 ~n:8 ~m:8 in
+  let inst_fh = make_fully_hetero 2 ~n:8 ~m:8 in
+  let rng = Rng.create 3 in
+  let mapping_ch =
+    Mapping.make ~n:8 ~m:8
+      [
+        { Mapping.first = 1; last = 4; procs = [ 0; 1; 2 ] };
+        { Mapping.first = 5; last = 8; procs = [ 3; 4 ] };
+      ]
+  in
+  let small_exact = make_fully_hetero 4 ~n:3 ~m:4 in
+  let small_objective = Instance.Min_failure { max_latency = 1e6 } in
+  let tsp = Tsp_reduction.random (Rng.create 5) ~n:8 ~max_cost:9 in
+  let partition = Partition_reduction.random (Rng.create 6) ~m:10 ~max_value:12 in
+  let big_general = make_fully_hetero 7 ~n:32 ~m:24 in
+  let alive = Relpipe_sim.Failure_inject.all_alive inst_fh.Instance.platform in
+  let mapping_fh = mapping_ch (* same shape reused on the FH platform *) in
+  [
+    (* Model evaluation kernels (Eq. 1, Eq. 2, FP formula). *)
+    Test.make ~name:"latency-eq1 (n=8, 2 intervals)"
+      (Staged.stage (fun () ->
+           Latency.eq1 inst_ch.Instance.pipeline inst_ch.Instance.platform
+             mapping_ch));
+    Test.make ~name:"latency-eq2 (n=8, 2 intervals)"
+      (Staged.stage (fun () ->
+           Latency.eq2 inst_fh.Instance.pipeline inst_fh.Instance.platform
+             mapping_fh));
+    Test.make ~name:"failure-probability (n=8)"
+      (Staged.stage (fun () -> Failure.of_mapping inst_fh.Instance.platform mapping_fh));
+    (* Polynomial algorithms (Theorems 1-2, 4; Algorithms 1-4). *)
+    Test.make ~name:"thm1 min-failure (m=8)"
+      (Staged.stage (fun () -> Mono.min_failure inst_ch));
+    Test.make ~name:"alg1 fully-homog minFP|L (m=8)"
+      (Staged.stage
+         (let inst =
+            Instance.make inst_ch.Instance.pipeline
+              (Relpipe_workload.Plat_gen.fully_homogeneous ~m:8 ~speed:5.0
+                 ~failure:0.3 ~bandwidth:4.0)
+          in
+          fun () -> Fully_homog.min_failure_for_latency inst ~max_latency:100.0));
+    Test.make ~name:"alg3 comm-homog minFP|L (m=8)"
+      (Staged.stage (fun () ->
+           Comm_homog.min_failure_for_latency
+             (Instance.make inst_ch.Instance.pipeline
+                (Relpipe_workload.Plat_gen.random_comm_homogeneous
+                   (Rng.copy rng) ~m:8 ~speed:(1.0, 10.0) ~failure:(0.2, 0.2)
+                   ~bandwidth:4.0))
+             ~max_latency:100.0));
+    Test.make ~name:"thm4 shortest-path (n=32, m=24)"
+      (Staged.stage (fun () -> General_mapping.solve big_general));
+    Test.make ~name:"thm4 direct DP (n=32, m=24)"
+      (Staged.stage (fun () -> General_mapping.solve_dp big_general));
+    (* Exponential machinery on small instances. *)
+    Test.make ~name:"exact enumeration (n=3, m=4)"
+      (Staged.stage (fun () -> Exact.solve small_exact small_objective));
+    Test.make ~name:"one-to-one branch&bound (n=m=8, TSP-reduced)"
+      (Staged.stage
+         (let inst, _ = Tsp_reduction.to_instance tsp in
+          fun () -> One_to_one.exact inst));
+    Test.make ~name:"held-karp hamiltonian (n=8)"
+      (Staged.stage (fun () ->
+           Relpipe_graph.Hamiltonian.held_karp ~cost:tsp.Tsp_reduction.cost
+             ~s:tsp.Tsp_reduction.source ~t:tsp.Tsp_reduction.target));
+    Test.make ~name:"2-partition witness search (m=10)"
+      (Staged.stage (fun () -> Partition_reduction.witness partition));
+    (* Heuristics. *)
+    Test.make ~name:"heuristic single-greedy (n=8, m=8)"
+      (Staged.stage (fun () ->
+           Heuristics.single_greedy inst_fh
+             (Instance.Min_failure { max_latency = 1e6 })));
+    Test.make ~name:"heuristic split-replicate (n=8, m=8)"
+      (Staged.stage (fun () ->
+           Heuristics.split_replicate inst_fh
+             (Instance.Min_failure { max_latency = 1e6 })));
+    (* Simulator. *)
+    Test.make ~name:"simulated trial (n=8, 2 intervals)"
+      (Staged.stage (fun () ->
+           Relpipe_sim.Trial.run inst_fh mapping_fh ~alive
+             ~policy:Relpipe_sim.Trial.Pessimistic));
+    Test.make ~name:"steady-state 100 data sets (n=8)"
+      (Staged.stage (fun () ->
+           Relpipe_sim.Steady.run inst_fh mapping_fh ~datasets:100));
+    (* Extensions. *)
+    Test.make ~name:"period eval (n=8, 2 intervals)"
+      (Staged.stage (fun () ->
+           Period.of_mapping inst_fh.Instance.pipeline inst_fh.Instance.platform
+             mapping_fh));
+    Test.make ~name:"branch&bound minFP|L (n=4, m=5)"
+      (Staged.stage
+         (let inst = make_fully_hetero 8 ~n:4 ~m:5 in
+          fun () -> Bb.solve inst (Instance.Min_failure { max_latency = 1e6 })));
+    Test.make ~name:"bitmask-DP interval optimum (n=8, m=10)"
+      (Staged.stage
+         (let inst = make_fully_hetero 9 ~n:8 ~m:10 in
+          fun () -> Interval_exact.min_latency inst));
+    Test.make ~name:"tri-criteria greedy (n=8, m=8)"
+      (Staged.stage (fun () ->
+           Tri.greedy_min_failure inst_fh
+             { Tri.max_latency = 1e6; max_period = 1e6 }));
+  ]
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let table = Relpipe_util.Table.create [ "benchmark"; "ns/run" ] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> Printf.sprintf "%.1f" x
+            | _ -> "-"
+          in
+          (* Strip the synthetic group prefix. *)
+          let name =
+            match String.index_opt name '/' with
+            | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+            | None -> name
+          in
+          Relpipe_util.Table.add_row table [ name; ns ])
+        analyzed)
+    (benchmarks ());
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "============================================";
+  Relpipe_util.Table.print table
+
+(* Theorem 4 runtime scaling — the performance "figure" of the polynomial
+   result: graph shortest path vs the direct DP across instance sizes. *)
+let scaling_table () =
+  let time_one f =
+    (* Repeat until >= 50 ms of CPU time for a stable per-call figure. *)
+    let rec calibrate reps =
+      let t0 = Sys.time () in
+      for _ = 1 to reps do
+        ignore (Sys.opaque_identity (f ()))
+      done;
+      let elapsed = Sys.time () -. t0 in
+      if elapsed >= 0.05 then elapsed /. float_of_int reps
+      else calibrate (reps * 4)
+    in
+    calibrate 1
+  in
+  let table =
+    Relpipe_util.Table.create
+      [ "n x m (Thm 4)"; "graph vertices"; "Dijkstra us"; "direct DP us" ]
+  in
+  List.iter
+    (fun (n, m) ->
+      let inst = make_fully_hetero 11 ~n ~m in
+      let t_dij = time_one (fun () -> General_mapping.solve inst) in
+      let t_dp = time_one (fun () -> General_mapping.solve_dp inst) in
+      Relpipe_util.Table.add_row table
+        [
+          Printf.sprintf "%dx%d" n m;
+          string_of_int ((n * m) + 2);
+          Printf.sprintf "%.1f" (1e6 *. t_dij);
+          Printf.sprintf "%.1f" (1e6 *. t_dp);
+        ])
+    [ (4, 4); (8, 8); (16, 12); (32, 16); (64, 24); (128, 32) ];
+  print_endline "Theorem 4 runtime scaling (polynomial general mappings)";
+  print_endline "=======================================================";
+  Relpipe_util.Table.print table;
+  print_newline ()
+
+let () =
+  print_endline "relpipe benchmark harness";
+  print_endline "Paper: Benoit, Rehn-Sonigo, Robert — Optimizing Latency and";
+  print_endline "Reliability of Pipeline Workflow Applications (RR-6345, 2008)";
+  print_newline ();
+  Relpipe_experiments.Experiments.print_all ();
+  scaling_table ();
+  run_benchmarks ()

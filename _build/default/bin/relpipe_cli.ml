@@ -1,0 +1,441 @@
+(* relpipe command-line interface.
+
+   Subcommands:
+     describe     classify a platform and say which algorithm applies
+     solve        solve a bi-criteria mapping problem from an instance file
+     simulate     Monte-Carlo-validate a solved mapping
+     pareto       print the latency/reliability trade-off front
+     experiments  regenerate every paper experiment (E1-E14)
+     demo         write a sample instance file (the paper's Fig. 5) *)
+
+open Cmdliner
+open Relpipe_model
+open Relpipe_core
+
+let load_instance path =
+  match Textio.parse_file path with
+  | Ok inst -> Ok inst
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let instance_arg =
+  let doc = "Instance description file (see `relpipe demo` for the format)." in
+  Arg.(required & opt (some file) None & info [ "i"; "instance" ] ~doc)
+
+let objective_arg =
+  let max_latency =
+    let doc = "Minimize failure probability subject to this latency bound." in
+    Arg.(value & opt (some float) None & info [ "L"; "max-latency" ] ~doc)
+  in
+  let max_failure =
+    let doc = "Minimize latency subject to this failure-probability bound." in
+    Arg.(value & opt (some float) None & info [ "F"; "max-failure" ] ~doc)
+  in
+  let combine l f =
+    match l, f with
+    | Some max_latency, None -> Ok (Instance.Min_failure { max_latency })
+    | None, Some max_failure -> Ok (Instance.Min_latency { max_failure })
+    | _ -> Error "pass exactly one of --max-latency or --max-failure"
+  in
+  Term.(term_result' (const combine $ max_latency $ max_failure))
+
+let method_arg =
+  let methods =
+    [
+      ("auto", Solver.Auto);
+      ("exact", Solver.Exact_enum);
+      ("polynomial", Solver.Polynomial);
+      ("portfolio", Solver.Portfolio);
+      ("single-greedy", Solver.Heuristic Heuristics.Single_greedy);
+      ("split-replicate", Solver.Heuristic Heuristics.Split_replicate);
+      ("local-search", Solver.Heuristic Heuristics.Local_search);
+      ("annealing", Solver.Heuristic Heuristics.Annealing);
+      ("iterated-ls", Solver.Heuristic Heuristics.Iterated);
+    ]
+  in
+  let doc =
+    Printf.sprintf "Solving method: %s."
+      (String.concat ", " (List.map fst methods))
+  in
+  Arg.(value & opt (enum methods) Solver.Auto & info [ "m"; "method" ] ~doc)
+
+let print_solution inst (s : Solution.t) =
+  Format.printf "mapping:  %a@." Mapping.pp s.Solution.mapping;
+  Format.printf "latency:  %g@." s.Solution.evaluation.Instance.latency;
+  Format.printf "failure:  %g@." s.Solution.evaluation.Instance.failure;
+  Format.printf "class:    %s@." (Solver.describe inst)
+
+(* ------------------------------------------------------------------ *)
+
+let describe_cmd =
+  let run path =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst ->
+        let platform = inst.Instance.platform in
+        Format.printf "pipeline: %d stages, total work %g@."
+          (Pipeline.length inst.Instance.pipeline)
+          (Pipeline.total_work inst.Instance.pipeline);
+        Format.printf "platform: %d processors@." (Platform.size platform);
+        Format.printf "classes:  %a, %a@." Classify.pp_comm_class
+          (Classify.comm_class platform)
+          Classify.pp_failure_class
+          (Classify.failure_class platform);
+        Format.printf "dispatch: %s@." (Solver.describe inst);
+        `Ok ()
+  in
+  let doc = "Classify an instance and report the applicable algorithm." in
+  Cmd.v (Cmd.info "describe" ~doc)
+    Term.(ret (const run $ instance_arg))
+
+let solve_cmd =
+  let run path objective method_ =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst -> (
+        match Solver.solve ~method_ inst objective with
+        | Some s ->
+            print_solution inst s;
+            `Ok ()
+        | None ->
+            Format.printf "no feasible mapping for %a@." Instance.pp_objective
+              objective;
+            `Ok ()
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | exception Exact.Too_large msg -> `Error (false, msg))
+  in
+  let doc = "Solve a bi-criteria mapping problem." in
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(ret (const run $ instance_arg $ objective_arg $ method_arg))
+
+let simulate_cmd =
+  let trials_arg =
+    let doc = "Number of Monte-Carlo trials." in
+    Arg.(value & opt int 10_000 & info [ "t"; "trials" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed." in
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc)
+  in
+  let run path objective method_ trials seed =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst -> (
+        match Solver.solve ~method_ inst objective with
+        | None -> `Error (false, "no feasible mapping to simulate")
+        | Some s ->
+            print_solution inst s;
+            let rng = Relpipe_util.Rng.create seed in
+            let r =
+              Relpipe_sim.Montecarlo.estimate rng inst s.Solution.mapping ~trials
+                ~policy:Relpipe_sim.Trial.Optimistic
+            in
+            Format.printf "%a@." Relpipe_sim.Montecarlo.pp_result r;
+            `Ok ()
+        | exception Invalid_argument msg -> `Error (false, msg))
+  in
+  let doc = "Solve, then validate the mapping by Monte-Carlo simulation." in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      ret (const run $ instance_arg $ objective_arg $ method_arg $ trials_arg
+           $ seed_arg))
+
+let pareto_cmd =
+  let count_arg =
+    let doc = "Number of latency thresholds to sweep." in
+    Arg.(value & opt int 8 & info [ "n"; "points" ] ~doc)
+  in
+  let run path method_ count =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst ->
+        let front =
+          Pareto.front_with
+            (fun inst objective -> Solver.solve ~method_ inst objective)
+            inst ~count
+        in
+        let table =
+          Relpipe_util.Table.create
+            [ "threshold"; "latency"; "failure"; "intervals"; "replicas" ]
+        in
+        List.iter
+          (fun p ->
+            Relpipe_util.Table.add_row table
+              [
+                Relpipe_util.Table.fmt_float p.Pareto.threshold;
+                Relpipe_util.Table.fmt_float
+                  p.Pareto.solution.Solution.evaluation.Instance.latency;
+                Relpipe_util.Table.fmt_float
+                  p.Pareto.solution.Solution.evaluation.Instance.failure;
+                string_of_int (Mapping.num_intervals p.Pareto.solution.Solution.mapping);
+                string_of_int
+                  (List.length (Mapping.used_procs p.Pareto.solution.Solution.mapping));
+              ])
+          front;
+        Relpipe_util.Table.print table;
+        `Ok ()
+  in
+  let doc = "Print the latency/reliability Pareto front of an instance." in
+  Cmd.v (Cmd.info "pareto" ~doc)
+    Term.(ret (const run $ instance_arg $ method_arg $ count_arg))
+
+let eval_cmd =
+  let mapping_arg =
+    let doc =
+      "Mapping to evaluate, e.g. \"1:0; 2:1,2,3\" (stage range : processor \
+       list, intervals separated by ';')."
+    in
+    Arg.(required & opt (some string) None & info [ "mapping" ] ~doc)
+  in
+  let run path objective mapping_text =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst -> (
+        let n = Pipeline.length inst.Instance.pipeline in
+        let m = Platform.size inst.Instance.platform in
+        match Mapping_syntax.parse ~n ~m mapping_text with
+        | Error msg -> `Error (false, msg)
+        | Ok mapping ->
+            let s = Solution.of_mapping inst mapping in
+            print_solution inst s;
+            Format.printf "period:   %g@."
+              (Period.of_mapping inst.Instance.pipeline inst.Instance.platform
+                 mapping);
+            let report = Validate.check inst objective s in
+            Format.printf "%a@." Validate.pp report;
+            if Validate.ok report then `Ok () else `Error (false, "validation failed"))
+  in
+  let doc = "Evaluate and certify a user-supplied mapping." in
+  Cmd.v (Cmd.info "eval" ~doc)
+    Term.(ret (const run $ instance_arg $ objective_arg $ mapping_arg))
+
+let tri_cmd =
+  let latency_arg =
+    let doc = "Latency threshold." in
+    Arg.(required & opt (some float) None & info [ "L"; "max-latency" ] ~doc)
+  in
+  let period_arg =
+    let doc = "Period (inverse-throughput) threshold." in
+    Arg.(required & opt (some float) None & info [ "P"; "max-period" ] ~doc)
+  in
+  let exact_arg =
+    let doc = "Use the exhaustive solver (small instances only)." in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run path max_latency max_period exact =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst -> (
+        let constraints = { Tri.max_latency; max_period } in
+        let solve =
+          if exact then Tri.exact_min_failure ?budget:None
+          else Tri.greedy_min_failure
+        in
+        match solve inst constraints with
+        | None ->
+            Format.printf "no mapping satisfies latency <= %g and period <= %g@."
+              max_latency max_period;
+            `Ok ()
+        | Some s ->
+            Format.printf "mapping: %a@.%a@." Mapping.pp s.Tri.mapping
+              Tri.pp_evaluation s.Tri.evaluation;
+            `Ok ()
+        | exception Exact.Too_large msg -> `Error (false, msg))
+  in
+  let doc =
+    "Minimize failure probability under joint latency and period bounds \
+     (tri-criteria extension)."
+  in
+  Cmd.v (Cmd.info "tri" ~doc)
+    Term.(ret (const run $ instance_arg $ latency_arg $ period_arg $ exact_arg))
+
+let goodput_cmd =
+  let mission_arg =
+    let doc =
+      "Mission length (time units); failure rates are derived from each \
+       processor's fp over this horizon."
+    in
+    Arg.(value & opt float 1000.0 & info [ "mission" ] ~doc)
+  in
+  let trials_arg =
+    let doc = "Number of simulated missions." in
+    Arg.(value & opt int 1000 & info [ "t"; "trials" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed." in
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc)
+  in
+  let run path objective method_ mission trials seed =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst -> (
+        match Solver.solve ~method_ inst objective with
+        | None -> `Error (false, "no feasible mapping to simulate")
+        | Some s ->
+            print_solution inst s;
+            let platform = inst.Instance.platform in
+            let rates =
+              Array.init (Platform.size platform) (fun u ->
+                  Failure_rate.rate_of_fp ~fp:(Platform.failure platform u)
+                    ~mission)
+            in
+            let rng = Relpipe_util.Rng.create seed in
+            let goodputs =
+              Array.init trials (fun _ ->
+                  (Relpipe_sim.Lifetime.run rng inst s.Solution.mapping ~rates
+                     ~mission)
+                    .Relpipe_sim.Lifetime.goodput)
+            in
+            let empirical, analytic =
+              Relpipe_sim.Lifetime.survival_estimate rng inst s.Solution.mapping
+                ~rates ~mission ~trials
+            in
+            Format.printf "goodput: %a@."
+              Relpipe_util.Stats.pp_summary
+              (Relpipe_util.Stats.summarize goodputs);
+            Format.printf "mission survival: empirical %.4f, analytic %.4f@."
+              empirical analytic;
+            `Ok ()
+        | exception Invalid_argument msg -> `Error (false, msg))
+  in
+  let doc =
+    "Solve, then measure goodput (fraction of the stream completed before \
+     a compromise) over simulated missions."
+  in
+  Cmd.v (Cmd.info "goodput" ~doc)
+    Term.(
+      ret
+        (const run $ instance_arg $ objective_arg $ method_arg $ mission_arg
+        $ trials_arg $ seed_arg))
+
+let experiments_cmd =
+  let only_arg =
+    let doc = "Only run experiments whose title contains this string (e.g. \"E5\")." in
+    Arg.(value & opt (some string) None & info [ "only" ] ~doc)
+  in
+  let markdown_arg =
+    let doc = "Emit GitHub-flavoured markdown tables." in
+    Arg.(value & flag & info [ "markdown" ] ~doc)
+  in
+  let run only markdown =
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      nl = 0 || go 0
+    in
+    let selected =
+      List.filter
+        (fun (title, _) ->
+          match only with None -> true | Some s -> contains s title)
+        (Relpipe_experiments.Experiments.all ())
+    in
+    if selected = [] then `Error (false, "no experiment matches")
+    else begin
+      List.iter
+        (fun (title, table) ->
+          if markdown then begin
+            Printf.printf "## %s\n\n" title;
+            print_string (Relpipe_util.Table.render_markdown table)
+          end
+          else begin
+            print_endline title;
+            print_endline (String.make (String.length title) '=');
+            Relpipe_util.Table.print table
+          end;
+          print_newline ())
+        selected;
+      `Ok ()
+    end
+  in
+  let doc = "Regenerate the paper experiments (DESIGN.md E1-E23)." in
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(ret (const run $ only_arg $ markdown_arg))
+
+let catalog_cmd =
+  let write_arg =
+    let doc =
+      "Write an instance file combining this preset platform with the JPEG \
+       encoder pipeline."
+    in
+    Arg.(value & opt (some string) None & info [ "write" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Output path for --write." in
+    Arg.(value & opt string "catalog.relpipe" & info [ "o"; "output" ] ~doc)
+  in
+  let run write out =
+    match write with
+    | None ->
+        let table =
+          Relpipe_util.Table.create
+            ~aligns:[ Relpipe_util.Table.Left; Relpipe_util.Table.Right;
+                      Relpipe_util.Table.Left; Relpipe_util.Table.Left ]
+            [ "name"; "m"; "classes"; "description" ]
+        in
+        List.iter
+          (fun e ->
+            let p = e.Relpipe_workload.Catalog.platform in
+            Relpipe_util.Table.add_row table
+              [
+                e.Relpipe_workload.Catalog.name;
+                string_of_int (Platform.size p);
+                Format.asprintf "%a, %a" Classify.pp_comm_class
+                  (Classify.comm_class p) Classify.pp_failure_class
+                  (Classify.failure_class p);
+                e.Relpipe_workload.Catalog.description;
+              ])
+          Relpipe_workload.Catalog.all;
+        Relpipe_util.Table.print table;
+        `Ok ()
+    | Some name -> (
+        match Relpipe_workload.Catalog.find name with
+        | None -> `Error (false, Printf.sprintf "unknown preset %S" name)
+        | Some e ->
+            let inst =
+              Instance.make
+                (Relpipe_workload.Jpeg.pipeline ())
+                e.Relpipe_workload.Catalog.platform
+            in
+            Out_channel.with_open_text out (fun oc ->
+                Out_channel.output_string oc
+                  (Printf.sprintf "# %s: %s\n"
+                     e.Relpipe_workload.Catalog.name
+                     e.Relpipe_workload.Catalog.description
+                  ^ Textio.to_string inst));
+            Format.printf "wrote %s@." out;
+            `Ok ())
+  in
+  let doc = "List the built-in platform presets, or export one as an instance." in
+  Cmd.v (Cmd.info "catalog" ~doc) Term.(ret (const run $ write_arg $ out_arg))
+
+let demo_cmd =
+  let out_arg =
+    let doc = "Where to write the sample instance." in
+    Arg.(value & opt string "fig5.relpipe" & info [ "o"; "output" ] ~doc)
+  in
+  let run path =
+    let inst = Relpipe_workload.Scenarios.fig5 () in
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          ("# The paper's Fig. 5 instance: one slow reliable processor and\n"
+         ^ "# ten fast unreliable ones.  Try:\n"
+         ^ "#   relpipe solve -i " ^ path ^ " --max-latency 22\n"
+          ^ Textio.to_string inst));
+    Format.printf "wrote %s@." path;
+    `Ok ()
+  in
+  let doc = "Write a sample instance file (the paper's Fig. 5)." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(ret (const run $ out_arg))
+
+let () =
+  let doc =
+    "bi-criteria latency/reliability mapping of pipeline workflows \
+     (Benoit, Rehn-Sonigo, Robert, RR-6345)"
+  in
+  let info = Cmd.info "relpipe" ~version:"0.1.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
+            tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; demo_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/jpeg_encoder.ml: Array Format Instance List Mapping Pareto Pipeline Relpipe_core Relpipe_model Relpipe_sim Relpipe_util Relpipe_workload Solution Solver

@@ -1,0 +1,1 @@
+examples/pareto_explore.ml: Exact Float Format Heuristics Instance List Mapping Pareto Relpipe_core Relpipe_model Relpipe_util Relpipe_workload Solution Solver

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Instance Mapping Pipeline Relpipe_core Relpipe_model Relpipe_workload Solution Solver

@@ -1,0 +1,1 @@
+examples/throughput_tradeoff.ml: Array Format List Relpipe_core Relpipe_sim Relpipe_util Relpipe_workload Round_robin Tri

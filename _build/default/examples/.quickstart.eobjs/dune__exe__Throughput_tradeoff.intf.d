@@ -1,0 +1,1 @@
+examples/throughput_tradeoff.mli:

@@ -1,0 +1,1 @@
+examples/unreliable_cluster.mli:

@@ -1,0 +1,72 @@
+(* The paper's motivating application: a JPEG encoder pipeline in
+   steady-state mode (Section 1 cites JPEG encoding as the canonical
+   pipeline workflow).
+
+   We map the seven encoder stages onto a two-tier cluster, sweep the
+   latency threshold to expose the latency/reliability trade-off, and
+   validate the chosen operating point in the discrete-event simulator.
+
+   Run with:  dune exec examples/jpeg_encoder.exe *)
+
+open Relpipe_model
+open Relpipe_core
+module Table = Relpipe_util.Table
+
+let () =
+  let instance = Relpipe_workload.Jpeg.default_instance ~m:8 in
+  let pipeline = instance.Instance.pipeline in
+
+  Format.printf "JPEG encoder pipeline (%d stages):@." (Pipeline.length pipeline);
+  Array.iteri
+    (fun i name ->
+      Format.printf "  %-15s w=%-8g out=%g@." name
+        (Pipeline.work pipeline (i + 1))
+        (Pipeline.delta pipeline (i + 1)))
+    Relpipe_workload.Jpeg.stage_names;
+  Format.printf "platform: %s@.@." (Solver.describe instance);
+
+  (* Sweep the latency threshold. *)
+  let front =
+    Pareto.front_with
+      (fun inst objective -> Solver.solve inst objective)
+      instance ~count:8
+  in
+  let table =
+    Table.create [ "latency bound"; "latency"; "failure"; "intervals"; "replicas" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row table
+        [
+          Table.fmt_float p.Pareto.threshold;
+          Table.fmt_float p.Pareto.solution.Solution.evaluation.Instance.latency;
+          Table.fmt_float p.Pareto.solution.Solution.evaluation.Instance.failure;
+          string_of_int (Mapping.num_intervals p.Pareto.solution.Solution.mapping);
+          string_of_int
+            (List.length (Mapping.used_procs p.Pareto.solution.Solution.mapping));
+        ])
+    front;
+  print_endline "latency/reliability trade-off:";
+  Table.print table;
+
+  (* The "best compromise" when no threshold is given. *)
+  (match Pareto.knee front with
+  | Some k ->
+      Format.printf "knee of the front: latency %g, FP %g@."
+        k.Pareto.solution.Solution.evaluation.Instance.latency
+        k.Pareto.solution.Solution.evaluation.Instance.failure
+  | None -> ());
+
+  (* Pick the most reliable point and validate it by simulation. *)
+  match List.rev front with
+  | [] -> print_endline "no feasible mapping found"
+  | best :: _ ->
+      let mapping = best.Pareto.solution.Solution.mapping in
+      Format.printf "@.simulating the most reliable point (%a):@." Mapping.pp
+        mapping;
+      let rng = Relpipe_util.Rng.create 2024 in
+      let r =
+        Relpipe_sim.Montecarlo.estimate rng instance mapping ~trials:20_000
+          ~policy:Relpipe_sim.Trial.Optimistic
+      in
+      Format.printf "%a@." Relpipe_sim.Montecarlo.pp_result r

@@ -1,0 +1,43 @@
+(* Quickstart: build a pipeline and a platform, solve both bi-criteria
+   problems, and inspect the results.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Relpipe_model
+open Relpipe_core
+
+let () =
+  (* A four-stage pipeline: each stage k does w_k operations and ships
+     delta_k data units to the next one; delta_0 is the input size. *)
+  let pipeline =
+    Pipeline.of_costs ~input:50.0
+      [ (100.0, 20.0); (40.0, 20.0); (200.0, 10.0); (30.0, 5.0) ]
+  in
+
+  (* Six processors with identical links (Communication Homogeneous): four
+     fast-but-flaky nodes and two slow-but-steady ones. *)
+  let platform =
+    Relpipe_workload.Plat_gen.two_tier ~m_slow:2 ~m_fast:4 ~slow_speed:5.0
+      ~fast_speed:25.0 ~slow_failure:0.02 ~fast_failure:0.25 ~bandwidth:10.0
+  in
+  let instance = Instance.make pipeline platform in
+
+  Format.printf "platform classification: %s@.@." (Solver.describe instance);
+
+  (* Problem 1: fastest mapping whose failure probability stays under 5%. *)
+  let objective1 = Instance.Min_latency { max_failure = 0.05 } in
+  (match Solver.solve instance objective1 with
+  | Some s ->
+      Format.printf "min latency s.t. FP <= 0.05:@.  %a@.  latency %g, FP %g@.@."
+        Mapping.pp s.Solution.mapping s.Solution.evaluation.Instance.latency
+        s.Solution.evaluation.Instance.failure
+  | None -> Format.printf "no mapping achieves FP <= 0.05@.@.");
+
+  (* Problem 2: most reliable mapping that answers within 60 time units. *)
+  let objective2 = Instance.Min_failure { max_latency = 60.0 } in
+  match Solver.solve instance objective2 with
+  | Some s ->
+      Format.printf "min FP s.t. latency <= 60:@.  %a@.  latency %g, FP %g@."
+        Mapping.pp s.Solution.mapping s.Solution.evaluation.Instance.latency
+        s.Solution.evaluation.Instance.failure
+  | None -> Format.printf "no mapping answers within 60 time units@."

@@ -1,0 +1,77 @@
+(* The paper's future work (Section 5), made concrete: the three-way
+   interplay between throughput, latency and reliability.
+
+   On the Fig. 5 platform we (1) sweep the period bound under the paper's
+   latency threshold and watch reliability collapse, (2) trade reliability
+   back for throughput with round-robin replication on fixed resources,
+   and (3) confirm the analytic period in the steady-state simulator.
+
+   Run with:  dune exec examples/throughput_tradeoff.exe *)
+
+open Relpipe_core
+module Table = Relpipe_util.Table
+
+let () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+
+  (* 1. Tri-criteria: minimize FP under latency <= 22 and a period bound. *)
+  print_endline "tri-criteria on fig5 (latency <= 22):";
+  let t = Table.create [ "period bound"; "latency"; "period"; "failure" ] in
+  List.iter
+    (fun max_period ->
+      match Tri.exact_min_failure inst { Tri.max_latency = 22.0; max_period } with
+      | None -> Table.add_row t [ Table.fmt_float max_period; "-"; "-"; "infeasible" ]
+      | Some s ->
+          Table.add_row t
+            [
+              Table.fmt_float max_period;
+              Table.fmt_float s.Tri.evaluation.Tri.latency;
+              Table.fmt_float s.Tri.evaluation.Tri.period;
+              Table.fmt_float s.Tri.evaluation.Tri.failure;
+            ])
+    [ 1000.0; 21.0; 15.0; 12.0; 11.0 ];
+  Table.print t;
+
+  (* 2. Round-robin on fixed resources: eight fast processors serving the
+     heavy stage, split into q groups. *)
+  print_endline "\nround-robin split of 8 replicas of the heavy stage:";
+  let heavy_procs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let split_heavy q =
+    (* Stage 1 keeps its single reliable processor; the heavy stage's eight
+       replicas are dealt round-robin into q groups. *)
+    let buckets = Array.make q [] in
+    List.iteri (fun i u -> buckets.(i mod q) <- u :: buckets.(i mod q)) heavy_procs;
+    Round_robin.make ~n:2 ~m:11
+      [
+        { Round_robin.first = 1; last = 1; groups = [ [ 0 ] ] };
+        { Round_robin.first = 2; last = 2; groups = Array.to_list buckets };
+      ]
+  in
+  let t = Table.create [ "q"; "latency"; "period"; "failure" ] in
+  List.iter
+    (fun q ->
+      let rr = split_heavy q in
+      Table.add_row t
+        [
+          string_of_int q;
+          Table.fmt_float (Round_robin.latency inst rr);
+          Table.fmt_float (Round_robin.period inst rr);
+          Table.fmt_float (Round_robin.failure inst rr);
+        ])
+    [ 1; 2; 4; 8 ];
+  Table.print t;
+
+  (* 3. Steady state: drive 200 data sets through the paper's split
+     mapping and compare against the analytic period. *)
+  let r =
+    Relpipe_sim.Steady.run inst
+      (Relpipe_workload.Scenarios.fig5_split ())
+      ~datasets:200
+  in
+  Format.printf
+    "@.steady state, 200 data sets through the fig5 split mapping:@.\
+     \  analytic period %g, measured %g; makespan %g (bound %g)@."
+    r.Relpipe_sim.Steady.analytic_period r.Relpipe_sim.Steady.estimated_period
+    r.Relpipe_sim.Steady.makespan
+    (r.Relpipe_sim.Steady.analytic_latency
+    +. (199.0 *. r.Relpipe_sim.Steady.analytic_period))

@@ -1,0 +1,1 @@
+lib/core/bb.ml: Array Failure Float Instance List Mapping Pipeline Platform Relpipe_model Relpipe_util Seq Solution

@@ -1,0 +1,1 @@
+lib/core/bb.mli: Instance Relpipe_model Solution

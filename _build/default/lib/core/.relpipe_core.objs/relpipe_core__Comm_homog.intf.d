@@ -1,0 +1,1 @@
+lib/core/comm_homog.mli: Instance Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/contiguous.ml: Array Classify Instance List Mapping Mono Pipeline Platform Relpipe_model Relpipe_util Seq Solution

@@ -1,0 +1,1 @@
+lib/core/contiguous.mli: Instance Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/dominance.ml: Array Classify Instance List Mapping Pipeline Platform Relpipe_model

@@ -1,0 +1,1 @@
+lib/core/dominance.mli: Instance Mapping Platform Relpipe_model

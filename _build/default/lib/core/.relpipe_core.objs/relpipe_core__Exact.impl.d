@@ -1,0 +1,1 @@
+lib/core/exact.ml: Float Instance Latency List Mapping Option Pipeline Platform Printf Relpipe_model Relpipe_util Seq Solution

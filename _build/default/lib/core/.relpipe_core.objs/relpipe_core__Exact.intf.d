@@ -1,0 +1,1 @@
+lib/core/exact.mli: Instance Mapping Relpipe_model Solution

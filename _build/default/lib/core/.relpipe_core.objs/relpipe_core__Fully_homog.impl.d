@@ -1,0 +1,1 @@
+lib/core/fully_homog.ml: Classify Float Instance List Mapping Mono Option Pipeline Platform Relpipe_model Relpipe_util Solution

@@ -1,0 +1,1 @@
+lib/core/fully_homog.mli: Instance Relpipe_model Solution

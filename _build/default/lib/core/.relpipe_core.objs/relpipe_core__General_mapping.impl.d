@@ -1,0 +1,1 @@
+lib/core/general_mapping.ml: Array Assignment Float Instance List Pipeline Platform Relpipe_graph Relpipe_model

@@ -1,0 +1,1 @@
+lib/core/general_mapping.mli: Assignment Instance Relpipe_graph Relpipe_model

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Array Float Fun Instance Latency List Mapping Mono Pipeline Platform Relpipe_model Relpipe_util Solution

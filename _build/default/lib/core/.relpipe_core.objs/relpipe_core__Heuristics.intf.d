@@ -1,0 +1,1 @@
+lib/core/heuristics.mli: Instance Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/interval_exact.ml: Array Float General_mapping Instance Mapping Pipeline Platform Relpipe_model

@@ -1,0 +1,1 @@
+lib/core/interval_exact.mli: Instance Mapping Relpipe_model

@@ -1,0 +1,1 @@
+lib/core/mono.ml: Classify Instance List Mapping Pipeline Platform Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/mono.mli: Instance Platform Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/one_to_one.ml: Array Assignment Float Fun Instance Latency Mapping Option Pipeline Platform Relpipe_model Relpipe_util Solution

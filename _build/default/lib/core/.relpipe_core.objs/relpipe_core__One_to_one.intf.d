@@ -1,0 +1,1 @@
+lib/core/one_to_one.mli: Instance Mapping Relpipe_model Solution

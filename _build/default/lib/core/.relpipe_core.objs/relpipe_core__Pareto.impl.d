@@ -1,0 +1,1 @@
+lib/core/pareto.ml: Failure Float Instance Latency List Mapping Pipeline Platform Relpipe_model Relpipe_util Solution

@@ -1,0 +1,1 @@
+lib/core/pareto.mli: Instance Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/partition_reduction.ml: Array Float Instance Mapping Pipeline Platform Relpipe_model Relpipe_util Seq

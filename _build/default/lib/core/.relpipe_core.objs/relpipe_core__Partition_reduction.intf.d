@@ -1,0 +1,1 @@
+lib/core/partition_reduction.mli: Instance Relpipe_model Relpipe_util

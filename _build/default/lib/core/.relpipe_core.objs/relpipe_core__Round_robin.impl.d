@@ -1,0 +1,1 @@
+lib/core/round_robin.ml: Array Failure Float Format Hashtbl Instance List Mapping Pipeline Platform Relpipe_model Relpipe_util

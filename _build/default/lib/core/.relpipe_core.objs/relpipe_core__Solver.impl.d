@@ -1,0 +1,1 @@
+lib/core/solver.ml: Classify Comm_homog Contiguous Exact Format Fully_homog Heuristics Instance Pipeline Platform Relpipe_model Solution

@@ -1,0 +1,1 @@
+lib/core/solver.mli: Heuristics Instance Relpipe_model Solution

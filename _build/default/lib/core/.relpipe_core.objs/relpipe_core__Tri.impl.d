@@ -1,0 +1,1 @@
+lib/core/tri.ml: Array Exact Failure Float Format Fun Instance Latency List Mapping Mono Period Pipeline Platform Relpipe_model Relpipe_util

@@ -1,0 +1,1 @@
+lib/core/tri.mli: Format Instance Mapping Relpipe_model

@@ -1,0 +1,1 @@
+lib/core/tsp_reduction.ml: Array Float Instance List One_to_one Pipeline Platform Relpipe_graph Relpipe_model Relpipe_util

@@ -1,0 +1,1 @@
+lib/core/validate.ml: Bb Comm_homog Format Fully_homog Instance List Mapping Pipeline Platform Relpipe_model Relpipe_util Solution

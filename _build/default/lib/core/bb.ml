@@ -1,0 +1,172 @@
+open Relpipe_model
+module B = Relpipe_util.Bitset
+module F = Relpipe_util.Float_cmp
+
+type stats = { nodes : int; evaluated : int }
+
+(* Mutable search context. *)
+type ctx = {
+  instance : Instance.t;
+  objective : Instance.objective;
+  n : int;
+  m : int;
+  max_speed : float;
+  mutable best : Solution.t option;
+  mutable nodes : int;
+  mutable evaluated : int;
+}
+
+let incumbent_objective ctx =
+  match ctx.best with
+  | None -> Float.infinity
+  | Some s -> Instance.objective_value ctx.objective s.Solution.evaluation
+
+(* Lower bound on the latency still to be paid for stages > done_upto:
+   remaining work at the fastest speed (communications >= 0). *)
+let remaining_bound ctx done_upto =
+  if done_upto >= ctx.n then 0.0
+  else
+    Pipeline.work_sum ctx.instance.Instance.pipeline ~first:(done_upto + 1)
+      ~last:ctx.n
+    /. ctx.max_speed
+
+let prune ctx ~partial_latency ~partial_failure ~done_upto =
+  let latency_lb = partial_latency +. remaining_bound ctx done_upto in
+  let incumbent = incumbent_objective ctx in
+  match ctx.objective with
+  | Instance.Min_failure { max_latency } ->
+      (not (F.leq latency_lb max_latency)) || partial_failure >= incumbent
+  | Instance.Min_latency { max_failure } ->
+      (not (F.leq partial_failure max_failure)) || latency_lb >= incumbent
+
+(* The Eq. 2 term of a closed interval, given the replication set of its
+   successor (or Pout). *)
+let interval_term ctx (first, last, procs) next_targets =
+  let { Instance.pipeline; platform } = ctx.instance in
+  let work = Pipeline.work_sum pipeline ~first ~last in
+  let out_size = Pipeline.delta pipeline last in
+  B.fold
+    (fun u acc ->
+      let compute = work /. Platform.speed platform u in
+      let comm =
+        List.fold_left
+          (fun sum v ->
+            sum +. (out_size /. Platform.bandwidth platform (Platform.Proc u) v))
+          0.0 next_targets
+      in
+      Float.max acc (compute +. comm))
+    procs Float.neg_infinity
+
+(* Lower bound on a pending interval's eventual term: its computation on
+   its own slowest replica (outgoing communications >= 0). *)
+let pending_bound ctx (first, last, procs) =
+  let { Instance.pipeline; platform } = ctx.instance in
+  let work = Pipeline.work_sum pipeline ~first ~last in
+  B.fold
+    (fun u acc -> Float.max acc (work /. Platform.speed platform u))
+    procs Float.neg_infinity
+
+let endpoints_of procs = B.fold (fun u acc -> Platform.Proc u :: acc) procs []
+
+let rec branch ctx ~next_stage ~used ~closed ~pending ~latency_closed
+    ~log_survival =
+  (* [closed]: reversed list of finalized intervals (term already added to
+     latency_closed).  [pending]: the last chosen interval, whose outgoing
+     term depends on the next decision. *)
+  ctx.nodes <- ctx.nodes + 1;
+  let partial_failure = -.Float.expm1 log_survival in
+  let pending_lb =
+    match pending with None -> 0.0 | Some iv -> pending_bound ctx iv
+  in
+  if
+    prune ctx
+      ~partial_latency:(latency_closed +. pending_lb)
+      ~partial_failure ~done_upto:(next_stage - 1)
+  then ()
+  else if next_stage > ctx.n then begin
+    (* Close the final interval against Pout and record the solution. *)
+    match pending with
+    | None -> assert false
+    | Some ((_, _, _) as iv) ->
+        let total =
+          latency_closed +. interval_term ctx iv [ Platform.Pout ]
+        in
+        ctx.evaluated <- ctx.evaluated + 1;
+        let mapping =
+          Mapping.make ~n:ctx.n ~m:ctx.m
+            (List.rev_map
+               (fun (first, last, procs) ->
+                 { Mapping.first; last; procs = B.elements procs })
+               (iv :: closed))
+        in
+        let evaluation = { Instance.latency = total; failure = partial_failure } in
+        if Instance.feasible ctx.objective evaluation then begin
+          let candidate = { Solution.mapping; evaluation } in
+          match ctx.best with
+          | Some b
+            when not
+                   (Instance.better ctx.objective evaluation
+                      b.Solution.evaluation) ->
+              ()
+          | _ -> ctx.best <- Some candidate
+        end
+  end
+  else begin
+    let unused = B.diff (B.full ctx.m) used in
+    (* Choose the next interval [next_stage .. e] and its replication set. *)
+    for e = next_stage to ctx.n do
+      Seq.iter
+        (fun subset ->
+          let iv = (next_stage, e, subset) in
+          let latency_closed', log_survival' =
+            match pending with
+            | None ->
+                (* First interval: pay the input sends. *)
+                let input =
+                  B.fold
+                    (fun u acc ->
+                      acc
+                      +. Pipeline.delta ctx.instance.Instance.pipeline 0
+                         /. Platform.bandwidth ctx.instance.Instance.platform
+                              Platform.Pin (Platform.Proc u))
+                    subset 0.0
+                in
+                (latency_closed +. input, log_survival)
+            | Some prev ->
+                ( latency_closed +. interval_term ctx prev (endpoints_of subset),
+                  log_survival )
+          in
+          let pi =
+            Failure.interval_failure ctx.instance.Instance.platform
+              (B.elements subset)
+          in
+          let log_survival' = log_survival' +. Float.log1p (-.pi) in
+          let closed' = match pending with None -> closed | Some p -> p :: closed in
+          branch ctx ~next_stage:(e + 1) ~used:(B.union used subset)
+            ~closed:closed' ~pending:(Some iv) ~latency_closed:latency_closed'
+            ~log_survival:log_survival')
+        (B.nonempty_subsets unused)
+    done
+  end
+
+let solve_with_stats instance objective =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  if m > B.max_width then invalid_arg "Bb.solve: too many processors";
+  let ctx =
+    {
+      instance;
+      objective;
+      n;
+      m;
+      max_speed = Array.fold_left Float.max 0.0 (Platform.speeds platform);
+      best = None;
+      nodes = 0;
+      evaluated = 0;
+    }
+  in
+  branch ctx ~next_stage:1 ~used:B.empty ~closed:[] ~pending:None
+    ~latency_closed:0.0 ~log_survival:0.0;
+  (ctx.best, { nodes = ctx.nodes; evaluated = ctx.evaluated })
+
+let solve instance objective = fst (solve_with_stats instance objective)

@@ -1,0 +1,30 @@
+(** Branch-and-bound exact bi-criteria solver.
+
+    Explores the same mapping space as {!Exact.solve} — interval partitions
+    with disjoint replication sets — but as a depth-first search over
+    (next stage, replication set) decisions with admissible pruning:
+
+    - the partial latency (plus a remaining-work lower bound at the
+      fastest available speed) already exceeds the threshold, or the
+      incumbent when latency is the objective;
+    - the partial failure probability — which can only grow as intervals
+      are appended — already exceeds the threshold, or the incumbent when
+      FP is the objective.
+
+    Both bounds are exact lower bounds, so the search returns the true
+    optimum while visiting far fewer nodes than the flat enumeration
+    (the E16 ablation quantifies the gap).  Still worst-case exponential:
+    the problems are NP-hard (Theorem 7). *)
+
+open Relpipe_model
+
+type stats = { nodes : int; evaluated : int }
+(** Search effort: decision nodes expanded and complete mappings
+    evaluated. *)
+
+val solve : Instance.t -> Instance.objective -> Solution.t option
+(** Optimal interval mapping, or [None] when infeasible.  Agrees with
+    {!Exact.solve} (property-tested). *)
+
+val solve_with_stats :
+  Instance.t -> Instance.objective -> Solution.t option * stats

@@ -1,0 +1,83 @@
+open Relpipe_model
+module F = Relpipe_util.Float_cmp
+
+let applicable instance =
+  let platform = instance.Instance.platform in
+  Classify.links_homogeneous platform
+  && Classify.failure_class platform = Classify.Failure_homogeneous
+
+let check instance =
+  if not (applicable instance) then
+    invalid_arg
+      "Comm_homog: platform must have homogeneous links and failure \
+       probabilities"
+
+let take k xs =
+  let rec go k = function
+    | _ when k = 0 -> []
+    | [] -> []
+    | x :: tl -> x :: go (k - 1) tl
+  in
+  go k xs
+
+let single_interval_solution instance procs =
+  let { Instance.pipeline; platform } = instance in
+  Solution.of_mapping instance
+    (Mapping.single_interval
+       ~n:(Pipeline.length pipeline)
+       ~m:(Platform.size platform) procs)
+
+let latency_with_fastest instance k =
+  let { Instance.pipeline; platform } = instance in
+  let m = Platform.size platform in
+  if k < 1 || k > m then invalid_arg "Comm_homog.latency_with_fastest: bad k";
+  let b = Option.get (Classify.common_bandwidth platform) in
+  let fastest = take k (Mono.fastest_procs platform) in
+  let slowest_speed =
+    List.fold_left
+      (fun acc u -> Float.min acc (Platform.speed platform u))
+      Float.infinity fastest
+  in
+  (float_of_int k *. Pipeline.delta pipeline 0 /. b)
+  +. (Pipeline.total_work pipeline /. slowest_speed)
+  +. (Pipeline.delta pipeline (Pipeline.length pipeline) /. b)
+
+let min_failure_for_latency instance ~max_latency =
+  check instance;
+  let m = Platform.size instance.Instance.platform in
+  (* latency_with_fastest is nondecreasing in k (one more serialized input
+     send, and the slowest enrolled speed can only drop), so a linear scan
+     finds the largest feasible k. *)
+  let rec scan best k =
+    if k > m then best
+    else if F.leq (latency_with_fastest instance k) max_latency then scan k (k + 1)
+    else best
+  in
+  let k = scan 0 1 in
+  if k = 0 then None
+  else
+    Some
+      (single_interval_solution instance
+         (take k (Mono.fastest_procs instance.Instance.platform)))
+
+let min_latency_for_failure instance ~max_failure =
+  check instance;
+  let platform = instance.Instance.platform in
+  let m = Platform.size platform in
+  let fp = Platform.failure platform 0 in
+  (* Smallest k with fp^k <= max_failure; the latency only grows with k. *)
+  let rec find k product =
+    if k > m then None
+    else if F.leq product max_failure then Some k
+    else find (k + 1) (product *. fp)
+  in
+  match find 1 fp with
+  | None -> None
+  | Some k ->
+      Some (single_interval_solution instance (take k (Mono.fastest_procs platform)))
+
+let solve instance = function
+  | Instance.Min_latency { max_failure } ->
+      min_latency_for_failure instance ~max_failure
+  | Instance.Min_failure { max_latency } ->
+      min_failure_for_latency instance ~max_latency

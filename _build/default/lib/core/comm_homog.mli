@@ -1,0 +1,32 @@
+(** Bi-criteria optimization on Communication Homogeneous platforms with
+    homogeneous failure probabilities (paper Theorem 6, Algorithms 3 and 4).
+
+    Lemma 1 still applies, so the optimum is a single interval; the
+    replication set is grown with the {e fastest} processors (the latency
+    term is governed by the slowest enrolled processor).  With
+    heterogeneous failures the single-interval property breaks (paper
+    Fig. 5) and the complexity is open — use {!Exact} or {!Heuristics}
+    there. *)
+
+open Relpipe_model
+
+val applicable : Instance.t -> bool
+(** Links homogeneous and failure probabilities homogeneous. *)
+
+val min_failure_for_latency :
+  Instance.t -> max_latency:float -> Solution.t option
+(** Algorithm 3: replicate on the most processors the threshold allows,
+    fastest first.  @raise Invalid_argument when not {!applicable}. *)
+
+val min_latency_for_failure :
+  Instance.t -> max_failure:float -> Solution.t option
+(** Algorithm 4: enroll the fewest (fastest) processors meeting the
+    failure threshold.  @raise Invalid_argument when not {!applicable}. *)
+
+val solve : Instance.t -> Instance.objective -> Solution.t option
+(** Dispatch on the objective. *)
+
+val latency_with_fastest : Instance.t -> int -> float
+(** Latency of the single-interval mapping on the [k] fastest processors —
+    the quantity Algorithm 3 scans (nondecreasing in [k]).
+    @raise Invalid_argument if [k] is out of [1..m]. *)

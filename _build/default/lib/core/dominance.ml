@@ -1,0 +1,61 @@
+open Relpipe_model
+
+let applicable instance = Classify.links_homogeneous instance.Instance.platform
+
+let dominates platform u v =
+  let su = Platform.speed platform u and sv = Platform.speed platform v in
+  let fu = Platform.failure platform u and fv = Platform.failure platform v in
+  if su >= sv && fu <= fv then
+    if su > sv || fu < fv then true else u < v (* total tie: index order *)
+  else false
+
+let undominated platform =
+  let procs = Platform.procs platform in
+  let keep u = not (List.exists (fun v -> v <> u && dominates platform v u) procs) in
+  List.sort
+    (fun a b -> compare (Platform.speed platform b) (Platform.speed platform a))
+    (List.filter keep procs)
+
+let normalize instance mapping =
+  if not (applicable instance) then
+    invalid_arg "Dominance.normalize: links must be homogeneous";
+  let platform = instance.Instance.platform in
+  let m = Platform.size platform in
+  let used = Array.make m false in
+  List.iter (fun u -> used.(u) <- true) (Mapping.used_procs mapping);
+  (* For each enrolled processor, look for an unused strict dominator;
+     apply the best (fastest, then most reliable) one. *)
+  let swap_target u =
+    let candidates =
+      List.filter
+        (fun v -> (not used.(v)) && dominates platform v u)
+        (Platform.procs platform)
+    in
+    let better a b =
+      let c = compare (Platform.speed platform b) (Platform.speed platform a) in
+      if c <> 0 then c < 0
+      else Platform.failure platform a < Platform.failure platform b
+    in
+    match candidates with
+    | [] -> None
+    | first :: rest ->
+        Some (List.fold_left (fun acc v -> if better v acc then v else acc) first rest)
+  in
+  let intervals =
+    List.map
+      (fun iv ->
+        let procs =
+          List.map
+            (fun u ->
+              match swap_target u with
+              | Some v ->
+                  used.(u) <- false;
+                  used.(v) <- true;
+                  v
+              | None -> u)
+            iv.Mapping.procs
+        in
+        { iv with Mapping.procs })
+      (Mapping.intervals mapping)
+  in
+  Mapping.make ~n:(Pipeline.length instance.Instance.pipeline) ~m intervals

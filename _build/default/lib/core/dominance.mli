@@ -1,0 +1,42 @@
+(** Processor-dominance reductions on Communication Homogeneous platforms.
+
+    With identical links a processor only enters the metrics through its
+    speed (slowest replica of the interval) and failure probability.
+    Hence, if [v] is unused and both at least as fast and at least as
+    reliable as an enrolled [u], swapping [u -> v] can neither increase
+    the latency (Eq. 1's [min] speed cannot drop) nor the failure
+    probability (the interval's product cannot grow).  Consequently some
+    optimal solution uses only processors that are {e Pareto-undominated}
+    under (speed, reliability) — up to multiplicity: a dominated processor
+    can still be needed when its dominators are exhausted, so the sound
+    reduction keeps, for every processor, the [m] best candidates... in
+    fact every processor may be needed (replication wants bodies), and
+    what dominance gives is a {e canonical exchange}: solvers may restrict
+    attention to exchange-closed solutions.
+
+    The module provides the dominance order, the exchange normalization
+    (rewrite a mapping into an at-least-as-good one using the most
+    dominant processors available), and the property underpinning it —
+    all checked against exhaustive search in the test suite.
+
+    On Fully Heterogeneous platforms the rule is unsound (bandwidths
+    differ per processor), so everything here checks {!applicable}. *)
+
+open Relpipe_model
+
+val applicable : Instance.t -> bool
+(** Links homogeneous. *)
+
+val dominates : Platform.t -> int -> int -> bool
+(** [dominates platform u v]: [u] is at least as fast {e and} at least as
+    reliable as [v], and strictly better on one axis (ties broken by
+    index to keep the relation antisymmetric). *)
+
+val undominated : Platform.t -> int list
+(** Processors not dominated by any other (the (speed, reliability)
+    Pareto staircase), sorted by decreasing speed. *)
+
+val normalize : Instance.t -> Mapping.t -> Mapping.t
+(** Exchange normalization: greedily swap every enrolled processor for an
+    unused dominating one (most dominant first).  The result evaluates at
+    least as well on both criteria (property-tested). *)

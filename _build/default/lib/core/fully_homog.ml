@@ -1,0 +1,82 @@
+open Relpipe_model
+module F = Relpipe_util.Float_cmp
+
+let applicable instance =
+  let platform = instance.Instance.platform in
+  Classify.links_homogeneous platform && Classify.speeds_homogeneous platform
+
+let check instance =
+  if not (applicable instance) then
+    invalid_arg "Fully_homog: platform is not fully homogeneous"
+
+let base_latency instance =
+  (* Latency of a single-interval mapping minus the replicated input term:
+     W/s + delta_n/b. *)
+  let { Instance.pipeline; platform } = instance in
+  let b = Option.get (Classify.common_bandwidth platform) in
+  let s = Platform.speed platform 0 in
+  (Pipeline.total_work pipeline /. s)
+  +. (Pipeline.delta pipeline (Pipeline.length pipeline) /. b)
+
+let max_replicas_for_latency instance ~max_latency =
+  check instance;
+  let { Instance.pipeline; platform } = instance in
+  let b = Option.get (Classify.common_bandwidth platform) in
+  let delta0 = Pipeline.delta pipeline 0 in
+  let slack = max_latency -. base_latency instance in
+  if delta0 = 0.0 then if F.geq slack 0.0 then max_int else 0
+  else begin
+    let k = Float.floor ((slack *. b /. delta0) +. F.default_eps) in
+    if k < 1.0 then 0 else int_of_float k
+  end
+
+let take k xs =
+  let rec go k = function
+    | _ when k = 0 -> []
+    | [] -> []
+    | x :: tl -> x :: go (k - 1) tl
+  in
+  go k xs
+
+let single_interval_solution instance procs =
+  let { Instance.pipeline; platform } = instance in
+  Solution.of_mapping instance
+    (Mapping.single_interval
+       ~n:(Pipeline.length pipeline)
+       ~m:(Platform.size platform) procs)
+
+let min_failure_for_latency instance ~max_latency =
+  check instance;
+  let m = Platform.size instance.Instance.platform in
+  let k = min m (max_replicas_for_latency instance ~max_latency) in
+  if k < 1 then None
+  else begin
+    let procs = take k (Mono.most_reliable_procs instance.Instance.platform) in
+    Some (single_interval_solution instance procs)
+  end
+
+let min_latency_for_failure instance ~max_failure =
+  check instance;
+  let platform = instance.Instance.platform in
+  let reliable = Mono.most_reliable_procs platform in
+  (* Grow the replication set, most reliable first, until the single
+     interval's failure probability prod fp_u meets the threshold. *)
+  let rec grow acc product candidates =
+    if F.leq product max_failure then Some (List.rev acc)
+    else
+      match candidates with
+      | [] -> None
+      | u :: tl -> grow (u :: acc) (product *. Platform.failure platform u) tl
+  in
+  match reliable with
+  | [] -> None
+  | u0 :: rest -> (
+      match grow [ u0 ] (Platform.failure platform u0) rest with
+      | None -> None
+      | Some procs -> Some (single_interval_solution instance procs))
+
+let solve instance = function
+  | Instance.Min_latency { max_failure } ->
+      min_latency_for_failure instance ~max_failure
+  | Instance.Min_failure { max_latency } ->
+      min_failure_for_latency instance ~max_latency

@@ -1,0 +1,35 @@
+(** Bi-criteria optimization on Fully Homogeneous platforms
+    (paper Theorem 5, Algorithms 1 and 2).
+
+    By Lemma 1 the optimum maps the whole pipeline as a single interval, so
+    both problems reduce to choosing the replication set: Algorithm 1 packs
+    as many (most reliable) processors as the latency threshold allows;
+    Algorithm 2 enrolls the fewest (most reliable) processors meeting the
+    failure threshold.  Per the paper's remark, both remain optimal with
+    heterogeneous failure probabilities as long as speeds and links are
+    homogeneous. *)
+
+open Relpipe_model
+
+val applicable : Instance.t -> bool
+(** Speeds and links homogeneous (failure probabilities may differ). *)
+
+val min_failure_for_latency :
+  Instance.t -> max_latency:float -> Solution.t option
+(** Algorithm 1: minimize FP subject to a latency threshold.  [None] when
+    even a single processor exceeds the threshold.
+    @raise Invalid_argument when not {!applicable}. *)
+
+val min_latency_for_failure :
+  Instance.t -> max_failure:float -> Solution.t option
+(** Algorithm 2: minimize latency subject to a failure threshold.  [None]
+    when even replicating on all processors cannot reach the threshold.
+    @raise Invalid_argument when not {!applicable}. *)
+
+val solve : Instance.t -> Instance.objective -> Solution.t option
+(** Dispatch on the objective. *)
+
+val max_replicas_for_latency : Instance.t -> max_latency:float -> int
+(** The bound k of Algorithm 1 (before clamping to [m]); [0] when
+    infeasible, [max_int] when the input data size is zero (replication
+    costs nothing). *)

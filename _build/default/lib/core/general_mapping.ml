@@ -1,0 +1,124 @@
+open Relpipe_model
+module G = Relpipe_graph
+
+type algo = Dijkstra | Bellman_ford | Dag_sweep
+
+let graph instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  let vertex i u = 1 + ((i - 1) * m) + u in
+  let source = 0 and sink = (n * m) + 1 in
+  let g = G.Graph.create ((n * m) + 2) in
+  (* Source edges: input communication to stage 1's host. *)
+  for u = 0 to m - 1 do
+    G.Graph.add_edge g source (vertex 1 u)
+      (Pipeline.delta pipeline 0
+      /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+  done;
+  (* Inner edges: compute stage i on u, then ship delta_i to v if u <> v. *)
+  for i = 1 to n - 1 do
+    for u = 0 to m - 1 do
+      let compute = Pipeline.work pipeline i /. Platform.speed platform u in
+      for v = 0 to m - 1 do
+        let comm =
+          if u = v then 0.0
+          else
+            Pipeline.delta pipeline i
+            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+        in
+        G.Graph.add_edge g (vertex i u) (vertex (i + 1) v) (compute +. comm)
+      done
+    done
+  done;
+  (* Sink edges: compute stage n on u, then return the result to Pout. *)
+  for u = 0 to m - 1 do
+    let compute = Pipeline.work pipeline n /. Platform.speed platform u in
+    let comm =
+      Pipeline.delta pipeline n
+      /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
+    in
+    G.Graph.add_edge g (vertex n u) sink (compute +. comm)
+  done;
+  (g, source, sink)
+
+let assignment_of_path ~m path =
+  (* Drop source and sink; map each inner vertex back to its processor. *)
+  let rec middle = function
+    | [] | [ _ ] -> []
+    | [ v; _sink ] -> [ v ]
+    | v :: tl -> v :: middle tl
+  in
+  let inner_vertices = match path with [] -> [] | _source :: tl -> middle tl in
+  let procs = List.map (fun v -> (v - 1) mod m) inner_vertices in
+  Assignment.of_list ~m procs
+
+let solve ?(algo = Dijkstra) instance =
+  let m = Platform.size instance.Instance.platform in
+  let g, source, sink = graph instance in
+  let result =
+    match algo with
+    | Dijkstra -> G.Dijkstra.shortest_path g ~src:source ~dst:sink
+    | Bellman_ford -> (
+        match G.Bellman_ford.shortest_path g ~src:source ~dst:sink with
+        | Ok r -> r
+        | Error `Negative_cycle -> assert false (* weights are non-negative *))
+    | Dag_sweep -> G.Dag.shortest_path g ~src:source ~dst:sink
+  in
+  match result with
+  | Some (dist, path) -> (dist, assignment_of_path ~m path)
+  | None -> assert false (* the layered graph is connected *)
+
+let solve_dp instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  (* best.(u): cheapest cost of a partial mapping of stages 1..i with stage
+     i on processor u, including stage i's computation. *)
+  let best = Array.make m 0.0 in
+  let parent = Array.make_matrix (n + 1) m (-1) in
+  for u = 0 to m - 1 do
+    best.(u) <-
+      (Pipeline.delta pipeline 0
+       /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+      +. (Pipeline.work pipeline 1 /. Platform.speed platform u)
+  done;
+  for i = 2 to n do
+    let next = Array.make m Float.infinity in
+    for v = 0 to m - 1 do
+      let compute = Pipeline.work pipeline i /. Platform.speed platform v in
+      for u = 0 to m - 1 do
+        let comm =
+          if u = v then 0.0
+          else
+            Pipeline.delta pipeline (i - 1)
+            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+        in
+        let cand = best.(u) +. comm +. compute in
+        if cand < next.(v) then begin
+          next.(v) <- cand;
+          parent.(i).(v) <- u
+        end
+      done
+    done;
+    Array.blit next 0 best 0 m
+  done;
+  let final = ref Float.infinity and final_u = ref (-1) in
+  for u = 0 to m - 1 do
+    let total =
+      best.(u)
+      +. Pipeline.delta pipeline n
+         /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
+    in
+    if total < !final then begin
+      final := total;
+      final_u := u
+    end
+  done;
+  let procs = Array.make n 0 in
+  let u = ref !final_u in
+  for i = n downto 1 do
+    procs.(i - 1) <- !u;
+    if i > 1 then u := parent.(i).(!u)
+  done;
+  (!final, Assignment.make ~m procs)
+
+let optimal_latency instance = fst (solve instance)

@@ -1,0 +1,34 @@
+(** Latency-optimal general mappings on Fully Heterogeneous platforms
+    (paper Theorem 4, Fig. 6).
+
+    A general mapping may assign non-consecutive stages to the same
+    processor.  The paper encodes such mappings as source-to-sink paths in
+    a layered graph with [n*m + 2] vertices: vertex (i, u) means "stage i
+    runs on processor u"; the edge (i, u) -> (i+1, v) carries the
+    computation cost of stage i on u plus, when [u <> v], the
+    communication cost of shipping delta_i across the u-v link.  The
+    minimum latency is the shortest path from the source (data on Pin) to
+    the sink (result on Pout), computable in polynomial time.
+
+    This module builds the graph explicitly (so tests can cross-check
+    Dijkstra, Bellman–Ford and the DAG sweep on it) and also implements the
+    equivalent direct dynamic program as an independent oracle. *)
+
+open Relpipe_model
+
+type algo = Dijkstra | Bellman_ford | Dag_sweep
+
+val graph : Instance.t -> Relpipe_graph.Graph.t * int * int
+(** The Fig. 6 construction: [(g, source, sink)].  Vertex numbering:
+    [0] is V_(0,in), [1 + (i-1)*m + u] is V_(i,u), [n*m + 1] is
+    V_(n+1,out). *)
+
+val solve : ?algo:algo -> Instance.t -> float * Assignment.t
+(** Minimum-latency general mapping.  Default algorithm: [Dijkstra]. *)
+
+val solve_dp : Instance.t -> float * Assignment.t
+(** Direct O(n m^2) dynamic program over (stage, processor) states;
+    independent of the graph construction. *)
+
+val optimal_latency : Instance.t -> float
+(** Shorthand for [fst (solve instance)]. *)

@@ -1,0 +1,61 @@
+(** Heuristics for the bi-criteria cases the paper proves NP-hard (Fully
+    Heterogeneous, Theorem 7) or leaves open (Communication Homogeneous
+    with heterogeneous failures, Section 4.4).
+
+    Four complementary strategies, in the spirit of the heuristic suites of
+    the authors' companion papers:
+
+    - {e single-interval greedy}: Lemma-1-shaped solutions — grow one
+      replication set greedily;
+    - {e split-and-replicate}: work-balanced interval partitions seeded
+      with the fastest processors, then greedy replica additions (the
+      shape of the paper's Fig. 5 optimum);
+    - {e local search}: hill climbing over boundary moves, splits, merges
+      and replica swaps;
+    - {e simulated annealing}: the same neighbourhood with a cooling
+      schedule, able to escape local optima;
+    - {e iterated local search}: alternating hill-climbing descents with
+      random multi-move perturbations, restarting the descent from the
+      perturbed incumbent.
+
+    [best_of] runs all of them and keeps the best feasible solution; the
+    E10/E11 experiments measure their optimality gap against {!Exact}. *)
+
+open Relpipe_model
+
+type name =
+  | Single_greedy
+  | Split_replicate
+  | Local_search
+  | Annealing
+  | Iterated
+
+val all_names : name list
+val name_to_string : name -> string
+
+val single_greedy : Instance.t -> Instance.objective -> Solution.t option
+
+val split_replicate : Instance.t -> Instance.objective -> Solution.t option
+
+val local_search :
+  ?seed:int -> ?iterations:int -> Instance.t -> Instance.objective ->
+  Solution.t option
+(** Default 4000 iterations. *)
+
+val annealing :
+  ?seed:int -> ?iterations:int -> Instance.t -> Instance.objective ->
+  Solution.t option
+(** Default 8000 iterations, geometric cooling. *)
+
+val iterated :
+  ?seed:int -> ?rounds:int -> ?descent:int -> Instance.t ->
+  Instance.objective -> Solution.t option
+(** Default 12 rounds of a [descent]-step hill climb (default 600) after a
+    3-move perturbation of the incumbent. *)
+
+val run :
+  ?seed:int -> name -> Instance.t -> Instance.objective -> Solution.t option
+
+val best_of :
+  ?seed:int -> Instance.t -> Instance.objective -> Solution.t option
+(** Best feasible result across all heuristics. *)

@@ -1,0 +1,96 @@
+open Relpipe_model
+
+let max_procs = 14
+
+let min_latency instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  if m > max_procs then
+    invalid_arg "Interval_exact.min_latency: too many processors (cap 14)";
+  let masks = 1 lsl m in
+  (* dp.(e).(u).(mask): cheapest cost of stages 1..e split into intervals
+     with distinct processors (set = mask), last interval on u; includes
+     the input communication and all computations/communications up to
+     stage e, excludes the final output. *)
+  let dp =
+    Array.init (n + 1) (fun _ -> Array.make_matrix m masks Float.infinity)
+  in
+  let parent = Array.init (n + 1) (fun _ -> Array.make_matrix m masks (-1)) in
+  for v = 0 to m - 1 do
+    let input =
+      Pipeline.delta pipeline 0
+      /. Platform.bandwidth platform Platform.Pin (Platform.Proc v)
+    in
+    for e = 1 to n do
+      dp.(e).(v).(1 lsl v) <-
+        input +. (Pipeline.work_sum pipeline ~first:1 ~last:e /. Platform.speed platform v)
+    done
+  done;
+  for e = 1 to n - 1 do
+    for u = 0 to m - 1 do
+      let row = dp.(e).(u) in
+      for mask = 0 to masks - 1 do
+        let base = row.(mask) in
+        if Float.is_finite base then begin
+          let hop v =
+            Pipeline.delta pipeline e
+            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+          in
+          for v = 0 to m - 1 do
+            if mask land (1 lsl v) = 0 then begin
+              let comm = hop v in
+              let nmask = mask lor (1 lsl v) in
+              for e' = e + 1 to n do
+                let cand =
+                  base +. comm
+                  +. Pipeline.work_sum pipeline ~first:(e + 1) ~last:e'
+                     /. Platform.speed platform v
+                in
+                if cand < dp.(e').(v).(nmask) then begin
+                  dp.(e').(v).(nmask) <- cand;
+                  parent.(e').(v).(nmask) <- (e * m) + u
+                end
+              done
+            end
+          done
+        end
+      done
+    done
+  done;
+  (* Close against Pout. *)
+  let best = ref Float.infinity and best_u = ref (-1) and best_mask = ref 0 in
+  for u = 0 to m - 1 do
+    let out =
+      Pipeline.delta pipeline n
+      /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
+    in
+    for mask = 0 to masks - 1 do
+      let total = dp.(n).(u).(mask) +. out in
+      if total < !best then begin
+        best := total;
+        best_u := u;
+        best_mask := mask
+      end
+    done
+  done;
+  if not (Float.is_finite !best) then None
+  else begin
+    (* Reconstruct the interval chain. *)
+    let rec rebuild e u mask acc =
+      match parent.(e).(u).(mask) with
+      | -1 -> { Mapping.first = 1; last = e; procs = [ u ] } :: acc
+      | code ->
+          let pe = code / m and pu = code mod m in
+          rebuild pe pu
+            (mask land lnot (1 lsl u))
+            ({ Mapping.first = pe + 1; last = e; procs = [ u ] } :: acc)
+    in
+    let intervals = rebuild n !best_u !best_mask [] in
+    Some (!best, Mapping.make ~n ~m intervals)
+  end
+
+let interval_vs_general_gap instance =
+  match min_latency instance with
+  | None -> Float.nan
+  | Some (interval_opt, _) ->
+      interval_opt /. General_mapping.optimal_latency instance

@@ -1,0 +1,30 @@
+(** Exact latency-optimal {e interval} mappings on Fully Heterogeneous
+    platforms — the problem the paper leaves open (Section 4.1: polynomial
+    for general mappings by Theorem 4, NP-hard for one-to-one by Theorem 3,
+    open in between).
+
+    Without replication an interval mapping is a sequence of (interval,
+    processor) pairs with pairwise-distinct processors.  We solve it
+    exactly by dynamic programming over (last stage, last processor, set
+    of used processors): [O(n^2 m^2 2^m)] time and [O(n m 2^m)] space — an
+    exponential-in-[m] certificate algorithm, far faster than enumerating
+    compositions times injections, and the reference point for measuring
+    how much the interval restriction costs relative to Theorem 4's
+    general mappings (experiment E19). *)
+
+open Relpipe_model
+
+val max_procs : int
+(** Hard cap on [m] (memory guard, 14). *)
+
+val min_latency : Instance.t -> (float * Mapping.t) option
+(** The optimal unreplicated interval mapping and its latency; [None] is
+    impossible for valid instances (a single interval on one processor
+    always exists), so the option only signals [n > 0] trivia — callers
+    can [Option.get].  Agrees with {!Exact.min_latency_unreplicated}
+    (property-tested).
+    @raise Invalid_argument when [m > max_procs]. *)
+
+val interval_vs_general_gap : Instance.t -> float
+(** [optimal interval latency / optimal general latency >= 1]: the price
+    of the interval restriction on this instance. *)

@@ -1,0 +1,34 @@
+open Relpipe_model
+
+let fastest_proc platform =
+  let best = ref 0 in
+  for u = 1 to Platform.size platform - 1 do
+    if Platform.speed platform u > Platform.speed platform !best then best := u
+  done;
+  !best
+
+let sorted_procs platform key =
+  List.sort
+    (fun u v ->
+      let c = compare (key u) (key v) in
+      if c <> 0 then c else compare u v)
+    (Platform.procs platform)
+
+let most_reliable_procs platform =
+  sorted_procs platform (fun u -> Platform.failure platform u)
+
+let fastest_procs platform = sorted_procs platform (fun u -> -.Platform.speed platform u)
+
+let min_failure instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  Solution.of_mapping instance
+    (Mapping.single_interval ~n ~m (Platform.procs platform))
+
+let min_latency_comm_homog instance =
+  let { Instance.pipeline; platform } = instance in
+  if not (Classify.links_homogeneous platform) then
+    invalid_arg "Mono.min_latency_comm_homog: links are not homogeneous";
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  Solution.of_mapping instance
+    (Mapping.single_interval ~n ~m [ fastest_proc platform ])

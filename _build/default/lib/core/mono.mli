@@ -1,0 +1,31 @@
+(** Mono-criterion optima (paper Theorems 1 and 2).
+
+    - Theorem 1: the failure probability is minimized, on every platform
+      class, by replicating the whole pipeline as a single interval on
+      {e all} processors.
+    - Theorem 2: on Communication Homogeneous (hence also Fully
+      Homogeneous) platforms, latency is minimized by mapping the whole
+      pipeline as a single interval on the fastest processor — replication
+      only adds communications, and with identical links no split can
+      help. *)
+
+open Relpipe_model
+
+val min_failure : Instance.t -> Solution.t
+(** Theorem 1: whole pipeline on all processors. *)
+
+val min_latency_comm_homog : Instance.t -> Solution.t
+(** Theorem 2: whole pipeline on (one of) the fastest processor(s).
+    @raise Invalid_argument when the platform's links are not homogeneous —
+    on Fully Heterogeneous platforms use {!General_mapping} or
+    {!One_to_one} instead. *)
+
+val fastest_proc : Platform.t -> int
+(** Index of a fastest processor (smallest index among ties). *)
+
+val most_reliable_procs : Platform.t -> int list
+(** All processors sorted by increasing failure probability (ties by
+    index). *)
+
+val fastest_procs : Platform.t -> int list
+(** All processors sorted by decreasing speed (ties by index). *)

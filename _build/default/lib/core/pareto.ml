@@ -1,0 +1,146 @@
+open Relpipe_model
+module F = Relpipe_util.Float_cmp
+
+type point = { threshold : float; solution : Solution.t }
+
+let latency_thresholds instance ~count =
+  if count < 2 then invalid_arg "Pareto.latency_thresholds: count must be >= 2";
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  let lo =
+    (* Cheapest single-processor mapping: a latency no feasible threshold
+       should undercut on Comm. Homogeneous platforms; on Fully
+       Heterogeneous ones it is simply a representative low anchor. *)
+    List.fold_left
+      (fun acc u ->
+        Float.min acc
+          (Latency.of_mapping pipeline platform
+             (Mapping.single_interval ~n ~m [ u ])))
+      Float.infinity (Platform.procs platform)
+  in
+  let hi =
+    Latency.of_mapping pipeline platform
+      (Mapping.single_interval ~n ~m (Platform.procs platform))
+  in
+  let hi = Float.max hi (lo *. (1.0 +. 1e-6)) in
+  let ratio = hi /. lo in
+  List.init count (fun i ->
+      lo *. (ratio ** (float_of_int i /. float_of_int (count - 1))))
+
+let front ~solve ~thresholds =
+  let points =
+    List.filter_map
+      (fun threshold ->
+        match solve (Instance.Min_failure { max_latency = threshold }) with
+        | Some solution -> Some { threshold; solution }
+        | None -> None)
+      (List.sort_uniq compare thresholds)
+  in
+  (* Keep non-dominated points, sorted by latency. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          a.solution.Solution.evaluation.Instance.latency
+          b.solution.Solution.evaluation.Instance.latency)
+      points
+  in
+  let rec filter best_fp = function
+    | [] -> []
+    | p :: tl ->
+        let fp = p.solution.Solution.evaluation.Instance.failure in
+        if F.compare fp best_fp < 0 then p :: filter fp tl else filter best_fp tl
+  in
+  filter Float.infinity sorted
+
+let failure_thresholds instance ~count =
+  if count < 2 then invalid_arg "Pareto.failure_thresholds: count must be >= 2";
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  let best =
+    Failure.of_mapping platform
+      (Mapping.single_interval ~n ~m (Platform.procs platform))
+  in
+  let worst =
+    List.fold_left
+      (fun acc u ->
+        Float.max acc
+          (Failure.of_mapping platform (Mapping.single_interval ~n ~m [ u ])))
+      0.0 (Platform.procs platform)
+  in
+  let lo = Float.max best 1e-18 in
+  let hi = Float.max worst (lo *. (1.0 +. 1e-6)) in
+  let ratio = hi /. lo in
+  List.init count (fun i ->
+      lo *. (ratio ** (float_of_int i /. float_of_int (count - 1))))
+
+let front_by_failure ~solve ~thresholds =
+  let points =
+    List.filter_map
+      (fun threshold ->
+        match solve (Instance.Min_latency { max_failure = threshold }) with
+        | Some solution -> Some { threshold; solution }
+        | None -> None)
+      (List.sort_uniq compare thresholds)
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          a.solution.Solution.evaluation.Instance.latency
+          b.solution.Solution.evaluation.Instance.latency)
+      points
+  in
+  let rec filter best_fp = function
+    | [] -> []
+    | p :: tl ->
+        let fp = p.solution.Solution.evaluation.Instance.failure in
+        if F.compare fp best_fp < 0 then p :: filter fp tl else filter best_fp tl
+  in
+  filter Float.infinity sorted
+
+let front_with solver instance ~count =
+  front
+    ~solve:(fun objective -> solver instance objective)
+    ~thresholds:(latency_thresholds instance ~count)
+
+let knee points =
+  match points with
+  | [] -> None
+  | [ p ] -> Some p
+  | _ ->
+      let latencies =
+        List.map (fun p -> p.solution.Solution.evaluation.Instance.latency) points
+      in
+      let failures =
+        List.map (fun p -> p.solution.Solution.evaluation.Instance.failure) points
+      in
+      let lmin = List.fold_left Float.min Float.infinity latencies in
+      let lmax = List.fold_left Float.max Float.neg_infinity latencies in
+      let fmin = List.fold_left Float.min Float.infinity failures in
+      let fmax = List.fold_left Float.max Float.neg_infinity failures in
+      let span lo hi = Float.max (hi -. lo) 1e-12 in
+      let distance p =
+        let e = p.solution.Solution.evaluation in
+        let dl = (e.Instance.latency -. lmin) /. span lmin lmax in
+        let df = (e.Instance.failure -. fmin) /. span fmin fmax in
+        Float.sqrt ((dl *. dl) +. (df *. df))
+      in
+      List.fold_left
+        (fun acc p ->
+          match acc with
+          | Some best when distance best <= distance p -> acc
+          | _ -> Some p)
+        None points
+
+let is_non_dominated points =
+  let rec go = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as tl) ->
+        let ea = a.solution.Solution.evaluation
+        and eb = b.solution.Solution.evaluation in
+        F.compare ea.Instance.latency eb.Instance.latency < 0
+        && F.compare eb.Instance.failure ea.Instance.failure < 0
+        && go tl
+  in
+  go points

@@ -1,0 +1,59 @@
+(** Latency/reliability trade-off curves.
+
+    The paper motivates bi-criteria optimization because neither criterion
+    alone is meaningful; the practical artefact is the Pareto front.  This
+    module sweeps one threshold and solves the constrained problem at each
+    point, yielding the staircase of non-dominated (latency, FP) pairs —
+    experiment E13. *)
+
+open Relpipe_model
+
+type point = {
+  threshold : float;  (** the latency threshold used for this solve *)
+  solution : Solution.t;
+}
+
+val latency_thresholds : Instance.t -> count:int -> float list
+(** [count >= 2] geometrically spaced latency thresholds spanning the
+    single-fastest-processor latency (the natural lower end) up to the
+    everything-replicated-everywhere latency (the reliability-maximal upper
+    end). *)
+
+val front :
+  solve:(Instance.objective -> Solution.t option) ->
+  thresholds:float list ->
+  point list
+(** Solve [Min_failure] at each latency threshold and keep the
+    non-dominated results, sorted by increasing latency. *)
+
+val front_with :
+  (Instance.t -> Instance.objective -> Solution.t option) ->
+  Instance.t ->
+  count:int ->
+  point list
+(** Convenience: thresholds from {!latency_thresholds}, solver partially
+    applied. *)
+
+val failure_thresholds : Instance.t -> count:int -> float list
+(** Geometrically spaced FP thresholds spanning the best achievable
+    failure probability (everything replicated everywhere) up to the worst
+    single-processor one — the sweep axis for the dual direction. *)
+
+val front_by_failure :
+  solve:(Instance.objective -> Solution.t option) ->
+  thresholds:float list ->
+  point list
+(** Dual sweep: solve [Min_latency] at each failure threshold and keep the
+    non-dominated results, sorted by increasing latency.  [threshold] in
+    each point is the FP threshold used. *)
+
+val is_non_dominated : point list -> bool
+(** Sanity predicate used by tests: latencies strictly increase and failure
+    probabilities strictly decrease along the front. *)
+
+val knee : point list -> point option
+(** The front's knee: the point minimizing the normalized Euclidean
+    distance to the ideal corner (minimal latency, minimal FP over the
+    front) — the usual "best compromise" pick when the user has no firm
+    threshold.  [None] on an empty front; with a single point, that
+    point. *)

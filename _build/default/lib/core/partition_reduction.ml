@@ -1,0 +1,87 @@
+open Relpipe_model
+module B = Relpipe_util.Bitset
+module F = Relpipe_util.Float_cmp
+module Rng = Relpipe_util.Rng
+
+let validate values =
+  if Array.length values = 0 then Error "empty instance"
+  else if Array.exists (fun a -> a <= 0) values then
+    Error "values must be positive"
+  else Ok ()
+
+let check values =
+  match validate values with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Partition_reduction: " ^ msg)
+
+let sum values = Array.fold_left ( + ) 0 values
+
+let to_instance values =
+  check values;
+  let m = Array.length values in
+  let s = float_of_int (sum values) in
+  let pipeline = Pipeline.of_costs ~input:1.0 [ (1.0, 1.0) ] in
+  let bandwidth a b =
+    match a, b with
+    | Platform.Pin, Platform.Proc j | Platform.Proc j, Platform.Pin ->
+        1.0 /. float_of_int values.(j)
+    | Platform.Proc _, Platform.Pout | Platform.Pout, Platform.Proc _ -> 1.0
+    | Platform.Proc _, Platform.Proc _ -> 1.0
+    | Platform.Pin, Platform.Pout | Platform.Pout, Platform.Pin -> 1.0
+    | Platform.Pin, Platform.Pin | Platform.Pout, Platform.Pout ->
+        invalid_arg "self link"
+  in
+  let platform =
+    Platform.make ~speeds:(Array.make m 1.0)
+      ~failures:(Array.map (fun a -> Float.exp (-.float_of_int a)) values)
+      ~bandwidth
+  in
+  (Instance.make pipeline platform, (s /. 2.0) +. 2.0, Float.exp (-.s /. 2.0))
+
+let partition_feasible values =
+  check values;
+  let s = sum values in
+  if s mod 2 <> 0 then false
+  else begin
+    let half = s / 2 in
+    let reachable = Array.make (half + 1) false in
+    reachable.(0) <- true;
+    Array.iter
+      (fun a ->
+        for t = half downto a do
+          if reachable.(t - a) then reachable.(t) <- true
+        done)
+      values;
+    reachable.(half)
+  end
+
+let witness values =
+  let instance, latency_bound, failure_bound = to_instance values in
+  let m = Array.length values in
+  if m > B.max_width then invalid_arg "Partition_reduction: instance too large";
+  let found = ref None in
+  Seq.iter
+    (fun subset ->
+      if !found = None then begin
+        let procs = B.elements subset in
+        let mapping = Mapping.single_interval ~n:1 ~m procs in
+        let e = Instance.evaluate instance mapping in
+        if
+          F.leq e.Instance.latency latency_bound
+          (* Relative-only tolerance: the failure threshold exp (-S/2) is
+             tiny, so an absolute slack would accept wrong subsets. *)
+          && F.leq_rel e.Instance.failure failure_bound
+        then found := Some procs
+      end)
+    (B.nonempty_subsets (B.full m));
+  !found
+
+let mapping_feasible values = witness values <> None
+
+let equivalent values = partition_feasible values = mapping_feasible values
+
+let random rng ~m ~max_value =
+  if m <= 0 then invalid_arg "Partition_reduction.random: m must be positive";
+  if max_value < 1 then
+    invalid_arg "Partition_reduction.random: max_value must be >= 1";
+  Array.init m (fun _ -> 1 + Rng.int rng max_value)

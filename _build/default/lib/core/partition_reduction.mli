@@ -1,0 +1,40 @@
+(** Executable form of the paper's Theorem 7 reduction.
+
+    From a 2-PARTITION instance [a_1, ..., a_m] (sum [S]) the reduction
+    builds a bi-criteria instance on a Fully Heterogeneous platform: one
+    stage with [w = delta_0 = delta_1 = 1], [m] unit-speed processors with
+    [fp_j = exp (-a_j)], [b_in,j = 1 / a_j], [b_j,out = 1].  A mapping with
+    latency at most [S/2 + 2] {e and} failure probability at most
+    [exp (-S/2)] exists iff the multiset can be split into two halves of
+    equal sum.
+
+    [equivalent] machine-checks that equivalence (subset-sum DP on one
+    side, replication-set enumeration on the other) — experiment E9. *)
+
+open Relpipe_model
+
+val validate : int array -> (unit, string) result
+(** Non-empty, all values positive. *)
+
+val to_instance : int array -> Instance.t * float * float
+(** [(instance, latency_bound, failure_bound)] with bounds [S/2 + 2] and
+    [exp (-S/2)].  @raise Invalid_argument when {!validate} fails. *)
+
+val partition_feasible : int array -> bool
+(** Ground truth by pseudo-polynomial subset-sum dynamic programming. *)
+
+val mapping_feasible : int array -> bool
+(** Ground truth on the mapping side: some replication set satisfies both
+    thresholds (enumerates the [2^m - 1] candidate sets).
+    @raise Invalid_argument when [m > Bitset.max_width]. *)
+
+val witness : int array -> int list option
+(** A replication set meeting both thresholds, when one exists — by the
+    reduction's correctness it is a valid 2-PARTITION half. *)
+
+val equivalent : int array -> bool
+(** Theorem 7's equivalence holds on this instance. *)
+
+val random : Relpipe_util.Rng.t -> m:int -> max_value:int -> int array
+(** Random multiset with values in [1..max_value]; even sums (the
+    potentially feasible case) are not enforced, so both outcomes occur. *)

@@ -1,0 +1,249 @@
+open Relpipe_model
+module K = Relpipe_util.Kahan
+
+type interval_spec = { first : int; last : int; groups : int list list }
+
+type t = interval_spec list
+
+let make ~n ~m specs =
+  if n <= 0 then invalid_arg "Round_robin.make: pipeline length must be positive";
+  if specs = [] then invalid_arg "Round_robin.make: no intervals";
+  let seen = Hashtbl.create 16 in
+  let rec check expected = function
+    | [] ->
+        if expected <> n + 1 then
+          invalid_arg "Round_robin.make: intervals do not cover the pipeline"
+    | s :: tl ->
+        if s.first <> expected || s.last < s.first || s.last > n then
+          invalid_arg "Round_robin.make: bad interval bounds";
+        if s.groups = [] then invalid_arg "Round_robin.make: interval with no group";
+        List.iter
+          (fun g ->
+            if g = [] then invalid_arg "Round_robin.make: empty group";
+            List.iter
+              (fun u ->
+                if u < 0 || u >= m then
+                  invalid_arg "Round_robin.make: processor out of range";
+                if Hashtbl.mem seen u then
+                  invalid_arg "Round_robin.make: processor used twice";
+                Hashtbl.add seen u ())
+              g)
+          s.groups;
+        check (s.last + 1) tl
+  in
+  check 1 specs;
+  List.map
+    (fun s -> { s with groups = List.map (List.sort compare) s.groups })
+    specs
+
+let of_mapping mapping =
+  List.map
+    (fun iv ->
+      { first = iv.Mapping.first; last = iv.Mapping.last; groups = [ iv.Mapping.procs ] })
+    (Mapping.intervals mapping)
+
+let partition_groups mapping ~q =
+  if q < 1 then invalid_arg "Round_robin.partition_groups: q must be >= 1";
+  let ivs = Mapping.intervals mapping in
+  if List.exists (fun iv -> List.length iv.Mapping.procs < q) ivs then None
+  else
+    Some
+      (List.map
+         (fun iv ->
+           let buckets = Array.make q [] in
+           List.iteri
+             (fun i u -> buckets.(i mod q) <- u :: buckets.(i mod q))
+             iv.Mapping.procs;
+           {
+             first = iv.Mapping.first;
+             last = iv.Mapping.last;
+             groups = Array.to_list (Array.map (List.sort compare) buckets);
+           })
+         ivs)
+
+let intervals t = t
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let cycle_length t =
+  List.fold_left (fun acc spec -> lcm acc (List.length spec.groups)) 1 t
+
+let mapping_for_dataset ~m t ~dataset =
+  if dataset < 0 then invalid_arg "Round_robin.mapping_for_dataset: negative index";
+  let n = List.fold_left (fun _ spec -> spec.last) 0 t in
+  Mapping.make ~n ~m
+    (List.map
+       (fun spec ->
+         let q = List.length spec.groups in
+         {
+           Mapping.first = spec.first;
+           last = spec.last;
+           procs = List.nth spec.groups (dataset mod q);
+         })
+       t)
+
+let latency instance t =
+  let { Instance.pipeline; platform } = instance in
+  let specs = Array.of_list t in
+  let p = Array.length specs in
+  let acc = K.create () in
+  (* Input: worst group of the first interval. *)
+  let input_cost =
+    List.fold_left
+      (fun worst g ->
+        Float.max worst
+          (K.sum_map
+             (fun u ->
+               Pipeline.delta pipeline 0
+               /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+             g))
+      0.0 specs.(0).groups
+  in
+  K.add acc input_cost;
+  for j = 0 to p - 1 do
+    let spec = specs.(j) in
+    let work = Pipeline.work_sum pipeline ~first:spec.first ~last:spec.last in
+    let out_size = Pipeline.delta pipeline spec.last in
+    let next_groups =
+      if j = p - 1 then [ [ -1 ] ] (* sentinel: Pout *)
+      else specs.(j + 1).groups
+    in
+    let target_endpoints group =
+      if group = [ -1 ] then [ Platform.Pout ]
+      else List.map (fun v -> Platform.Proc v) group
+    in
+    (* Worst over this interval's group, its forwarding replica, and the
+       next interval's group. *)
+    let term =
+      List.fold_left
+        (fun worst g ->
+          List.fold_left
+            (fun worst u ->
+              let compute = work /. Platform.speed platform u in
+              List.fold_left
+                (fun worst g' ->
+                  let comm =
+                    K.sum_map
+                      (fun v ->
+                        out_size /. Platform.bandwidth platform (Platform.Proc u) v)
+                      (target_endpoints g')
+                  in
+                  Float.max worst (compute +. comm))
+                worst next_groups)
+            worst g)
+        0.0 spec.groups
+    in
+    K.add acc term
+  done;
+  K.sum acc
+
+let period instance t =
+  let { Instance.pipeline; platform } = instance in
+  let specs = Array.of_list t in
+  let p = Array.length specs in
+  let n = Pipeline.length pipeline in
+  let worst = ref 0.0 in
+  let consider x = if x > !worst then worst := x in
+  (* Pin: per cycle of q_1 data sets it serves every group once. *)
+  let q1 = float_of_int (List.length specs.(0).groups) in
+  let pin_total =
+    K.sum_map
+      (fun g ->
+        K.sum_map
+          (fun u ->
+            Pipeline.delta pipeline 0
+            /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+          g)
+      specs.(0).groups
+  in
+  consider (pin_total /. q1);
+  for j = 0 to p - 1 do
+    let spec = specs.(j) in
+    let qj = float_of_int (List.length spec.groups) in
+    let work = Pipeline.work_sum pipeline ~first:spec.first ~last:spec.last in
+    let in_size = Pipeline.delta pipeline (spec.first - 1) in
+    let out_size = Pipeline.delta pipeline spec.last in
+    let senders =
+      if j = 0 then [ Platform.Pin ]
+      else
+        List.concat_map
+          (fun g -> List.map (fun u -> Platform.Proc u) g)
+          specs.(j - 1).groups
+    in
+    let out_targets =
+      if j = p - 1 then [ [ Platform.Pout ] ]
+      else
+        List.map
+          (fun g -> List.map (fun v -> Platform.Proc v) g)
+          specs.(j + 1).groups
+    in
+    List.iter
+      (fun g ->
+        List.iter
+          (fun u ->
+            let incoming =
+              List.fold_left
+                (fun acc s ->
+                  Float.max acc
+                    (in_size /. Platform.bandwidth platform s (Platform.Proc u)))
+                0.0 senders
+            in
+            let compute = work /. Platform.speed platform u in
+            let outgoing =
+              List.fold_left
+                (fun acc targets ->
+                  Float.max acc
+                    (K.sum_map
+                       (fun v ->
+                         out_size
+                         /. Platform.bandwidth platform (Platform.Proc u) v)
+                       targets))
+                0.0 out_targets
+            in
+            consider ((incoming +. compute +. outgoing) /. qj))
+          g)
+      spec.groups
+  done;
+  (* Pout receives every data set. *)
+  let last = specs.(p - 1) in
+  List.iter
+    (List.iter (fun u ->
+         consider
+           (Pipeline.delta pipeline n
+           /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout)))
+    last.groups;
+  !worst
+
+let failure instance t =
+  let platform = instance.Instance.platform in
+  let log_surv =
+    List.fold_left
+      (fun acc spec ->
+        List.fold_left
+          (fun acc g ->
+            let pi = Failure.interval_failure platform g in
+            acc +. Float.log1p (-.pi))
+          acc spec.groups)
+      0.0 t
+  in
+  -.Float.expm1 log_surv
+
+let pp ppf t =
+  let pp_group ppf g =
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         (fun ppf u -> Format.fprintf ppf "P%d" u))
+      g
+  in
+  let pp_spec ppf s =
+    Format.fprintf ppf "[S%d..S%d]->%a" s.first s.last
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "|")
+         pp_group)
+      s.groups
+  in
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_spec)
+    t

@@ -1,0 +1,72 @@
+(** Round-robin replication (the paper's Section 5 "second type of
+    replication").
+
+    The paper distinguishes replicating a computation for {e reliability}
+    (all replicas process every data set — the scheme of the main text)
+    from replicating for {e throughput} (different data sets go to
+    different processors round-robin).  This module combines both: each
+    interval is served by [q_j] disjoint {e groups}; data set [d] is
+    processed by group [d mod q_j], and every processor of that group
+    replicates the computation for reliability.
+
+    Consequences, relative to a plain reliability mapping:
+    - the steady-state period improves (each group handles a [1/q_j]
+      share of the stream);
+    - the failure probability worsens (every group must keep a survivor,
+      since each group owns part of the stream);
+    - the single-data-set latency is essentially unchanged (a data set
+      traverses one group per interval; we report the worst combination).
+
+    With [q_j = 1] everywhere the three metrics coincide with
+    {!Relpipe_model.Latency.eq2}, {!Relpipe_model.Period.of_mapping} and
+    {!Relpipe_model.Failure.of_mapping} (property-tested). *)
+
+open Relpipe_model
+
+type t
+(** A validated round-robin mapping. *)
+
+type interval_spec = {
+  first : int;
+  last : int;
+  groups : int list list;  (** [q_j >= 1] disjoint non-empty groups *)
+}
+
+val make : n:int -> m:int -> interval_spec list -> t
+(** Validation mirrors {!Relpipe_model.Mapping.make}: contiguous cover of
+    [1..n], globally disjoint processor sets, non-empty groups.
+    @raise Invalid_argument otherwise. *)
+
+val of_mapping : Mapping.t -> t
+(** Every interval gets a single group ([q_j = 1]). *)
+
+val partition_groups : Mapping.t -> q:int -> t option
+(** Split each interval's replica set into [q] balanced groups (round-robin
+    by descending speed) — same resources, throughput traded against
+    reliability.  [None] if some interval has fewer than [q] replicas. *)
+
+val intervals : t -> interval_spec list
+
+val mapping_for_dataset : m:int -> t -> dataset:int -> Mapping.t
+(** The plain reliability mapping data set [d] actually experiences:
+    interval [j] keeps only its group [d mod q_j].  Used to validate the
+    round-robin latency bound in the simulator: the worst case of every
+    per-data-set mapping is bounded by {!latency} (property-tested).
+    @raise Invalid_argument if [dataset < 0]. *)
+
+val cycle_length : t -> int
+(** Least common multiple of the group counts: after this many data sets
+    the group pattern repeats, so checking [0 .. cycle_length - 1] covers
+    every reachable combination. *)
+
+val latency : Instance.t -> t -> float
+(** Worst-case latency over group combinations (Eq. 2 conventions). *)
+
+val period : Instance.t -> t -> float
+(** Worst per-resource steady-state cycle, with each interval-[j] resource
+    amortized over its [q_j]-fraction of the stream. *)
+
+val failure : Instance.t -> t -> float
+(** [1 - prod_j prod_g (1 - prod_{u in g} fp_u)]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+open Relpipe_model
+
+type method_ =
+  | Auto
+  | Exact_enum
+  | Polynomial
+  | Heuristic of Heuristics.name
+  | Portfolio
+
+let polynomial instance objective =
+  if Fully_homog.applicable instance then Fully_homog.solve instance objective
+  else if Comm_homog.applicable instance then Comm_homog.solve instance objective
+  else
+    invalid_arg
+      "Solver: no polynomial-optimal algorithm for this platform class \
+       (NP-hard or open per the paper)"
+
+let small_enough ~budget instance =
+  let n = Pipeline.length instance.Instance.pipeline in
+  let m = Platform.size instance.Instance.platform in
+  (* n, m <= 6 keeps the enumeration in the tens of thousands; the exact
+     count confirms it is within budget. *)
+  n <= 6 && m <= 6 && Exact.count_mappings ~n ~m () <= budget
+
+let auto ~exact_budget instance objective =
+  if Fully_homog.applicable instance || Comm_homog.applicable instance then
+    polynomial instance objective
+  else if small_enough ~budget:exact_budget instance then
+    Exact.solve ~budget:exact_budget instance objective
+  else begin
+    let portfolio = Heuristics.best_of instance objective in
+    (* On Communication Homogeneous platforms the speed-contiguous solver
+       is cheap and captures the structure of known optima (e.g. Fig. 5);
+       fold it into the portfolio. *)
+    if Contiguous.applicable instance then
+      Solution.best objective portfolio (Contiguous.solve instance objective)
+    else portfolio
+  end
+
+let solve ?(method_ = Auto) ?(exact_budget = 200_000) instance objective =
+  match method_ with
+  | Auto -> auto ~exact_budget instance objective
+  | Exact_enum -> Exact.solve instance objective
+  | Polynomial -> polynomial instance objective
+  | Heuristic name -> Heuristics.run name instance objective
+  | Portfolio -> Heuristics.best_of instance objective
+
+let describe instance =
+  let platform = instance.Instance.platform in
+  let comm = Classify.comm_class platform in
+  let fail = Classify.failure_class platform in
+  let method_name =
+    if Fully_homog.applicable instance then "Algorithms 1/2 (polynomial, optimal)"
+    else if Comm_homog.applicable instance then
+      "Algorithms 3/4 (polynomial, optimal)"
+    else if small_enough ~budget:200_000 instance then
+      "exhaustive enumeration (instance is small)"
+    else "heuristic portfolio (NP-hard/open case)"
+  in
+  Format.asprintf "%a, %a -> %s" Classify.pp_comm_class comm
+    Classify.pp_failure_class fail method_name

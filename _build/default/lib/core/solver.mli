@@ -1,0 +1,35 @@
+(** Unified solving facade.
+
+    Dispatches a bi-criteria problem to the right algorithm for the
+    platform class, mirroring the paper's complexity landscape:
+
+    - Fully Homogeneous (speeds + links): Algorithms 1/2 — polynomial,
+      optimal (including heterogeneous failures, per the paper's remark);
+    - Communication Homogeneous + Failure Homogeneous: Algorithms 3/4 —
+      polynomial, optimal;
+    - everything else (Comm. Homogeneous + Failure Heterogeneous — open;
+      Fully Heterogeneous — NP-hard): exhaustive search when the instance
+      is small enough, otherwise the heuristic portfolio. *)
+
+open Relpipe_model
+
+type method_ =
+  | Auto  (** the dispatch described above *)
+  | Exact_enum  (** {!Exact.solve} regardless of size (may raise) *)
+  | Polynomial  (** Algorithms 1-4; raises when not applicable *)
+  | Heuristic of Heuristics.name
+  | Portfolio  (** {!Heuristics.best_of} *)
+
+val solve :
+  ?method_:method_ ->
+  ?exact_budget:int ->
+  Instance.t ->
+  Instance.objective ->
+  Solution.t option
+(** Solve; [None] means no feasible mapping was found (a definitive answer
+    for the optimal methods, best effort for heuristics).  [exact_budget]
+    bounds the mapping enumeration Auto may attempt (default [200_000]). *)
+
+val describe : Instance.t -> string
+(** Human-readable platform classification and the method Auto would
+    pick. *)

@@ -1,0 +1,101 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+
+type t = {
+  cost : float array array;
+  source : int;
+  target : int;
+  bound : float;
+}
+
+let validate r =
+  let n = Array.length r.cost in
+  let err s = Error s in
+  if n < 2 then err "need at least two vertices"
+  else if Array.exists (fun row -> Array.length row <> n) r.cost then
+    err "cost matrix is not square"
+  else if r.source < 0 || r.source >= n || r.target < 0 || r.target >= n then
+    err "endpoint out of range"
+  else if r.source = r.target then err "endpoints must differ"
+  else if not (Float.is_finite r.bound && r.bound > 0.0) then
+    err "bound must be positive and finite"
+  else begin
+    let bad = ref false in
+    for u = 0 to n - 1 do
+      for v = 0 to n - 1 do
+        if u <> v && not (Float.is_finite r.cost.(u).(v) && r.cost.(u).(v) > 0.0)
+        then bad := true
+      done
+    done;
+    if !bad then err "edge costs must be positive and finite" else Ok ()
+  end
+
+let to_instance r =
+  (match validate r with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Tsp_reduction.to_instance: " ^ msg));
+  let n = Array.length r.cost in
+  (* Any bandwidth strictly below 1 / (K + n + 3) makes a link unusable
+     within the latency budget. *)
+  let slow = 1.0 /. (r.bound +. float_of_int n +. 4.0) in
+  let pipeline =
+    Pipeline.make ~input:1.0
+      (List.init n (fun _ -> { Pipeline.work = 1.0; output = 1.0 }))
+  in
+  let bandwidth a b =
+    match a, b with
+    | Platform.Pin, Platform.Proc u | Platform.Proc u, Platform.Pin ->
+        if u = r.source then 1.0 else slow
+    | Platform.Proc u, Platform.Pout | Platform.Pout, Platform.Proc u ->
+        if u = r.target then 1.0 else slow
+    | Platform.Proc u, Platform.Proc v -> 1.0 /. r.cost.(u).(v)
+    | Platform.Pin, Platform.Pout | Platform.Pout, Platform.Pin -> slow
+    | Platform.Pin, Platform.Pin
+    | Platform.Pout, Platform.Pout ->
+        invalid_arg "self link"
+  in
+  let platform =
+    Platform.make ~speeds:(Array.make n 1.0) ~failures:(Array.make n 0.5)
+      ~bandwidth
+  in
+  (Instance.make pipeline platform, r.bound +. float_of_int n +. 2.0)
+
+let tsp_feasible r =
+  (match validate r with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Tsp_reduction.tsp_feasible: " ^ msg));
+  Relpipe_graph.Hamiltonian.exists_leq ~cost:r.cost ~s:r.source ~t:r.target
+    ~bound:r.bound
+
+let mapping_feasible r =
+  let instance, bound = to_instance r in
+  match One_to_one.exact instance with
+  | None -> false
+  | Some (latency, _) -> Relpipe_util.Float_cmp.leq latency bound
+
+let equivalent r = tsp_feasible r = mapping_feasible r
+
+let random rng ~n ~max_cost =
+  if n < 2 then invalid_arg "Tsp_reduction.random: n must be >= 2";
+  if max_cost < 1 then invalid_arg "Tsp_reduction.random: max_cost must be >= 1";
+  let cost = Array.make_matrix n n 0.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let c = float_of_int (1 + Rng.int rng max_cost) in
+      cost.(u).(v) <- c;
+      cost.(v).(u) <- c
+    done
+  done;
+  let source = 0 and target = n - 1 in
+  let opt =
+    match Relpipe_graph.Hamiltonian.held_karp ~cost ~s:source ~t:target with
+    | Some (c, _) -> c
+    | None -> assert false
+  in
+  (* Half the instances are feasible (bound at or above the optimum), half
+     are not (bound just below it). *)
+  let bound =
+    if Rng.bool rng then opt +. float_of_int (Rng.int rng 3)
+    else Float.max 1.0 (opt -. 1.0 +. 0.5)
+  in
+  { cost; source; target; bound }

@@ -1,0 +1,47 @@
+(** Executable form of the paper's Theorem 3 reduction.
+
+    From a TSP(-path) instance — complete graph, edge costs, source [s],
+    tail [t], bound [K] — the reduction builds a one-to-one
+    latency-minimization instance on a Fully Heterogeneous platform:
+    [n = |V|] unit-cost stages, [m = n] unit-speed processors,
+    [b_in,s = b_t,out = 1], [b_u,v = 1 / c(u,v)], and every other
+    Pin/Pout link slower than [1 / (K + n + 3)].  A Hamiltonian path of
+    cost at most [K] exists iff a one-to-one mapping of latency at most
+    [K' = K + n + 2] exists.
+
+    [equivalent] machine-checks that equivalence with two exact solvers
+    (Held–Karp on the TSP side, branch-and-bound on the mapping side) —
+    experiment E5. *)
+
+open Relpipe_model
+
+type t = {
+  cost : float array array;  (** positive edge costs, [cost.(u).(u)] unused *)
+  source : int;
+  target : int;
+  bound : float;  (** K *)
+}
+
+val validate : t -> (unit, string) result
+(** Square matrix, [n >= 2], positive finite off-diagonal costs, distinct
+    in-range endpoints, positive bound. *)
+
+val to_instance : t -> Instance.t * float
+(** The reduced mapping instance and the latency bound [K' = K + n + 2].
+    @raise Invalid_argument when {!validate} fails. *)
+
+val tsp_feasible : t -> bool
+(** Ground truth on the TSP side: Hamiltonian path from [source] to
+    [target] of cost at most [bound] (Held–Karp). *)
+
+val mapping_feasible : t -> bool
+(** Ground truth on the mapping side: a one-to-one mapping of the reduced
+    instance with latency at most [K'] ({!One_to_one.exact}). *)
+
+val equivalent : t -> bool
+(** Both ground truths agree — the correctness statement of Theorem 3. *)
+
+val random : Relpipe_util.Rng.t -> n:int -> max_cost:int -> t
+(** Random complete graph on [n >= 2] vertices with integer costs in
+    [1..max_cost] and a bound drawn near the optimal path cost, so both
+    feasible and infeasible instances occur. *)

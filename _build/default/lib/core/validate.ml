@@ -1,0 +1,111 @@
+open Relpipe_model
+module F = Relpipe_util.Float_cmp
+
+type optimality = Optimal | Suboptimal of float | Unknown
+
+type report = {
+  structurally_valid : bool;
+  evaluation_consistent : bool;
+  feasible : bool;
+  optimality : optimality;
+  messages : string list;
+}
+
+let certify ?(certify_budget = 36) instance objective (s : Solution.t) =
+  let reference =
+    if Fully_homog.applicable instance then Fully_homog.solve instance objective
+    else if Comm_homog.applicable instance then Comm_homog.solve instance objective
+    else begin
+      let n = Pipeline.length instance.Instance.pipeline in
+      let m = Platform.size instance.Instance.platform in
+      if certify_budget > 0 && n * m <= certify_budget then
+        Bb.solve instance objective
+      else None
+    end
+  in
+  match reference with
+  | None ->
+      (* Either not certifiable, or the reference says infeasible — the
+         caller's feasibility flag distinguishes. *)
+      Unknown
+  | Some reference ->
+      let mine = Instance.objective_value objective s.Solution.evaluation in
+      let best = Instance.objective_value objective reference.Solution.evaluation in
+      if F.approx_eq ~eps:1e-6 mine best then Optimal
+      else Suboptimal (mine -. best)
+
+let check ?certify_budget instance objective s =
+  let n = Pipeline.length instance.Instance.pipeline in
+  let m = Platform.size instance.Instance.platform in
+  let messages = ref [] in
+  let say fmt = Format.kasprintf (fun msg -> messages := msg :: !messages) fmt in
+  let structurally_valid =
+    match Mapping.validate ~n ~m (Mapping.intervals s.Solution.mapping) with
+    | Ok _ -> true
+    | Error msg ->
+        say "invalid mapping: %s" msg;
+        false
+  in
+  let evaluation_consistent =
+    if not structurally_valid then false
+    else begin
+      let fresh = Instance.evaluate instance s.Solution.mapping in
+      let lat_ok =
+        F.approx_eq ~eps:1e-9 fresh.Instance.latency
+          s.Solution.evaluation.Instance.latency
+      in
+      let fp_ok =
+        F.approx_eq ~eps:1e-9 fresh.Instance.failure
+          s.Solution.evaluation.Instance.failure
+      in
+      if not lat_ok then
+        say "stored latency %g but re-evaluation gives %g"
+          s.Solution.evaluation.Instance.latency fresh.Instance.latency;
+      if not fp_ok then
+        say "stored failure %g but re-evaluation gives %g"
+          s.Solution.evaluation.Instance.failure fresh.Instance.failure;
+      lat_ok && fp_ok
+    end
+  in
+  let feasible =
+    structurally_valid
+    &&
+    let holds = Instance.feasible objective s.Solution.evaluation in
+    if not holds then
+      say "threshold violated: %a but solution has %a" Instance.pp_objective
+        objective Instance.pp_evaluation s.Solution.evaluation;
+    holds
+  in
+  let optimality =
+    if not (structurally_valid && feasible) then Unknown
+    else begin
+      match certify ?certify_budget instance objective s with
+      | Optimal -> Optimal
+      | Suboptimal gap ->
+          say "suboptimal by %g (certified)" gap;
+          Suboptimal gap
+      | Unknown -> Unknown
+    end
+  in
+  {
+    structurally_valid;
+    evaluation_consistent;
+    feasible;
+    optimality;
+    messages = List.rev !messages;
+  }
+
+let ok r = r.structurally_valid && r.evaluation_consistent && r.feasible
+
+let pp ppf r =
+  let flag b = if b then "ok" else "FAIL" in
+  Format.fprintf ppf "@[<v>structure: %s@,evaluation: %s@,feasibility: %s@,"
+    (flag r.structurally_valid)
+    (flag r.evaluation_consistent)
+    (flag r.feasible);
+  (match r.optimality with
+  | Optimal -> Format.fprintf ppf "optimality: certified optimal@,"
+  | Suboptimal gap -> Format.fprintf ppf "optimality: suboptimal by %g@," gap
+  | Unknown -> Format.fprintf ppf "optimality: no tractable certificate@,");
+  List.iter (fun msg -> Format.fprintf ppf "  - %s@," msg) r.messages;
+  Format.fprintf ppf "@]"

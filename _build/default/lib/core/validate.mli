@@ -1,0 +1,39 @@
+(** Solution certificates.
+
+    Heuristics and external tools hand back mappings; this module
+    re-derives everything from first principles and reports exactly what
+    holds: structural validity, metric consistency, threshold feasibility,
+    and — when the platform class admits a polynomial optimal algorithm or
+    the instance is small enough for branch-and-bound — optimality. *)
+
+open Relpipe_model
+
+type optimality =
+  | Optimal  (** certified equal to a provably optimal solution *)
+  | Suboptimal of float  (** certified gap to the optimum (objective units) *)
+  | Unknown  (** no tractable certificate for this instance *)
+
+type report = {
+  structurally_valid : bool;  (** intervals/processors validate *)
+  evaluation_consistent : bool;
+      (** stored metrics match a from-scratch re-evaluation *)
+  feasible : bool;  (** threshold of the objective holds *)
+  optimality : optimality;
+  messages : string list;  (** human-readable findings, worst first *)
+}
+
+val check :
+  ?certify_budget:int ->
+  Instance.t ->
+  Instance.objective ->
+  Solution.t ->
+  report
+(** [certify_budget] caps the branch-and-bound effort used for optimality
+    certificates on intractable classes (number of stages times processors
+    cap, default suitable for n, m <= 6; pass [0] to skip). *)
+
+val ok : report -> bool
+(** Structurally valid, consistent and feasible (optimality not
+    required). *)
+
+val pp : Format.formatter -> report -> unit

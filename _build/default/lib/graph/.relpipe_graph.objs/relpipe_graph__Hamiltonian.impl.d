@@ -1,0 +1,1 @@
+lib/graph/hamiltonian.ml: Array Float Fun List Relpipe_util Seq

@@ -1,0 +1,41 @@
+let run g ~src =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Bellman_ford: source out of range";
+  let dist = Array.make n Float.infinity in
+  let parent = Array.make n (-1) in
+  dist.(src) <- 0.0;
+  let relax_once () =
+    let changed = ref false in
+    Graph.iter_edges
+      (fun u v w ->
+        if Float.is_finite dist.(u) && dist.(u) +. w < dist.(v) then begin
+          dist.(v) <- dist.(u) +. w;
+          parent.(v) <- u;
+          changed := true
+        end)
+      g;
+    !changed
+  in
+  let rec iterate i =
+    if i >= n - 1 then ()
+    else if relax_once () then iterate (i + 1)
+    else ()
+  in
+  iterate 0;
+  if relax_once () then Error `Negative_cycle else Ok (dist, parent)
+
+let distances g ~src = Result.map fst (run g ~src)
+
+let shortest_path g ~src ~dst =
+  if dst < 0 || dst >= Graph.n_vertices g then
+    invalid_arg "Bellman_ford: destination out of range";
+  match run g ~src with
+  | Error _ as e -> e
+  | Ok (dist, parent) ->
+      if Float.is_finite dist.(dst) then begin
+        let rec build v acc =
+          if v = src then src :: acc else build parent.(v) (v :: acc)
+        in
+        Ok (Some (dist.(dst), build dst []))
+      end
+      else Ok None

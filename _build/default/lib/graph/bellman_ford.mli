@@ -1,0 +1,13 @@
+(** Bellman–Ford single-source shortest paths.
+
+    Handles arbitrary (possibly negative) edge weights and detects negative
+    cycles.  Used as an independent oracle to cross-check {!Dijkstra} on
+    the non-negative graphs produced by the Theorem 4 construction. *)
+
+val distances : Graph.t -> src:int -> (float array, [ `Negative_cycle ]) result
+(** Distances from [src]; unreachable vertices get [infinity]. *)
+
+val shortest_path :
+  Graph.t -> src:int -> dst:int ->
+  ((float * int list) option, [ `Negative_cycle ]) result
+(** Path reconstruction as in {!Dijkstra.shortest_path}. *)

@@ -1,0 +1,50 @@
+let topological_order g =
+  let n = Graph.n_vertices g in
+  let indegree = Array.make n 0 in
+  Graph.iter_edges (fun _ v _ -> indegree.(v) <- indegree.(v) + 1) g;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indegree;
+  let order = ref [] in
+  let visited = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    order := u :: !order;
+    incr visited;
+    List.iter
+      (fun (v, _) ->
+        indegree.(v) <- indegree.(v) - 1;
+        if indegree.(v) = 0 then Queue.add v queue)
+      (Graph.succ g u)
+  done;
+  if !visited = n then Some (List.rev !order) else None
+
+let is_dag g = topological_order g <> None
+
+let shortest_path g ~src ~dst =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Dag.shortest_path: vertex out of range";
+  match topological_order g with
+  | None -> invalid_arg "Dag.shortest_path: graph has a cycle"
+  | Some order ->
+      let dist = Array.make n Float.infinity in
+      let parent = Array.make n (-1) in
+      dist.(src) <- 0.0;
+      List.iter
+        (fun u ->
+          if Float.is_finite dist.(u) then
+            List.iter
+              (fun (v, w) ->
+                if dist.(u) +. w < dist.(v) then begin
+                  dist.(v) <- dist.(u) +. w;
+                  parent.(v) <- u
+                end)
+              (Graph.succ g u))
+        order;
+      if Float.is_finite dist.(dst) then begin
+        let rec build v acc =
+          if v = src then src :: acc else build parent.(v) (v :: acc)
+        in
+        Some (dist.(dst), build dst [])
+      end
+      else None

@@ -1,0 +1,18 @@
+(** Topological order and linear-time shortest paths on DAGs.
+
+    The Theorem 4 mapping graph (Fig. 6) is layered and acyclic, so its
+    shortest path can also be computed by a single topological sweep — a
+    third independent oracle used in tests and the fastest option in the
+    benchmark harness. *)
+
+val topological_order : Graph.t -> int list option
+(** Vertices in a topological order, or [None] when the graph has a
+    cycle. *)
+
+val is_dag : Graph.t -> bool
+
+val shortest_path :
+  Graph.t -> src:int -> dst:int -> (float * int list) option
+(** Shortest path by dynamic programming along a topological order;
+    supports negative weights.  @raise Invalid_argument if the graph is
+    cyclic. *)

@@ -1,0 +1,44 @@
+module Pq = Relpipe_util.Pqueue
+
+let search g ~src =
+  let n = Graph.n_vertices g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n Float.infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let queue = Pq.create () in
+  dist.(src) <- 0.0;
+  Pq.push queue 0.0 src;
+  let rec loop () =
+    match Pq.pop queue with
+    | None -> ()
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          List.iter
+            (fun (v, w) ->
+              if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+              let nd = d +. w in
+              if nd < dist.(v) then begin
+                dist.(v) <- nd;
+                parent.(v) <- u;
+                Pq.push queue nd v
+              end)
+            (Graph.succ g u)
+        end;
+        loop ()
+  in
+  loop ();
+  (dist, parent)
+
+let distances g ~src = fst (search g ~src)
+
+let shortest_path g ~src ~dst =
+  let dist, parent = search g ~src in
+  if dst < 0 || dst >= Graph.n_vertices g then
+    invalid_arg "Dijkstra: destination out of range";
+  if Float.is_finite dist.(dst) then begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (dist.(dst), build dst [])
+  end
+  else None

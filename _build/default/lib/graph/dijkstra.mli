@@ -1,0 +1,15 @@
+(** Dijkstra's single-source shortest paths (non-negative weights).
+
+    This is the "shortest path computed in polynomial time" of Theorem 4:
+    the mapping graph of Fig. 6 has non-negative weights (costs are
+    quotients of non-negative data sizes and positive speeds). *)
+
+val distances : Graph.t -> src:int -> float array
+(** Distance from [src] to every vertex; unreachable vertices get
+    [infinity].  @raise Invalid_argument on a negative edge weight reached
+    during the search or an out-of-range source. *)
+
+val shortest_path : Graph.t -> src:int -> dst:int -> (float * int list) option
+(** [shortest_path g ~src ~dst] is [Some (distance, vertices)] with
+    [vertices] listing the path from [src] to [dst] inclusive, or [None] if
+    unreachable. *)

@@ -1,0 +1,36 @@
+type t = {
+  adj : (int * float) list array;  (* reversed insertion order internally *)
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  { adj = Array.make n []; edges = 0 }
+
+let n_vertices t = Array.length t.adj
+let n_edges t = t.edges
+
+let add_edge t u v w =
+  let n = n_vertices t in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Graph.add_edge: vertex out of range";
+  if not (Float.is_finite w) then invalid_arg "Graph.add_edge: non-finite weight";
+  t.adj.(u) <- (v, w) :: t.adj.(u);
+  t.edges <- t.edges + 1
+
+let succ t u =
+  if u < 0 || u >= n_vertices t then invalid_arg "Graph.succ: vertex out of range";
+  List.rev t.adj.(u)
+
+let iter_edges f t =
+  Array.iteri (fun u out -> List.iter (fun (v, w) -> f u v w) (List.rev out)) t.adj
+
+let transpose t =
+  let g = create (n_vertices t) in
+  iter_edges (fun u v w -> add_edge g v u w) t;
+  g
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v, w) -> add_edge g u v w) edges;
+  g

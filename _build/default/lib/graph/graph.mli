@@ -1,0 +1,31 @@
+(** Weighted directed graphs over integer vertices [0 .. n-1].
+
+    Substrate for the paper's graph constructions: the layered mapping
+    graph of Theorem 4 / Fig. 6 and the TSP reduction of Theorem 3. *)
+
+type t
+(** A mutable directed graph with float edge weights. *)
+
+val create : int -> t
+(** [create n] is an edgeless graph on [n] vertices.
+    @raise Invalid_argument if [n < 0]. *)
+
+val n_vertices : t -> int
+val n_edges : t -> int
+
+val add_edge : t -> int -> int -> float -> unit
+(** [add_edge g u v w] adds a directed edge.  Parallel edges are allowed
+    (shortest-path algorithms simply consider both).
+    @raise Invalid_argument on out-of-range vertices or non-finite weight. *)
+
+val succ : t -> int -> (int * float) list
+(** Outgoing edges [(target, weight)] of a vertex, in insertion order. *)
+
+val iter_edges : (int -> int -> float -> unit) -> t -> unit
+(** Iterate over all edges [(u, v, w)]. *)
+
+val transpose : t -> t
+(** Reversed copy. *)
+
+val of_edges : int -> (int * int * float) list -> t
+(** Graph on [n] vertices with the given edges. *)

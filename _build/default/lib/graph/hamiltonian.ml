@@ -1,0 +1,92 @@
+module B = Relpipe_util.Bitset
+module F = Relpipe_util.Float_cmp
+
+let check_inputs ~cost ~s ~t =
+  let n = Array.length cost in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then
+        invalid_arg "Hamiltonian: cost matrix is not square")
+    cost;
+  if n > B.max_width then invalid_arg "Hamiltonian: instance too large";
+  if n > 0 then begin
+    if s < 0 || s >= n || t < 0 || t >= n then
+      invalid_arg "Hamiltonian: endpoint out of range";
+    if s = t && n > 1 then invalid_arg "Hamiltonian: endpoints must differ"
+  end;
+  n
+
+let held_karp ~cost ~s ~t =
+  let n = check_inputs ~cost ~s ~t in
+  if n = 0 then None
+  else if n = 1 then Some (0.0, [ s ])
+  else begin
+    (* dp.(mask).(v): cheapest path starting at s, visiting exactly the
+       vertices of mask, ending at v (s and v in mask). *)
+    let full = (B.full n :> int) in
+    let dp = Array.make_matrix (full + 1) n Float.infinity in
+    let parent = Array.make_matrix (full + 1) n (-1) in
+    let smask = (B.singleton s :> int) in
+    dp.(smask).(s) <- 0.0;
+    for mask = 1 to full do
+      if mask land smask <> 0 then
+        for v = 0 to n - 1 do
+          if mask land (1 lsl v) <> 0 && Float.is_finite dp.(mask).(v) then begin
+            let base = dp.(mask).(v) in
+            for w = 0 to n - 1 do
+              if mask land (1 lsl w) = 0 then begin
+                let nmask = mask lor (1 lsl w) in
+                let cand = base +. cost.(v).(w) in
+                if cand < dp.(nmask).(w) then begin
+                  dp.(nmask).(w) <- cand;
+                  parent.(nmask).(w) <- v
+                end
+              end
+            done
+          end
+        done
+    done;
+    if Float.is_finite dp.(full).(t) then begin
+      let rec build mask v acc =
+        if v = s && mask = smask then s :: acc
+        else begin
+          let p = parent.(mask).(v) in
+          build (mask land lnot (1 lsl v)) p (v :: acc)
+        end
+      in
+      Some (dp.(full).(t), build full t [])
+    end
+    else None
+  end
+
+let brute_force ~cost ~s ~t =
+  let n = check_inputs ~cost ~s ~t in
+  if n = 0 then None
+  else if n = 1 then Some (0.0, [ s ])
+  else begin
+    let middle =
+      List.filter (fun v -> v <> s && v <> t) (List.init n Fun.id)
+    in
+    let path_cost path =
+      let rec go acc = function
+        | a :: (b :: _ as tl) -> go (acc +. cost.(a).(b)) tl
+        | [ _ ] | [] -> acc
+      in
+      go 0.0 path
+    in
+    let best = ref None in
+    Seq.iter
+      (fun perm ->
+        let path = (s :: perm) @ [ t ] in
+        let c = path_cost path in
+        match !best with
+        | Some (bc, _) when bc <= c -> ()
+        | _ -> best := Some (c, path))
+      (Relpipe_util.Combin.permutations middle);
+    !best
+  end
+
+let exists_leq ~cost ~s ~t ~bound =
+  match held_karp ~cost ~s ~t with
+  | None -> false
+  | Some (c, _) -> F.leq c bound

@@ -1,0 +1,25 @@
+(** Hamiltonian paths on complete weighted graphs.
+
+    Oracle for the Theorem 3 reduction: the reduction maps a TSP instance
+    (Hamiltonian path from [s] to [t] of cost at most [K]) to a one-to-one
+    latency-minimization instance.  To machine-check the reduction we solve
+    both sides exactly on small inputs.  Two independent solvers:
+    Held–Karp dynamic programming (O(2^n n^2)) and brute-force permutation
+    search (O(n!)), cross-checked in tests. *)
+
+val held_karp :
+  cost:float array array -> s:int -> t:int -> (float * int list) option
+(** Minimum-cost Hamiltonian path from [s] to [t] visiting every vertex
+    exactly once.  [cost.(u).(v)] is the edge cost (need not be symmetric).
+    Returns [None] only when [n = 0]; for [n = 1] (and [s = t]) the path is
+    [\[s\]] with cost [0].  @raise Invalid_argument when [s]/[t] are out of
+    range, [s = t] with [n > 1], or the matrix is not square of size
+    [> Bitset.max_width]. *)
+
+val brute_force :
+  cost:float array array -> s:int -> t:int -> (float * int list) option
+(** Same contract, by enumerating all permutations; intended for [n <= 9]. *)
+
+val exists_leq : cost:float array array -> s:int -> t:int -> bound:float -> bool
+(** Decision version: a Hamiltonian path of cost at most [bound] exists
+    (up to the default float tolerance). *)

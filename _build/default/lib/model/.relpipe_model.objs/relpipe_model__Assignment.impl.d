@@ -1,0 +1,1 @@
+lib/model/assignment.ml: Array Format List Mapping

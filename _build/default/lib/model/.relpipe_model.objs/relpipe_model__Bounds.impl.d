@@ -1,0 +1,1 @@
+lib/model/bounds.ml: Array Failure Float Instance Latency List Mapping Pipeline Platform

@@ -1,0 +1,1 @@
+lib/model/classify.ml: Format List Option Platform Relpipe_util

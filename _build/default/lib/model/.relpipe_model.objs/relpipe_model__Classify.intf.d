@@ -1,0 +1,1 @@
+lib/model/classify.mli: Format Platform

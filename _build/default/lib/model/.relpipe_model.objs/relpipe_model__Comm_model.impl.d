@@ -1,0 +1,1 @@
+lib/model/comm_model.ml: Array Float Format Latency List Mapping Pipeline Platform Relpipe_util

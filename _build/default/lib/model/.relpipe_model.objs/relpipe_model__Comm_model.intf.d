@@ -1,0 +1,1 @@
+lib/model/comm_model.mli: Format Mapping Pipeline Platform

@@ -1,0 +1,1 @@
+lib/model/failure.ml: Array Float List Mapping Platform

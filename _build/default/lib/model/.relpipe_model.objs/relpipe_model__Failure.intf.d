@@ -1,0 +1,1 @@
+lib/model/failure.mli: Mapping Platform

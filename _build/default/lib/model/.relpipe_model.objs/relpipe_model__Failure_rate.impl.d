@@ -1,0 +1,1 @@
+lib/model/failure_rate.ml: Array Float Platform Relpipe_util

@@ -1,0 +1,1 @@
+lib/model/failure_rate.mli: Platform

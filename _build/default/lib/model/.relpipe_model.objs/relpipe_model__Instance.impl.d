@@ -1,0 +1,1 @@
+lib/model/instance.ml: Failure Format Latency Pipeline Platform Relpipe_util

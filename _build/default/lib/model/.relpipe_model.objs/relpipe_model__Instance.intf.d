@@ -1,0 +1,1 @@
+lib/model/instance.mli: Format Mapping Pipeline Platform

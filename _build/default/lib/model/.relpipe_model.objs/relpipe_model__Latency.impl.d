@@ -1,0 +1,1 @@
+lib/model/latency.ml: Array Assignment Classify Float List Mapping Pipeline Platform Relpipe_util

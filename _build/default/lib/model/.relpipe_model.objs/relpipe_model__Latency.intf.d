@@ -1,0 +1,1 @@
+lib/model/latency.mli: Assignment Mapping Pipeline Platform

@@ -1,0 +1,1 @@
+lib/model/mapping.ml: Format List

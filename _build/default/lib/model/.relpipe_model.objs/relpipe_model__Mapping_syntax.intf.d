@@ -1,0 +1,1 @@
+lib/model/mapping_syntax.mli: Mapping

@@ -1,0 +1,1 @@
+lib/model/period.ml: Array Classify Float List Mapping Pipeline Platform Relpipe_util

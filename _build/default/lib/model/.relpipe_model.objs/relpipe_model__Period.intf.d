@@ -1,0 +1,1 @@
+lib/model/period.mli: Mapping Pipeline Platform

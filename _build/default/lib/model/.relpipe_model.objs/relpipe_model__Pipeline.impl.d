@@ -1,0 +1,1 @@
+lib/model/pipeline.ml: Array Float Format List Relpipe_util

@@ -1,0 +1,1 @@
+lib/model/pipeline.mli: Format

@@ -1,0 +1,1 @@
+lib/model/textio.ml: Array Buffer Format Hashtbl In_channel Instance List Pipeline Platform Printf Result String

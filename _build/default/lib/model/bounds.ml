@@ -1,0 +1,51 @@
+let best_in_bandwidth platform =
+  List.fold_left
+    (fun acc u ->
+      Float.max acc (Platform.bandwidth platform Platform.Pin (Platform.Proc u)))
+    0.0 (Platform.procs platform)
+
+let best_out_bandwidth platform =
+  List.fold_left
+    (fun acc u ->
+      Float.max acc (Platform.bandwidth platform (Platform.Proc u) Platform.Pout))
+    0.0 (Platform.procs platform)
+
+let max_speed platform = Array.fold_left Float.max 0.0 (Platform.speeds platform)
+
+let latency_lower_bound (instance : Instance.t) =
+  let { Instance.pipeline; platform } = instance in
+  (Pipeline.delta pipeline 0 /. best_in_bandwidth platform)
+  +. (Pipeline.total_work pipeline /. max_speed platform)
+  +. Pipeline.delta pipeline (Pipeline.length pipeline)
+     /. best_out_bandwidth platform
+
+let period_lower_bound (instance : Instance.t) =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline in
+  (* Some processor hosts the heaviest stage; its compute alone bounds the
+     cycle.  Pin and Pout each handle every data set at least once. *)
+  let heaviest_stage =
+    let w = ref 0.0 in
+    for k = 1 to n do
+      w := Float.max !w (Pipeline.work pipeline k)
+    done;
+    !w
+  in
+  Float.max
+    (heaviest_stage /. max_speed platform)
+    (Float.max
+       (Pipeline.delta pipeline 0 /. best_in_bandwidth platform)
+       (Pipeline.delta pipeline n /. best_out_bandwidth platform))
+
+let failure_lower_bound (instance : Instance.t) =
+  let { Instance.pipeline; platform } = instance in
+  Failure.of_mapping platform
+    (Mapping.single_interval
+       ~n:(Pipeline.length pipeline)
+       ~m:(Platform.size platform)
+       (Platform.procs platform))
+
+let latency_gap instance mapping =
+  Latency.of_mapping instance.Instance.pipeline instance.Instance.platform
+    mapping
+  /. latency_lower_bound instance

@@ -1,0 +1,26 @@
+(** Instance-level analytic bounds.
+
+    Cheap lower bounds valid for {e every} interval mapping of the
+    instance, independent of the mapping choice.  Solvers and reports use
+    them to express absolute optimality gaps ("within 12% of any possible
+    mapping"), and the test suite checks them against every random mapping
+    it generates. *)
+
+val latency_lower_bound : Instance.t -> float
+(** No mapping can respond faster than: the cheapest possible input
+    communication, plus all the work at the fastest speed, plus the
+    cheapest possible output communication.  (Internal communications and
+    replication only add to this.) *)
+
+val period_lower_bound : Instance.t -> float
+(** No mapping can sustain a shorter period than the bottleneck of the
+    same three terms: some processor computes the heaviest single stage,
+    [Pin] emits the input once, [Pout] absorbs the result once, all at
+    best-case speeds/bandwidths. *)
+
+val failure_lower_bound : Instance.t -> float
+(** The failure probability of replicating the whole pipeline on every
+    processor — optimal by the paper's Theorem 1. *)
+
+val latency_gap : Instance.t -> Mapping.t -> float
+(** [latency / latency_lower_bound >= 1]. *)

@@ -1,0 +1,59 @@
+module F = Relpipe_util.Float_cmp
+
+type comm_class =
+  | Fully_homogeneous
+  | Comm_homogeneous
+  | Fully_heterogeneous
+
+type failure_class = Failure_homogeneous | Failure_heterogeneous
+
+let all_endpoints t =
+  Platform.Pin :: Platform.Pout
+  :: List.map (fun u -> Platform.Proc u) (Platform.procs t)
+
+let links_homogeneous ?eps t =
+  let eps = Option.value eps ~default:F.default_eps in
+  let endpoints = all_endpoints t in
+  let reference = Platform.bandwidth t Platform.Pin Platform.Pout in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          Platform.endpoint_equal a b
+          || F.approx_eq ~eps reference (Platform.bandwidth t a b))
+        endpoints)
+    endpoints
+
+let speeds_homogeneous ?eps t =
+  let eps = Option.value eps ~default:F.default_eps in
+  let s0 = Platform.speed t 0 in
+  List.for_all (fun u -> F.approx_eq ~eps s0 (Platform.speed t u)) (Platform.procs t)
+
+let comm_class ?eps t =
+  if links_homogeneous ?eps t then
+    if speeds_homogeneous ?eps t then Fully_homogeneous else Comm_homogeneous
+  else Fully_heterogeneous
+
+let failure_class ?eps t =
+  let eps = Option.value eps ~default:F.default_eps in
+  let f0 = Platform.failure t 0 in
+  let homogeneous =
+    List.for_all
+      (fun u -> F.approx_eq ~eps f0 (Platform.failure t u))
+      (Platform.procs t)
+  in
+  if homogeneous then Failure_homogeneous else Failure_heterogeneous
+
+let common_bandwidth ?eps t =
+  if links_homogeneous ?eps t then
+    Some (Platform.bandwidth t Platform.Pin Platform.Pout)
+  else None
+
+let pp_comm_class ppf = function
+  | Fully_homogeneous -> Format.pp_print_string ppf "Fully Homogeneous"
+  | Comm_homogeneous -> Format.pp_print_string ppf "Communication Homogeneous"
+  | Fully_heterogeneous -> Format.pp_print_string ppf "Fully Heterogeneous"
+
+let pp_failure_class ppf = function
+  | Failure_homogeneous -> Format.pp_print_string ppf "Failure Homogeneous"
+  | Failure_heterogeneous -> Format.pp_print_string ppf "Failure Heterogeneous"

@@ -1,0 +1,35 @@
+(** Platform taxonomy of the paper (Section 2.1).
+
+    Communication axis:
+    - {e Fully Homogeneous}: identical processors and identical links;
+    - {e Communication Homogeneous}: identical links, heterogeneous speeds;
+    - {e Fully Heterogeneous}: heterogeneous speeds and links.
+
+    Failure axis: {e Failure Homogeneous} when all failure probabilities are
+    equal, {e Failure Heterogeneous} otherwise.  The complexity of every
+    problem in the paper is stated relative to this taxonomy. *)
+
+type comm_class =
+  | Fully_homogeneous
+  | Comm_homogeneous
+  | Fully_heterogeneous
+
+type failure_class = Failure_homogeneous | Failure_heterogeneous
+
+val comm_class : ?eps:float -> Platform.t -> comm_class
+(** Most specific communication class of the platform.  Link homogeneity is
+    checked over all endpoint pairs including [Pin]/[Pout]. *)
+
+val failure_class : ?eps:float -> Platform.t -> failure_class
+
+val links_homogeneous : ?eps:float -> Platform.t -> bool
+(** True when every link (including to [Pin]/[Pout]) has the same
+    bandwidth. *)
+
+val speeds_homogeneous : ?eps:float -> Platform.t -> bool
+
+val common_bandwidth : ?eps:float -> Platform.t -> float option
+(** The shared bandwidth [b] when {!links_homogeneous} holds. *)
+
+val pp_comm_class : Format.formatter -> comm_class -> unit
+val pp_failure_class : Format.formatter -> failure_class -> unit

@@ -1,0 +1,58 @@
+type model = One_port | Multiport
+
+let multiport_latency pipeline platform mapping =
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let p = Array.length intervals in
+  let acc = Relpipe_util.Kahan.create () in
+  (* Input: parallel sends; the slowest replica link dominates. *)
+  let input =
+    List.fold_left
+      (fun worst u ->
+        Float.max worst
+          (Pipeline.delta pipeline 0
+          /. Platform.bandwidth platform Platform.Pin (Platform.Proc u)))
+      0.0 intervals.(0).Mapping.procs
+  in
+  Relpipe_util.Kahan.add acc input;
+  for j = 0 to p - 1 do
+    let iv = intervals.(j) in
+    let work =
+      Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+    in
+    let out_size = Pipeline.delta pipeline iv.Mapping.last in
+    let targets =
+      if j = p - 1 then [ Platform.Pout ]
+      else List.map (fun v -> Platform.Proc v) intervals.(j + 1).Mapping.procs
+    in
+    let term_of u =
+      let compute = work /. Platform.speed platform u in
+      let comm =
+        List.fold_left
+          (fun worst v ->
+            Float.max worst
+              (out_size /. Platform.bandwidth platform (Platform.Proc u) v))
+          0.0 targets
+      in
+      compute +. comm
+    in
+    let worst =
+      List.fold_left
+        (fun acc u -> Float.max acc (term_of u))
+        Float.neg_infinity iv.Mapping.procs
+    in
+    Relpipe_util.Kahan.add acc worst
+  done;
+  Relpipe_util.Kahan.sum acc
+
+let latency model pipeline platform mapping =
+  match model with
+  | One_port -> Latency.eq2 pipeline platform mapping
+  | Multiport -> multiport_latency pipeline platform mapping
+
+let replication_penalty pipeline platform mapping =
+  latency One_port pipeline platform mapping
+  /. latency Multiport pipeline platform mapping
+
+let pp_model ppf = function
+  | One_port -> Format.pp_print_string ppf "one-port"
+  | Multiport -> Format.pp_print_string ppf "multiport"

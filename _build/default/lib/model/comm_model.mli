@@ -1,0 +1,27 @@
+(** Communication-model ablation: one-port versus multiport latency.
+
+    The paper adopts the one-port model (Section 2.1), citing MPI
+    measurements: a processor drives one transfer at a time, so sending an
+    interval's input to [k] replicas costs [k] serialized transfers — the
+    very term that makes replication hurt latency.  This module implements
+    the alternative {e multiport} model (all sends proceed in parallel;
+    a replica set's input costs one transfer time, the slowest link's) so
+    experiments can quantify how much of the latency/reliability tension
+    is created by the one-port assumption.
+
+    Under multiport, replication is latency-free on homogeneous links, and
+    Lemma 1's single-interval argument extends to heterogeneous failures —
+    the paper's Fig. 5 counter-example evaporates (experiment E23). *)
+
+type model = One_port | Multiport
+
+val latency : model -> Pipeline.t -> Platform.t -> Mapping.t -> float
+(** [latency One_port] is {!Relpipe_model.Latency.eq2} (the paper);
+    [latency Multiport] replaces every serialized send fan-out by the
+    maximum over the same transfers. *)
+
+val replication_penalty : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** [latency One_port / latency Multiport >= 1]: how much the one-port
+    assumption charges this mapping for its replication. *)
+
+val pp_model : Format.formatter -> model -> unit

@@ -1,0 +1,38 @@
+let fp_of_rate ~rate ~mission =
+  if rate < 0.0 || not (Float.is_finite rate) then
+    invalid_arg "Failure_rate.fp_of_rate: rate must be finite and non-negative";
+  if mission < 0.0 || not (Float.is_finite mission) then
+    invalid_arg "Failure_rate.fp_of_rate: mission must be finite and non-negative";
+  -.Float.expm1 (-.rate *. mission)
+
+let rate_of_fp ~fp ~mission =
+  if not (Relpipe_util.Float_cmp.is_probability fp) then
+    invalid_arg "Failure_rate.rate_of_fp: fp must be a probability";
+  if mission <= 0.0 || not (Float.is_finite mission) then
+    invalid_arg "Failure_rate.rate_of_fp: mission must be positive";
+  -.Float.log1p (-.fp) /. mission
+
+let fp_of_mtbf ~mtbf ~mission =
+  if mtbf <= 0.0 || not (Float.is_finite mtbf) then
+    invalid_arg "Failure_rate.fp_of_mtbf: mtbf must be positive";
+  fp_of_rate ~rate:(1.0 /. mtbf) ~mission
+
+let platform_of_rates ~speeds ~rates ~mission ~bandwidth =
+  if Array.length rates <> Array.length speeds then
+    invalid_arg "Failure_rate.platform_of_rates: length mismatch";
+  let failures = Array.map (fun rate -> fp_of_rate ~rate ~mission) rates in
+  Platform.make ~speeds ~failures ~bandwidth
+
+let scale_mission platform ~factor =
+  if factor < 0.0 || not (Float.is_finite factor) then
+    invalid_arg "Failure_rate.scale_mission: factor must be finite, non-negative";
+  let m = Platform.size platform in
+  (* fp' = 1 - (1 - fp)^factor, computed in log space. *)
+  let failures =
+    Array.init m (fun u ->
+        let fp = Platform.failure platform u in
+        if fp >= 1.0 then 1.0
+        else -.Float.expm1 (factor *. Float.log1p (-.fp)))
+  in
+  Platform.make ~speeds:(Platform.speeds platform) ~failures
+    ~bandwidth:(Platform.bandwidth platform)

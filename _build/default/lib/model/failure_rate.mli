@@ -1,0 +1,37 @@
+(** Converting failure-rate specifications to the paper's constant
+    failure-probability model.
+
+    The paper works with a constant per-processor probability [fp_u] of
+    breaking down at some point during the (long) execution.  Operators
+    usually know a processor's failure {e rate} (or MTBF) instead.  Under
+    the standard exponential-lifetime assumption, a processor with rate
+    [lambda] survives a mission of length [t] with probability
+    [exp (-lambda t)], so [fp = 1 - exp (-lambda t)] — this module makes
+    that bridge explicit and reversible. *)
+
+val fp_of_rate : rate:float -> mission:float -> float
+(** [fp_of_rate ~rate ~mission] is [1 - exp (-rate * mission)].
+    @raise Invalid_argument on a negative rate or mission length. *)
+
+val rate_of_fp : fp:float -> mission:float -> float
+(** Inverse of {!fp_of_rate}: [-log (1 - fp) / mission].  [fp = 1] maps to
+    [infinity].  @raise Invalid_argument when [fp] is not a probability or
+    [mission <= 0]. *)
+
+val fp_of_mtbf : mtbf:float -> mission:float -> float
+(** [fp_of_mtbf ~mtbf] is [fp_of_rate ~rate:(1 / mtbf)].
+    @raise Invalid_argument when [mtbf <= 0]. *)
+
+val platform_of_rates :
+  speeds:float array ->
+  rates:float array ->
+  mission:float ->
+  bandwidth:(Platform.endpoint -> Platform.endpoint -> float) ->
+  Platform.t
+(** Build a platform from failure rates instead of probabilities. *)
+
+val scale_mission : Platform.t -> factor:float -> Platform.t
+(** Re-derive every failure probability for a mission [factor] times
+    longer (e.g. [factor = 2.0] turns each [fp] into [1 - (1 - fp)^2]),
+    keeping speeds and bandwidths.  Useful to study how mapping decisions
+    shift as the workflow's runtime horizon grows. *)

@@ -1,0 +1,44 @@
+module F = Relpipe_util.Float_cmp
+
+type t = { pipeline : Pipeline.t; platform : Platform.t }
+
+type objective =
+  | Min_latency of { max_failure : float }
+  | Min_failure of { max_latency : float }
+
+type evaluation = { latency : float; failure : float }
+
+let make pipeline platform = { pipeline; platform }
+
+let evaluate t mapping =
+  {
+    latency = Latency.of_mapping t.pipeline t.platform mapping;
+    failure = Failure.of_mapping t.platform mapping;
+  }
+
+let feasible ?eps objective evaluation =
+  match objective with
+  | Min_latency { max_failure } -> F.leq ?eps evaluation.failure max_failure
+  | Min_failure { max_latency } -> F.leq ?eps evaluation.latency max_latency
+
+let objective_value objective evaluation =
+  match objective with
+  | Min_latency _ -> evaluation.latency
+  | Min_failure _ -> evaluation.failure
+
+let better ?eps objective a b =
+  F.compare ?eps (objective_value objective a) (objective_value objective b) < 0
+
+let dominates ?eps a b =
+  F.leq ?eps a.latency b.latency
+  && F.leq ?eps a.failure b.failure
+  && (F.compare ?eps a.latency b.latency < 0 || F.compare ?eps a.failure b.failure < 0)
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf "latency=%g failure=%g" e.latency e.failure
+
+let pp_objective ppf = function
+  | Min_latency { max_failure } ->
+      Format.fprintf ppf "minimize latency s.t. FP <= %g" max_failure
+  | Min_failure { max_latency } ->
+      Format.fprintf ppf "minimize FP s.t. latency <= %g" max_latency

@@ -1,0 +1,39 @@
+(** A problem instance and the two bi-criteria objectives of the paper.
+
+    The paper optimizes one criterion under a threshold on the other:
+    minimize latency subject to [FP <= max_failure], or minimize failure
+    probability subject to [T <= max_latency]. *)
+
+type t = { pipeline : Pipeline.t; platform : Platform.t }
+
+type objective =
+  | Min_latency of { max_failure : float }
+      (** minimize T subject to FP <= max_failure *)
+  | Min_failure of { max_latency : float }
+      (** minimize FP subject to T <= max_latency *)
+
+type evaluation = { latency : float; failure : float }
+(** Both metrics of a candidate mapping. *)
+
+val make : Pipeline.t -> Platform.t -> t
+
+val evaluate : t -> Mapping.t -> evaluation
+(** Latency via {!Latency.of_mapping} (Eq. 1 on homogeneous links, Eq. 2
+    otherwise) and failure probability via {!Failure.of_mapping}. *)
+
+val feasible : ?eps:float -> objective -> evaluation -> bool
+(** Does the evaluation satisfy the objective's threshold (up to
+    tolerance)? *)
+
+val objective_value : objective -> evaluation -> float
+(** The criterion being minimized. *)
+
+val better : ?eps:float -> objective -> evaluation -> evaluation -> bool
+(** [better obj a b]: is [a] strictly better than [b] on the minimized
+    criterion?  Both are assumed feasible. *)
+
+val dominates : ?eps:float -> evaluation -> evaluation -> bool
+(** Pareto dominance: no worse on both criteria, strictly better on one. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit
+val pp_objective : Format.formatter -> objective -> unit

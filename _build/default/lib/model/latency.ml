@@ -1,0 +1,98 @@
+module K = Relpipe_util.Kahan
+
+let check_pipeline_match pipeline mapping =
+  let n = Pipeline.length pipeline in
+  let last = List.fold_left (fun _ iv -> iv.Mapping.last) 0 (Mapping.intervals mapping) in
+  if last <> n then invalid_arg "Latency: mapping does not cover the pipeline"
+
+let eq1 pipeline platform mapping =
+  check_pipeline_match pipeline mapping;
+  let b =
+    match Classify.common_bandwidth platform with
+    | Some b -> b
+    | None -> invalid_arg "Latency.eq1: links are not homogeneous"
+  in
+  let acc = K.create () in
+  List.iter
+    (fun iv ->
+      let k = float_of_int (List.length iv.Mapping.procs) in
+      let input = Pipeline.delta pipeline (iv.Mapping.first - 1) in
+      let min_speed =
+        List.fold_left
+          (fun acc u -> Float.min acc (Platform.speed platform u))
+          Float.infinity iv.Mapping.procs
+      in
+      let work = Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last in
+      K.add acc (k *. input /. b);
+      K.add acc (work /. min_speed))
+    (Mapping.intervals mapping);
+  K.add acc (Pipeline.delta pipeline (Pipeline.length pipeline) /. b);
+  K.sum acc
+
+let eq2 pipeline platform mapping =
+  check_pipeline_match pipeline mapping;
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let p = Array.length intervals in
+  let acc = K.create () in
+  (* Input: Pin serializes one send per replica of the first interval. *)
+  List.iter
+    (fun u ->
+      K.add acc
+        (Pipeline.delta pipeline 0
+        /. Platform.bandwidth platform Platform.Pin (Platform.Proc u)))
+    intervals.(0).Mapping.procs;
+  for j = 0 to p - 1 do
+    let iv = intervals.(j) in
+    let work = Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last in
+    let out_size = Pipeline.delta pipeline iv.Mapping.last in
+    let next_targets =
+      if j = p - 1 then [ Platform.Pout ]
+      else List.map (fun v -> Platform.Proc v) intervals.(j + 1).Mapping.procs
+    in
+    let term_of u =
+      let compute = work /. Platform.speed platform u in
+      let comm =
+        Relpipe_util.Kahan.sum_map
+          (fun v -> out_size /. Platform.bandwidth platform (Platform.Proc u) v)
+          next_targets
+      in
+      compute +. comm
+    in
+    let worst =
+      List.fold_left
+        (fun acc u -> Float.max acc (term_of u))
+        Float.neg_infinity iv.Mapping.procs
+    in
+    K.add acc worst
+  done;
+  K.sum acc
+
+let of_mapping pipeline platform mapping =
+  if Classify.links_homogeneous platform then eq1 pipeline platform mapping
+  else eq2 pipeline platform mapping
+
+let of_assignment pipeline platform assignment =
+  let n = Pipeline.length pipeline in
+  if Assignment.length assignment <> n then
+    invalid_arg "Latency.of_assignment: assignment does not match the pipeline";
+  let acc = K.create () in
+  let first_proc = Assignment.proc assignment 1 in
+  K.add acc
+    (Pipeline.delta pipeline 0
+    /. Platform.bandwidth platform Platform.Pin (Platform.Proc first_proc));
+  for k = 1 to n do
+    let u = Assignment.proc assignment k in
+    K.add acc (Pipeline.work pipeline k /. Platform.speed platform u);
+    if k < n then begin
+      let v = Assignment.proc assignment (k + 1) in
+      if u <> v then
+        K.add acc
+          (Pipeline.delta pipeline k
+          /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v))
+    end
+  done;
+  let last_proc = Assignment.proc assignment n in
+  K.add acc
+    (Pipeline.delta pipeline n
+    /. Platform.bandwidth platform (Platform.Proc last_proc) Platform.Pout);
+  K.sum acc

@@ -1,0 +1,43 @@
+(** Worst-case latency of a mapping under the one-port model.
+
+    The paper's two latency formulas:
+
+    - Equation (1), for Fully Homogeneous and Communication Homogeneous
+      platforms with common bandwidth [b]:
+      {v
+      T = sum_j ( k_j * delta_{d_j - 1} / b
+                  + (sum_{i in I_j} w_i) / min_{u in alloc(j)} s_u )
+          + delta_n / b
+      v}
+      The input communication of interval [j] is paid [k_j] times because
+      the sends to the replicas are serialized (one-port model) and the
+      worst case is the failure of the first replicas served; computation
+      is bounded by the slowest enrolled processor.  Only one final output
+      is paid.
+
+    - Equation (2), for Fully Heterogeneous platforms:
+      {v
+      T = sum_{u in alloc(1)} delta_0 / b_{in,u}
+          + sum_j max_{u in alloc(j)} ( (sum_{i in I_j} w_i) / s_u
+                                        + sum_{v in alloc(j+1)} delta_{e_j} / b_{u,v} )
+      v}
+      with [alloc(p+1) = {Pout}].
+
+    On Communication Homogeneous platforms the two formulas coincide (the
+    test suite checks this). *)
+
+val eq1 : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** Equation (1).  @raise Invalid_argument if the platform's links are not
+    homogeneous, or if the mapping does not match the pipeline length. *)
+
+val eq2 : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** Equation (2); valid on every platform class. *)
+
+val of_mapping : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** Dispatch: {!eq1} when the links are homogeneous, {!eq2} otherwise. *)
+
+val of_assignment : Pipeline.t -> Platform.t -> Assignment.t -> float
+(** Latency of a general (unreplicated) mapping: the path weight of paper
+    Fig. 6 — input communication, per-stage computation, inter-processor
+    communications only where consecutive stages change processor, and the
+    final output communication. *)

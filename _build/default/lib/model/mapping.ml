@@ -1,0 +1,93 @@
+type interval = { first : int; last : int; procs : int list }
+
+type t = interval list
+
+let validate ~n ~m intervals =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if n <= 0 then err "pipeline length must be positive"
+  else if intervals = [] then err "a mapping needs at least one interval"
+  else begin
+    let rec check_cover expected = function
+      | [] -> if expected = n + 1 then Ok () else err "intervals do not cover the pipeline"
+      | iv :: tl ->
+          if iv.first <> expected then
+            err "interval [%d,%d] does not start at stage %d" iv.first iv.last expected
+          else if iv.last < iv.first || iv.last > n then
+            err "interval [%d,%d] has an invalid end" iv.first iv.last
+          else check_cover (iv.last + 1) tl
+    in
+    let check_procs () =
+      let rec go seen = function
+        | [] -> Ok ()
+        | iv :: tl ->
+            let sorted = List.sort_uniq compare iv.procs in
+            if iv.procs = [] then err "interval [%d,%d] has no processor" iv.first iv.last
+            else if List.length sorted <> List.length iv.procs then
+              err "interval [%d,%d] lists a processor twice" iv.first iv.last
+            else if List.exists (fun u -> u < 0 || u >= m) sorted then
+              err "interval [%d,%d] uses a processor outside 0..%d" iv.first iv.last (m - 1)
+            else if List.exists (fun u -> List.mem u seen) sorted then
+              err "a processor is assigned to two intervals"
+            else go (List.rev_append sorted seen) tl
+      in
+      go [] intervals
+    in
+    match check_cover 1 intervals with
+    | Error _ as e -> e
+    | Ok () -> (
+        match check_procs () with
+        | Error _ as e -> e
+        | Ok () ->
+            Ok
+              (List.map
+                 (fun iv -> { iv with procs = List.sort compare iv.procs })
+                 intervals))
+  end
+
+let make ~n ~m intervals =
+  match validate ~n ~m intervals with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Mapping.make: " ^ msg)
+
+let single_interval ~n ~m procs = make ~n ~m [ { first = 1; last = n; procs } ]
+
+let one_to_one ~n ~m procs =
+  if List.length procs <> n then
+    invalid_arg "Mapping.one_to_one: need exactly one processor per stage";
+  let intervals =
+    List.mapi (fun i u -> { first = i + 1; last = i + 1; procs = [ u ] }) procs
+  in
+  make ~n ~m intervals
+
+let intervals t = t
+let num_intervals t = List.length t
+
+let replication t j =
+  match List.nth_opt t j with
+  | Some iv -> List.length iv.procs
+  | None -> invalid_arg "Mapping.replication: interval index out of range"
+
+let interval_of_stage t k =
+  match List.find_opt (fun iv -> iv.first <= k && k <= iv.last) t with
+  | Some iv -> iv
+  | None -> invalid_arg "Mapping.interval_of_stage: stage out of range"
+
+let used_procs t = List.sort compare (List.concat_map (fun iv -> iv.procs) t)
+
+let equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun x y -> x.first = y.first && x.last = y.last && x.procs = y.procs)
+       a b
+
+let pp ppf t =
+  let pp_iv ppf iv =
+    Format.fprintf ppf "[S%d..S%d]->{%a}" iv.first iv.last
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         (fun ppf u -> Format.fprintf ppf "P%d" u))
+      iv.procs
+  in
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ") pp_iv)
+    t

@@ -1,0 +1,54 @@
+(** Interval mappings with replication (paper Section 2.2).
+
+    A mapping partitions the stage range [1..n] into [p <= m] consecutive
+    intervals I_j = [d_j, e_j] and assigns to each interval a non-empty set
+    [alloc(j)] of processors that all replicate the interval's computation.
+    A processor executes at most one interval, so the [alloc] sets are
+    pairwise disjoint. *)
+
+type interval = {
+  first : int;  (** d_j, 1-indexed, inclusive *)
+  last : int;  (** e_j, 1-indexed, inclusive *)
+  procs : int list;  (** alloc(j): sorted, distinct, non-empty *)
+}
+
+type t
+(** A validated mapping. *)
+
+val make : n:int -> m:int -> interval list -> t
+(** [make ~n ~m intervals] validates that the intervals are in order,
+    contiguous, cover [1..n], have non-empty processor sets with indices in
+    [0..m-1], and use each processor at most once.  Processor lists are
+    sorted and deduplication is rejected (duplicates are an error).
+    @raise Invalid_argument when any condition fails. *)
+
+val validate : n:int -> m:int -> interval list -> (t, string) result
+(** Non-raising version of {!make}. *)
+
+val single_interval : n:int -> m:int -> int list -> t
+(** The whole pipeline as one interval replicated on the given processors. *)
+
+val one_to_one : n:int -> m:int -> int list -> t
+(** [one_to_one ~n ~m procs] maps stage [k] onto the [k]-th processor of
+    [procs] with no replication.  @raise Invalid_argument unless
+    [List.length procs = n] with distinct entries. *)
+
+val intervals : t -> interval list
+(** Intervals in pipeline order. *)
+
+val num_intervals : t -> int
+(** p, the number of intervals. *)
+
+val replication : t -> int -> int
+(** [replication t j] is k_j = |alloc(j)| of the [j]-th interval
+    (0-indexed interval position).  @raise Invalid_argument out of range. *)
+
+val interval_of_stage : t -> int -> interval
+(** The interval containing a given stage (1-indexed).
+    @raise Invalid_argument if the stage is out of range. *)
+
+val used_procs : t -> int list
+(** All processors enrolled by the mapping, sorted. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

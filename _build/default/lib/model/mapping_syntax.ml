@@ -1,0 +1,65 @@
+let strip s = String.trim s
+
+let parse_int name s =
+  match int_of_string_opt (strip s) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "bad %s %S" name s)
+
+let parse_interval chunk =
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' chunk with
+  | [ range; procs ] ->
+      let* first, last =
+        match String.split_on_char '-' range with
+        | [ single ] ->
+            let* k = parse_int "stage" single in
+            Ok (k, k)
+        | [ lo; hi ] ->
+            let* lo = parse_int "stage" lo in
+            let* hi = parse_int "stage" hi in
+            Ok (lo, hi)
+        | _ -> Error (Printf.sprintf "bad stage range %S" range)
+      in
+      let* procs =
+        List.fold_left
+          (fun acc tok ->
+            let* acc = acc in
+            let* u = parse_int "processor" tok in
+            Ok (u :: acc))
+          (Ok [])
+          (List.filter (fun s -> strip s <> "") (String.split_on_char ',' procs))
+      in
+      if procs = [] then Error (Printf.sprintf "interval %S has no processor" chunk)
+      else Ok { Mapping.first; last; procs = List.rev procs }
+  | _ -> Error (Printf.sprintf "bad interval %S (expected range:procs)" chunk)
+
+let parse ~n ~m text =
+  let chunks =
+    List.filter (fun s -> strip s <> "") (String.split_on_char ';' text)
+  in
+  if chunks = [] then Error "empty mapping"
+  else begin
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | chunk :: tl -> (
+          match parse_interval chunk with
+          | Ok iv -> go (iv :: acc) tl
+          | Error _ as e -> e)
+    in
+    match go [] chunks with
+    | Error _ as e -> e
+    | Ok intervals -> Mapping.validate ~n ~m intervals
+  end
+
+let to_string mapping =
+  String.concat "; "
+    (List.map
+       (fun iv ->
+         let range =
+           if iv.Mapping.first = iv.Mapping.last then
+             string_of_int iv.Mapping.first
+           else Printf.sprintf "%d-%d" iv.Mapping.first iv.Mapping.last
+         in
+         Printf.sprintf "%s:%s" range
+           (String.concat "," (List.map string_of_int iv.Mapping.procs)))
+       (Mapping.intervals mapping))

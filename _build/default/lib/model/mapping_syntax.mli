@@ -1,0 +1,17 @@
+(** Compact textual syntax for interval mappings.
+
+    Grammar: intervals separated by [';'], each interval written
+    [first-last:proc,proc,...] (or [stage:procs] for a single-stage
+    interval).  Whitespace around tokens is ignored.  Example — the
+    paper's Fig. 5 split mapping on 11 processors:
+    {v 1:0; 2:1,2,3,4,5,6,7,8,9,10 v}
+
+    Used by the CLI's [eval] subcommand so a user can price an arbitrary
+    mapping without writing OCaml. *)
+
+val parse : n:int -> m:int -> string -> (Mapping.t, string) result
+(** Parse and validate against a pipeline of [n] stages and [m]
+    processors. *)
+
+val to_string : Mapping.t -> string
+(** Canonical rendering; round-trips through {!parse}. *)

@@ -1,0 +1,99 @@
+module K = Relpipe_util.Kahan
+
+let of_mapping pipeline platform mapping =
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let p = Array.length intervals in
+  let n = Pipeline.length pipeline in
+  if intervals.(p - 1).Mapping.last <> n then
+    invalid_arg "Period.of_mapping: mapping does not cover the pipeline";
+  let worst = ref 0.0 in
+  let consider x = if x > !worst then worst := x in
+  (* Pin: one send per replica of the first interval, per data set. *)
+  consider
+    (Relpipe_util.Kahan.sum_map
+       (fun u ->
+         Pipeline.delta pipeline 0
+         /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+       intervals.(0).Mapping.procs);
+  (* Each replica: worst-case incoming sender + compute + forwarding. *)
+  for j = 0 to p - 1 do
+    let iv = intervals.(j) in
+    let work =
+      Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+    in
+    let in_size = Pipeline.delta pipeline (iv.Mapping.first - 1) in
+    let out_size = Pipeline.delta pipeline iv.Mapping.last in
+    let senders =
+      if j = 0 then [ Platform.Pin ]
+      else List.map (fun t -> Platform.Proc t) intervals.(j - 1).Mapping.procs
+    in
+    let targets =
+      if j = p - 1 then [ Platform.Pout ]
+      else List.map (fun v -> Platform.Proc v) intervals.(j + 1).Mapping.procs
+    in
+    List.iter
+      (fun u ->
+        let incoming =
+          List.fold_left
+            (fun acc t ->
+              Float.max acc
+                (in_size /. Platform.bandwidth platform t (Platform.Proc u)))
+            0.0 senders
+        in
+        let compute = work /. Platform.speed platform u in
+        let outgoing =
+          K.sum_map
+            (fun v -> out_size /. Platform.bandwidth platform (Platform.Proc u) v)
+            targets
+        in
+        consider (incoming +. compute +. outgoing))
+      iv.Mapping.procs
+  done;
+  (* Pout: one receive per data set. *)
+  let last = intervals.(p - 1) in
+  consider
+    (List.fold_left
+       (fun acc u ->
+         Float.max acc
+           (Pipeline.delta pipeline n
+           /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout))
+       0.0 last.Mapping.procs);
+  !worst
+
+let comm_homog pipeline platform mapping =
+  let b =
+    match Classify.common_bandwidth platform with
+    | Some b -> b
+    | None -> invalid_arg "Period.comm_homog: links are not homogeneous"
+  in
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let p = Array.length intervals in
+  let n = Pipeline.length pipeline in
+  let worst = ref 0.0 in
+  let consider x = if x > !worst then worst := x in
+  consider
+    (float_of_int (List.length intervals.(0).Mapping.procs)
+    *. Pipeline.delta pipeline 0 /. b);
+  for j = 0 to p - 1 do
+    let iv = intervals.(j) in
+    let work =
+      Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+    in
+    let min_speed =
+      List.fold_left
+        (fun acc u -> Float.min acc (Platform.speed platform u))
+        Float.infinity iv.Mapping.procs
+    in
+    let next_k =
+      if j = p - 1 then 1
+      else List.length intervals.(j + 1).Mapping.procs
+    in
+    consider
+      ((Pipeline.delta pipeline (iv.Mapping.first - 1) /. b)
+      +. (work /. min_speed)
+      +. (float_of_int next_k *. Pipeline.delta pipeline iv.Mapping.last /. b))
+  done;
+  consider (Pipeline.delta pipeline n /. b);
+  !worst
+
+let throughput pipeline platform mapping = 1.0 /. of_mapping pipeline platform mapping

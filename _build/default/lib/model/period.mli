@@ -1,0 +1,47 @@
+(** Steady-state period of a replicated interval mapping (throughput
+    extension).
+
+    The paper's conclusion (Section 5) names the interplay between
+    throughput, latency and reliability as future work; this module
+    implements the natural period model for the paper's execution scheme,
+    following the framework of the authors' companion paper on
+    latency/throughput trade-offs (Benoit & Robert, HeteroPar'07) extended
+    with reliability replication.
+
+    In steady state one data set enters the pipeline every [period] time
+    units.  Under the one-port model each resource bounds the achievable
+    rate by the time it spends per data set:
+
+    - [Pin] serializes one send per replica of the first interval:
+      [sum_{u in alloc(1)} delta_0 / b_in,u];
+    - replica [u] of interval [j], per data set, receives its input
+      (worst-case sender: the previous interval's worst forwarder),
+      computes, and — if it acts as forwarder — serializes one send per
+      replica of the next interval:
+      [max_t delta_{d_j-1}/b_t,u + W_j/s_u + sum_v delta_{e_j}/b_u,v];
+    - [Pout] receives one result per data set.
+
+    The period is the maximum of these per-resource cycle times, keeping
+    the same worst-case survivor conventions as Eq. (1)/(2): in each
+    interval the replica with the largest cycle is assumed to be the one
+    that must carry the steady-state load.
+
+    On Communication Homogeneous platforms the expression collapses to
+    {v
+    max ( k_1 * delta_0 / b,
+          max_j ( delta_{d_j - 1}/b + W_j / min_u s_u + k_{j+1} * delta_{e_j}/b ),
+          delta_n / b )
+    v}
+    with [k_{p+1} = 1]. *)
+
+val of_mapping : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** Worst-case steady-state period of the mapping (valid on every platform
+    class). *)
+
+val comm_homog : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** The collapsed Communication Homogeneous formula.
+    @raise Invalid_argument when links are not homogeneous.  Agrees with
+    {!of_mapping} on such platforms (property-tested). *)
+
+val throughput : Pipeline.t -> Platform.t -> Mapping.t -> float
+(** [1 / of_mapping], data sets per time unit. *)

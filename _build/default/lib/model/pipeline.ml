@@ -1,0 +1,62 @@
+type stage = { work : float; output : float }
+
+type t = {
+  input : float;
+  arr : stage array;
+  work_prefix : float array;  (* work_prefix.(k) = sum of w_1..w_k *)
+}
+
+let valid_cost x = Float.is_finite x && x >= 0.0
+
+let make ~input stages =
+  if stages = [] then invalid_arg "Pipeline.make: a pipeline needs stages";
+  if not (valid_cost input) then
+    invalid_arg "Pipeline.make: input size must be finite and non-negative";
+  List.iter
+    (fun s ->
+      if not (valid_cost s.work && valid_cost s.output) then
+        invalid_arg "Pipeline.make: stage costs must be finite, non-negative")
+    stages;
+  let arr = Array.of_list stages in
+  let n = Array.length arr in
+  let work_prefix = Array.make (n + 1) 0.0 in
+  let acc = Relpipe_util.Kahan.create () in
+  for k = 1 to n do
+    Relpipe_util.Kahan.add acc arr.(k - 1).work;
+    work_prefix.(k) <- Relpipe_util.Kahan.sum acc
+  done;
+  { input; arr; work_prefix }
+
+let of_costs ~input costs =
+  make ~input (List.map (fun (work, output) -> { work; output }) costs)
+
+let length t = Array.length t.arr
+
+let stage t k =
+  if k < 1 || k > length t then invalid_arg "Pipeline.stage: index out of range";
+  t.arr.(k - 1)
+
+let work t k = (stage t k).work
+
+let delta t k =
+  if k < 0 || k > length t then invalid_arg "Pipeline.delta: index out of range";
+  if k = 0 then t.input else t.arr.(k - 1).output
+
+let work_sum t ~first ~last =
+  if first < 1 || last > length t || first > last then
+    invalid_arg "Pipeline.work_sum: invalid interval";
+  t.work_prefix.(last) -. t.work_prefix.(first - 1)
+
+let total_work t = t.work_prefix.(length t)
+
+let stages t = Array.to_list t.arr
+
+let equal a b =
+  a.input = b.input
+  && Array.length a.arr = Array.length b.arr
+  && Array.for_all2 (fun x y -> x.work = y.work && x.output = y.output) a.arr b.arr
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[%g]" t.input;
+  Array.iter (fun s -> Format.fprintf ppf " -(w=%g)-> [%g]" s.work s.output) t.arr;
+  Format.fprintf ppf "@]"

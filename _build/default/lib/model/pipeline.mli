@@ -1,0 +1,50 @@
+(** The application model: a linear pipeline of [n] stages (paper Fig. 1).
+
+    Stage [k] (1-indexed, [1 <= k <= n]) reads an input of size [delta
+    (k-1)], performs [work k] computations and emits an output of size
+    [delta k].  [delta 0] is the size of the initial input held by [Pin];
+    [delta n] is the final result returned to [Pout]. *)
+
+type stage = {
+  work : float;  (** w_k: computation amount of the stage *)
+  output : float;  (** delta_k: size of the data the stage emits *)
+}
+
+type t
+(** An immutable pipeline. *)
+
+val make : input:float -> stage list -> t
+(** [make ~input stages] builds a pipeline whose initial input has size
+    [input] (delta_0).  @raise Invalid_argument when [stages] is empty or
+    any cost is negative, non-finite, or (for data sizes) zero is allowed
+    but negative is not. *)
+
+val of_costs : input:float -> (float * float) list -> t
+(** [of_costs ~input costs] with [costs = \[(w_1, delta_1); ...\]]. *)
+
+val length : t -> int
+(** Number of stages [n]. *)
+
+val stage : t -> int -> stage
+(** [stage p k] for [1 <= k <= n].  @raise Invalid_argument otherwise. *)
+
+val work : t -> int -> float
+(** [work p k] is w_k. *)
+
+val delta : t -> int -> float
+(** [delta p k] for [0 <= k <= n]: size of the data flowing between stage
+    [k] and stage [k+1] (with the conventions above for 0 and n). *)
+
+val work_sum : t -> first:int -> last:int -> float
+(** Total computation of the stage interval [\[first, last\]] (inclusive,
+    1-indexed).  O(1) via prefix sums.
+    @raise Invalid_argument on an invalid interval. *)
+
+val total_work : t -> float
+(** [work_sum] over the whole pipeline. *)
+
+val stages : t -> stage list
+(** The stages in order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type endpoint = Pin | Proc of int | Pout
+
+type t = {
+  speeds : float array;
+  failures : float array;
+  (* Bandwidth matrix over endpoint indices: 0 = Pin, 1..m = processors,
+     m+1 = Pout.  Diagonal entries are unused. *)
+  bw : float array array;
+}
+
+let endpoint_index m = function
+  | Pin -> 0
+  | Proc u ->
+      if u < 0 || u >= m then invalid_arg "Platform: processor index out of range";
+      u + 1
+  | Pout -> m + 1
+
+let endpoint_of_index m i =
+  if i = 0 then Pin else if i = m + 1 then Pout else Proc (i - 1)
+
+let make ~speeds ~failures ~bandwidth =
+  let m = Array.length speeds in
+  if m = 0 then invalid_arg "Platform.make: need at least one processor";
+  if Array.length failures <> m then
+    invalid_arg "Platform.make: speeds/failures length mismatch";
+  Array.iter
+    (fun s ->
+      if not (Float.is_finite s && s > 0.0) then
+        invalid_arg "Platform.make: speeds must be finite and positive")
+    speeds;
+  Array.iter
+    (fun f ->
+      if not (Relpipe_util.Float_cmp.is_probability f) then
+        invalid_arg "Platform.make: failure probabilities must lie in [0,1]")
+    failures;
+  let size = m + 2 in
+  let bw = Array.make_matrix size size 0.0 in
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      if i <> j then begin
+        let b = bandwidth (endpoint_of_index m i) (endpoint_of_index m j) in
+        if not (Float.is_finite b && b > 0.0) then
+          invalid_arg "Platform.make: bandwidths must be finite and positive";
+        bw.(i).(j) <- b
+      end
+    done
+  done;
+  { speeds = Array.copy speeds; failures = Array.copy failures; bw }
+
+let uniform_links ~speeds ~failures ~bandwidth =
+  make ~speeds ~failures ~bandwidth:(fun _ _ -> bandwidth)
+
+let fully_homogeneous ~m ~speed ~failure ~bandwidth =
+  if m <= 0 then invalid_arg "Platform.fully_homogeneous: m must be positive";
+  uniform_links
+    ~speeds:(Array.make m speed)
+    ~failures:(Array.make m failure)
+    ~bandwidth
+
+let size t = Array.length t.speeds
+
+let speed t u =
+  if u < 0 || u >= size t then invalid_arg "Platform.speed: index out of range";
+  t.speeds.(u)
+
+let failure t u =
+  if u < 0 || u >= size t then invalid_arg "Platform.failure: index out of range";
+  t.failures.(u)
+
+let bandwidth t a b =
+  let m = size t in
+  let i = endpoint_index m a and j = endpoint_index m b in
+  if i = j then invalid_arg "Platform.bandwidth: no self link";
+  t.bw.(i).(j)
+
+let speeds t = Array.copy t.speeds
+let failures t = Array.copy t.failures
+
+let procs t = List.init (size t) Fun.id
+
+let endpoint_equal a b =
+  match a, b with
+  | Pin, Pin | Pout, Pout -> true
+  | Proc u, Proc v -> u = v
+  | (Pin | Proc _ | Pout), _ -> false
+
+let pp_endpoint ppf = function
+  | Pin -> Format.pp_print_string ppf "in"
+  | Pout -> Format.pp_print_string ppf "out"
+  | Proc u -> Format.fprintf ppf "P%d" u
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>platform m=%d@," (size t);
+  Array.iteri
+    (fun u s -> Format.fprintf ppf "  P%d: s=%g fp=%g@," u s t.failures.(u))
+    t.speeds;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,67 @@
+(** The target platform model (paper Fig. 2).
+
+    [m] processors fully interconnected as a virtual clique, plus two
+    distinguished endpoints [Pin] (holds the initial data) and [Pout]
+    (receives the results).  Each processor [u] has a speed [s_u] (so
+    executing [X] operations takes [X / s_u] time units) and a failure
+    probability [fp_u] in [\[0, 1\]].  Each link has a bandwidth
+    [b] (sending [X] data units takes [X / b] time units); links are
+    bidirectional and contention follows the one-port model. *)
+
+type endpoint =
+  | Pin  (** source of the initial data *)
+  | Proc of int  (** processor index in [0 .. m-1] *)
+  | Pout  (** sink of the final results *)
+
+type t
+(** An immutable platform description. *)
+
+val make :
+  speeds:float array ->
+  failures:float array ->
+  bandwidth:(endpoint -> endpoint -> float) ->
+  t
+(** [make ~speeds ~failures ~bandwidth] with [speeds] and [failures] of the
+    same length [m > 0].  [bandwidth] is sampled once for every ordered
+    endpoint pair and stored; it must be symmetric or the stored matrix is
+    made symmetric by taking the [u -> v] direction as given (the paper's
+    links are bidirectional, so generators should already be symmetric).
+    @raise Invalid_argument on empty arrays, mismatched lengths,
+    non-positive speeds or bandwidths, or failure probabilities outside
+    [\[0, 1\]]. *)
+
+val uniform_links :
+  speeds:float array -> failures:float array -> bandwidth:float -> t
+(** Platform where every link (including to [Pin]/[Pout]) has the same
+    bandwidth — the paper's Communication Homogeneous shape. *)
+
+val fully_homogeneous :
+  m:int -> speed:float -> failure:float -> bandwidth:float -> t
+(** Identical processors and identical links. *)
+
+val size : t -> int
+(** Number of processors [m] (excluding [Pin]/[Pout]). *)
+
+val speed : t -> int -> float
+(** [speed p u] is s_u for [0 <= u < m]. *)
+
+val failure : t -> int -> float
+(** [failure p u] is fp_u. *)
+
+val bandwidth : t -> endpoint -> endpoint -> float
+(** Bandwidth of the link between two endpoints.
+    @raise Invalid_argument on [bandwidth t e e] (no self links) or on an
+    out-of-range processor index. *)
+
+val speeds : t -> float array
+(** Copy of the speed vector. *)
+
+val failures : t -> float array
+(** Copy of the failure-probability vector. *)
+
+val procs : t -> int list
+(** [\[0; ...; m-1\]]. *)
+
+val endpoint_equal : endpoint -> endpoint -> bool
+val pp_endpoint : Format.formatter -> endpoint -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,173 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens_of_line line =
+  String.split_on_char ' ' (strip_comment line)
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+let parse_endpoint m = function
+  | "in" -> Ok Platform.Pin
+  | "out" -> Ok Platform.Pout
+  | s -> (
+      match int_of_string_opt s with
+      | Some u when u >= 0 && (m < 0 || u < m) -> Ok (Platform.Proc u)
+      | Some _ -> Error (Printf.sprintf "processor index %s out of range" s)
+      | None -> Error (Printf.sprintf "bad endpoint %S" s))
+
+let float_of tok =
+  match float_of_string_opt tok with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "bad number %S" tok)
+
+type builder = {
+  mutable input : float option;
+  mutable stages : Pipeline.stage list;  (* reversed *)
+  mutable procs : (float * float) list;  (* reversed *)
+  mutable default_bw : float option;
+  mutable links : (string * string * float) list;  (* raw endpoints *)
+}
+
+let endpoint_key = function
+  | Platform.Pin -> "in"
+  | Platform.Pout -> "out"
+  | Platform.Proc u -> string_of_int u
+
+let parse text =
+  let b =
+    { input = None; stages = []; procs = []; default_bw = None; links = [] }
+  in
+  let ( let* ) = Result.bind in
+  let parse_line lineno line =
+    match tokens_of_line line with
+    | [] -> Ok ()
+    | [ "input"; x ] ->
+        let* v = float_of x in
+        b.input <- Some v;
+        Ok ()
+    | [ "stage"; w; d ] ->
+        let* work = float_of w in
+        let* output = float_of d in
+        b.stages <- { Pipeline.work; output } :: b.stages;
+        Ok ()
+    | [ "proc"; s; f ] ->
+        let* speed = float_of s in
+        let* fp = float_of f in
+        b.procs <- (speed, fp) :: b.procs;
+        Ok ()
+    | [ "link"; "default"; bw ] ->
+        let* v = float_of bw in
+        b.default_bw <- Some v;
+        Ok ()
+    | [ "link"; a; bb; bw ] ->
+        let* v = float_of bw in
+        (* Endpoint validity is checked later, once m is known. *)
+        b.links <- (a, bb, v) :: b.links;
+        Ok ()
+    | tok :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" lineno tok)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec parse_all lineno = function
+    | [] -> Ok ()
+    | line :: tl -> (
+        match parse_line lineno line with
+        | Ok () -> parse_all (lineno + 1) tl
+        | Error e -> Error e)
+  in
+  let* () = parse_all 1 lines in
+  let* input =
+    match b.input with Some v -> Ok v | None -> Error "missing `input` directive"
+  in
+  let* () = if b.stages = [] then Error "no `stage` directives" else Ok () in
+  let* () = if b.procs = [] then Error "no `proc` directives" else Ok () in
+  let procs = Array.of_list (List.rev b.procs) in
+  let m = Array.length procs in
+  let tbl = Hashtbl.create 16 in
+  let* () =
+    List.fold_left
+      (fun acc (a, bb, v) ->
+        let* () = acc in
+        let* ea = parse_endpoint m a in
+        let* eb = parse_endpoint m bb in
+        Hashtbl.replace tbl (endpoint_key ea, endpoint_key eb) v;
+        Hashtbl.replace tbl (endpoint_key eb, endpoint_key ea) v;
+        Ok ())
+      (Ok ()) b.links
+  in
+  let missing = ref None in
+  let bandwidth a bb =
+    match Hashtbl.find_opt tbl (endpoint_key a, endpoint_key bb) with
+    | Some v -> v
+    | None -> (
+        match b.default_bw with
+        | Some v -> v
+        | None ->
+            if !missing = None then
+              missing :=
+                Some
+                  (Format.asprintf "no bandwidth for link %a-%a (and no default)"
+                     Platform.pp_endpoint a Platform.pp_endpoint bb);
+            1.0)
+  in
+  let* platform =
+    match
+      Platform.make
+        ~speeds:(Array.map fst procs)
+        ~failures:(Array.map snd procs)
+        ~bandwidth
+    with
+    | p -> ( match !missing with None -> Ok p | Some msg -> Error msg)
+    | exception Invalid_argument msg -> Error msg
+  in
+  let* pipeline =
+    match Pipeline.make ~input (List.rev b.stages) with
+    | p -> Ok p
+    | exception Invalid_argument msg -> Error msg
+  in
+  Ok (Instance.make pipeline platform)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_string (instance : Instance.t) =
+  let buf = Buffer.create 256 in
+  let pipeline = instance.Instance.pipeline in
+  let platform = instance.Instance.platform in
+  Buffer.add_string buf (Printf.sprintf "input %.17g\n" (Pipeline.delta pipeline 0));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "stage %.17g %.17g\n" s.Pipeline.work s.Pipeline.output))
+    (Pipeline.stages pipeline);
+  let m = Platform.size platform in
+  for u = 0 to m - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "proc %.17g %.17g\n" (Platform.speed platform u)
+         (Platform.failure platform u))
+  done;
+  let endpoints =
+    (Platform.Pin :: List.map (fun u -> Platform.Proc u) (Platform.procs platform))
+    @ [ Platform.Pout ]
+  in
+  let name = function
+    | Platform.Pin -> "in"
+    | Platform.Pout -> "out"
+    | Platform.Proc u -> string_of_int u
+  in
+  let rec pairs = function
+    | [] -> ()
+    | a :: tl ->
+        List.iter
+          (fun bb ->
+            Buffer.add_string buf
+              (Printf.sprintf "link %s %s %.17g\n" (name a) (name bb)
+                 (Platform.bandwidth platform a bb)))
+          tl;
+        pairs tl
+  in
+  pairs endpoints;
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Line-oriented text format for problem instances.
+
+    Grammar (one directive per line, ['#'] starts a comment):
+    {v
+    input <delta0>
+    stage <work> <output>        # repeated, pipeline order
+    proc <speed> <failure>       # repeated, processors 0,1,...
+    link default <bandwidth>
+    link <a> <b> <bandwidth>     # a, b: "in", "out", or processor index
+    v}
+    [link] directives are symmetric.  A [link default] is required unless
+    every endpoint pair is listed explicitly. *)
+
+val parse : string -> (Instance.t, string) result
+(** Parse an instance from the textual representation. *)
+
+val parse_file : string -> (Instance.t, string) result
+(** Read and {!parse} a file; IO failures are reported as [Error]. *)
+
+val to_string : Instance.t -> string
+(** Canonical rendering; [parse (to_string i)] round-trips the instance up
+    to float formatting. *)

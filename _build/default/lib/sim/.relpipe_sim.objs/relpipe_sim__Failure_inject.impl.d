@@ -1,0 +1,1 @@
+lib/sim/failure_inject.ml: Array List Platform Relpipe_model Relpipe_util

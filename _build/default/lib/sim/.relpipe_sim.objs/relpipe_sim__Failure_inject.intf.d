@@ -1,0 +1,1 @@
+lib/sim/failure_inject.mli: Platform Relpipe_model Relpipe_util

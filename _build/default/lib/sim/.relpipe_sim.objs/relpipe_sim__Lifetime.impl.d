@@ -1,0 +1,1 @@
+lib/sim/lifetime.ml: Array Failure Failure_rate Float Instance Latency List Mapping Period Platform Relpipe_model Relpipe_util

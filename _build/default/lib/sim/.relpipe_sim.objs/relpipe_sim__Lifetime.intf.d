@@ -1,0 +1,1 @@
+lib/sim/lifetime.mli: Instance Mapping Relpipe_model Relpipe_util

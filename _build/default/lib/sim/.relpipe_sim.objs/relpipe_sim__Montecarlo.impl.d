@@ -1,0 +1,1 @@
+lib/sim/montecarlo.ml: Array Failure Failure_inject Float Format Instance Latency Relpipe_model Relpipe_util Trial

@@ -1,0 +1,1 @@
+lib/sim/montecarlo.mli: Format Instance Mapping Relpipe_model Relpipe_util Trial

@@ -1,0 +1,1 @@
+lib/sim/steady.ml: Array Instance Latency List Mapping Period Pipeline Platform Port Relpipe_model Relpipe_util Trace

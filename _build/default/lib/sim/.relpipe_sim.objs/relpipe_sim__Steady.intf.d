@@ -1,0 +1,1 @@
+lib/sim/steady.mli: Instance Mapping Relpipe_model Trace

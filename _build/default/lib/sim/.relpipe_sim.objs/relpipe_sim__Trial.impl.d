@@ -1,0 +1,1 @@
+lib/sim/trial.ml: Array Engine Instance List Mapping Pipeline Platform Port Relpipe_model Relpipe_util

@@ -1,0 +1,1 @@
+lib/sim/trial.mli: Instance Mapping Relpipe_model

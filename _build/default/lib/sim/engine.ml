@@ -1,0 +1,41 @@
+module Pq = Relpipe_util.Pqueue
+
+type t = {
+  queue : (unit -> unit) Pq.t;
+  mutable clock : float;
+  mutable running : bool;
+  mutable processed : int;
+}
+
+let create () = { queue = Pq.create (); clock = 0.0; running = false; processed = 0 }
+
+let now t = t.clock
+
+let schedule t ~at f =
+  if not (Float.is_finite at) then invalid_arg "Engine.schedule: non-finite time";
+  if at < t.clock then invalid_arg "Engine.schedule: cannot schedule in the past";
+  Pq.push t.queue at f
+
+let schedule_after t ~delay f =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule_after: bad delay";
+  schedule t ~at:(t.clock +. delay) f
+
+let run t =
+  if t.running then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      let rec loop () =
+        match Pq.pop t.queue with
+        | None -> ()
+        | Some (at, f) ->
+            t.clock <- at;
+            t.processed <- t.processed + 1;
+            f ();
+            loop ()
+      in
+      loop ())
+
+let events_processed t = t.processed

@@ -1,0 +1,31 @@
+(** A minimal discrete-event simulation engine.
+
+    Events are closures scheduled at absolute simulated times and executed
+    in time order (FIFO among simultaneous events, which keeps runs
+    deterministic).  An executing event may schedule further events at or
+    after the current time. *)
+
+type t
+(** A simulation clock plus its pending-event queue. *)
+
+val create : unit -> t
+(** Fresh engine at time [0.0]. *)
+
+val now : t -> float
+(** Current simulated time (meaningful while running; after {!run} it is
+    the time of the last event). *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] enqueues [f] for execution at time [at].
+    @raise Invalid_argument if [at] is in the past or not finite. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** Relative variant of {!schedule}.  @raise Invalid_argument on a negative
+    or non-finite delay. *)
+
+val run : t -> unit
+(** Execute events until the queue drains.  Re-entrant calls are
+    rejected. *)
+
+val events_processed : t -> int
+(** Number of events executed so far (diagnostics). *)

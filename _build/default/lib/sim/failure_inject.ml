@@ -1,0 +1,18 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+
+let sample rng platform =
+  Array.init (Platform.size platform) (fun u ->
+      not (Rng.bernoulli rng (Platform.failure platform u)))
+
+let all_alive platform = Array.make (Platform.size platform) true
+
+let kill alive procs =
+  let out = Array.copy alive in
+  List.iter
+    (fun u ->
+      if u < 0 || u >= Array.length out then
+        invalid_arg "Failure_inject.kill: processor out of range";
+      out.(u) <- false)
+    procs;
+  out

@@ -1,0 +1,16 @@
+(** Sampling of processor failures.
+
+    The paper models a constant per-processor failure probability over the
+    whole (long-running) workflow execution, so a trial's failure pattern
+    is one independent Bernoulli draw per processor. *)
+
+open Relpipe_model
+
+val sample : Relpipe_util.Rng.t -> Platform.t -> bool array
+(** [sample rng platform] draws an aliveness vector: entry [u] is [false]
+    with probability [Platform.failure platform u]. *)
+
+val all_alive : Platform.t -> bool array
+
+val kill : bool array -> int list -> bool array
+(** Copy of the vector with the listed processors marked dead. *)

@@ -1,0 +1,89 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+
+type result = {
+  completed : int;
+  offered : int;
+  goodput : float;
+  compromised : bool;
+  compromise_time : float option;
+}
+
+let check_inputs instance ~rates ~mission =
+  let m = Platform.size instance.Instance.platform in
+  if Array.length rates <> m then
+    invalid_arg "Lifetime: one rate per processor required";
+  Array.iter
+    (fun r ->
+      if r < 0.0 || not (Float.is_finite r) then
+        invalid_arg "Lifetime: rates must be finite and non-negative")
+    rates;
+  if mission <= 0.0 || not (Float.is_finite mission) then
+    invalid_arg "Lifetime: mission must be positive"
+
+let sample_failure_times rng rates =
+  Array.map
+    (fun rate -> if rate = 0.0 then Float.infinity else Rng.exponential rng rate)
+    rates
+
+let interval_death_time platform mapping failure_times =
+  ignore platform;
+  (* An interval dies when its last replica dies. *)
+  List.fold_left
+    (fun earliest iv ->
+      let death =
+        List.fold_left
+          (fun acc u -> Float.max acc failure_times.(u))
+          0.0 iv.Mapping.procs
+      in
+      Float.min earliest death)
+    Float.infinity (Mapping.intervals mapping)
+
+let run rng instance mapping ~rates ~mission =
+  check_inputs instance ~rates ~mission;
+  let { Instance.pipeline; platform } = instance in
+  let period = Period.of_mapping pipeline platform mapping in
+  let latency = Latency.of_mapping pipeline platform mapping in
+  let failure_times = sample_failure_times rng rates in
+  let death = interval_death_time platform mapping failure_times in
+  let compromised = death <= mission in
+  (* Data set k enters at [k * period] and completes by
+     [latency + k * period] (pipelining bound, validated by Steady). *)
+  let offered = max 1 (int_of_float (Float.floor (mission /. period)) + 1) in
+  let completed_by horizon =
+    let k = Float.floor ((horizon -. latency) /. period) in
+    if k < 0.0 then 0 else min offered (int_of_float k + 1)
+  in
+  (* Data sets in flight when the mission clock runs out still finish (the
+     workflow keeps draining); only a compromise truncates the stream. *)
+  let completed = if compromised then completed_by death else offered in
+  {
+    completed;
+    offered;
+    goodput = float_of_int completed /. float_of_int offered;
+    compromised;
+    compromise_time = (if compromised then Some death else None);
+  }
+
+let survival_estimate rng instance mapping ~rates ~mission ~trials =
+  check_inputs instance ~rates ~mission;
+  if trials <= 0 then invalid_arg "Lifetime.survival_estimate: trials must be positive";
+  let survived = ref 0 in
+  for _ = 1 to trials do
+    let failure_times = sample_failure_times rng rates in
+    let death =
+      interval_death_time instance.Instance.platform mapping failure_times
+    in
+    if death > mission then incr survived
+  done;
+  let empirical = float_of_int !survived /. float_of_int trials in
+  let fps =
+    Array.map (fun rate -> Failure_rate.fp_of_rate ~rate ~mission) rates
+  in
+  let platform' =
+    Platform.make
+      ~speeds:(Platform.speeds instance.Instance.platform)
+      ~failures:fps
+      ~bandwidth:(Platform.bandwidth instance.Instance.platform)
+  in
+  (empirical, Failure.success platform' mapping)

@@ -1,0 +1,50 @@
+(** Goodput under mid-stream failures.
+
+    The paper folds time out of the failure model: [fp_u] is the chance
+    that processor [u] breaks down at {e some} point during the (long)
+    mission, and the workflow is compromised when an interval loses all
+    its replicas.  This module puts time back in, under the standard
+    exponential-lifetime refinement ({!Relpipe_model.Failure_rate}):
+    each processor draws a failure instant, the stream of data sets runs
+    until some interval is dead, and we measure the {e goodput} — the
+    fraction of the stream completed before the compromise.
+
+    Two cross-checks anchor it to the paper's model (property-tested):
+    the probability that the whole stream survives matches
+    [1 - FP] computed from [fp_u = 1 - exp (-rate_u * mission)], and
+    goodput is monotone: scaling all rates up cannot improve it. *)
+
+open Relpipe_model
+
+type result = {
+  completed : int;  (** data sets that finished before the compromise *)
+  offered : int;  (** data sets offered during the mission *)
+  goodput : float;  (** completed / offered *)
+  compromised : bool;  (** some interval lost all replicas *)
+  compromise_time : float option;  (** earliest interval-death instant *)
+}
+
+val run :
+  Relpipe_util.Rng.t ->
+  Instance.t ->
+  Mapping.t ->
+  rates:float array ->
+  mission:float ->
+  result
+(** One mission: failure instants are drawn per processor (exponential
+    with the given rates; rate [0.] never fails), the stream is paced by
+    the mapping's analytic period, and a data set counts as completed when
+    it finishes before every interval it used died.
+    @raise Invalid_argument on bad rates/mission or a mapping mismatch. *)
+
+val survival_estimate :
+  Relpipe_util.Rng.t ->
+  Instance.t ->
+  Mapping.t ->
+  rates:float array ->
+  mission:float ->
+  trials:int ->
+  float * float
+(** [(empirical, analytic)] probability that the mission is not
+    compromised; [analytic] is [Failure.success] on the platform with
+    [fp_u] derived from the rates. *)

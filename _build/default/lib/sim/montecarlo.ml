@@ -1,0 +1,49 @@
+open Relpipe_model
+
+type result = {
+  trials : int;
+  successes : int;
+  success_rate : float;
+  analytic_success : float;
+  latency_stats : Relpipe_util.Stats.summary option;
+  analytic_latency : float;
+  max_latency : float;
+}
+
+let estimate rng instance mapping ~trials ~policy =
+  if trials <= 0 then invalid_arg "Montecarlo.estimate: trials must be positive";
+  let latencies = ref [] in
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    let alive = Failure_inject.sample rng instance.Instance.platform in
+    match Trial.run instance mapping ~alive ~policy with
+    | Trial.Completed t ->
+        incr successes;
+        latencies := t :: !latencies
+    | Trial.Failed _ -> ()
+  done;
+  let latencies = Array.of_list !latencies in
+  {
+    trials;
+    successes = !successes;
+    success_rate = float_of_int !successes /. float_of_int trials;
+    analytic_success = Failure.success instance.Instance.platform mapping;
+    latency_stats =
+      (if Array.length latencies = 0 then None
+       else Some (Relpipe_util.Stats.summarize latencies));
+    analytic_latency =
+      Latency.of_mapping instance.Instance.pipeline instance.Instance.platform
+        mapping;
+    max_latency = Array.fold_left Float.max Float.neg_infinity latencies;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>trials=%d success=%d (rate %.4f, analytic %.4f)@,\
+     worst latency observed=%g analytic=%g@,%a@]"
+    r.trials r.successes r.success_rate r.analytic_success r.max_latency
+    r.analytic_latency
+    (Format.pp_print_option
+       ~none:(fun ppf () -> Format.pp_print_string ppf "no successful trial")
+       Relpipe_util.Stats.pp_summary)
+    r.latency_stats

@@ -1,0 +1,30 @@
+(** Monte-Carlo validation of the analytic model.
+
+    Runs many independent failure draws through {!Trial.run} and compares
+    the empirical success rate with the analytic [1 - FP] and the observed
+    latencies with the analytic worst case of Eq. (1)/(2).  This is the
+    E12 experiment of DESIGN.md. *)
+
+open Relpipe_model
+
+type result = {
+  trials : int;
+  successes : int;
+  success_rate : float;
+  analytic_success : float;  (** 1 - FP from {!Failure.of_mapping} *)
+  latency_stats : Relpipe_util.Stats.summary option;
+      (** over successful trials; [None] if all failed *)
+  analytic_latency : float;  (** worst case from {!Latency.of_mapping} *)
+  max_latency : float;  (** worst observed latency; [neg_infinity] if none *)
+}
+
+val estimate :
+  Relpipe_util.Rng.t ->
+  Instance.t ->
+  Mapping.t ->
+  trials:int ->
+  policy:Trial.policy ->
+  result
+(** @raise Invalid_argument if [trials <= 0]. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,26 @@
+type t = { mutable free : float }
+
+let create () = { free = 0.0 }
+
+let free_at t = t.free
+
+let check ~earliest ~duration =
+  if not (Float.is_finite earliest) || earliest < 0.0 then
+    invalid_arg "Port: bad earliest time";
+  if not (Float.is_finite duration) || duration < 0.0 then
+    invalid_arg "Port: bad duration"
+
+let reserve t ~earliest ~duration =
+  check ~earliest ~duration;
+  let start = Float.max earliest t.free in
+  t.free <- start +. duration;
+  start
+
+let reserve_pair a b ~earliest ~duration =
+  check ~earliest ~duration;
+  let start = Float.max earliest (Float.max a.free b.free) in
+  a.free <- start +. duration;
+  b.free <- start +. duration;
+  start
+
+let reset t = t.free <- 0.0

@@ -1,0 +1,28 @@
+(** One-port communication bookkeeping (paper Section 2.1).
+
+    Under the one-port model a processor takes part in at most one transfer
+    at a time (send or receive), while independent processor pairs may
+    communicate concurrently.  Each endpoint owns a port whose availability
+    advances as transfers are booked. *)
+
+type t
+(** The port of one endpoint. *)
+
+val create : unit -> t
+(** Port free from time [0.0]. *)
+
+val free_at : t -> float
+(** Earliest time the port is available. *)
+
+val reserve : t -> earliest:float -> duration:float -> float
+(** Book the port for [duration] starting no earlier than [earliest];
+    returns the actual start time ([max earliest (free_at t)]).
+    @raise Invalid_argument on negative or non-finite arguments. *)
+
+val reserve_pair : t -> t -> earliest:float -> duration:float -> float
+(** Book a transfer occupying both endpoints for the same window (start =
+    max of [earliest] and both ports' availability).  Returns the start
+    time. *)
+
+val reset : t -> unit
+(** Make the port free from time [0.0] again. *)

@@ -1,0 +1,123 @@
+open Relpipe_model
+
+type result = {
+  datasets : int;
+  first_completion : float;
+  makespan : float;
+  estimated_period : float;
+  analytic_latency : float;
+  analytic_period : float;
+}
+
+(* Compute-plus-forwarding cost of a replica (the Eq. 2 inner term) — used
+   to pick the fixed worst-case forwarder and the send order. *)
+let eq2_term pipeline platform intervals j u =
+  let iv = intervals.(j) in
+  let work =
+    Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+  in
+  let out_size = Pipeline.delta pipeline iv.Mapping.last in
+  let targets =
+    if j = Array.length intervals - 1 then [ Platform.Pout ]
+    else List.map (fun v -> Platform.Proc v) intervals.(j + 1).Mapping.procs
+  in
+  (work /. Platform.speed platform u)
+  +. Relpipe_util.Kahan.sum_map
+       (fun v -> out_size /. Platform.bandwidth platform (Platform.Proc u) v)
+       targets
+
+let run ?trace instance mapping ~datasets =
+  let note e = match trace with Some t -> Trace.record t e | None -> () in
+  if datasets < 1 then invalid_arg "Steady.run: need at least one data set";
+  let { Instance.pipeline; platform } = instance in
+  let m = Platform.size platform in
+  let n = Pipeline.length pipeline in
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let p = Array.length intervals in
+  if intervals.(p - 1).Mapping.last <> n then
+    invalid_arg "Steady.run: mapping does not cover the pipeline";
+  (* Per-endpoint communication ports (0 = Pin, 1..m, m+1 = Pout) and
+     per-processor compute units. *)
+  let comm = Array.init (m + 2) (fun _ -> Port.create ()) in
+  let compute = Array.init m (fun _ -> Port.create ()) in
+  let comm_of = function
+    | Platform.Pin -> comm.(0)
+    | Platform.Proc u -> comm.(u + 1)
+    | Platform.Pout -> comm.(m + 1)
+  in
+  (* Fixed send order (worst replica last) and forwarder (worst replica). *)
+  let order =
+    Array.init p (fun j ->
+        let procs = Array.of_list intervals.(j).Mapping.procs in
+        let keyed =
+          Array.map (fun u -> (eq2_term pipeline platform intervals j u, u)) procs
+        in
+        Array.sort compare keyed;
+        Array.map snd keyed)
+  in
+  let forwarder = Array.map (fun o -> o.(Array.length o - 1)) order in
+  let first_completion = ref 0.0 in
+  let makespan = ref 0.0 in
+  for d = 0 to datasets - 1 do
+    (* data_ready: when the current sender holds data set [d]. *)
+    let data_ready = ref 0.0 in
+    let sender = ref Platform.Pin in
+    for j = 0 to p - 1 do
+      let iv = intervals.(j) in
+      let in_size = Pipeline.delta pipeline (iv.Mapping.first - 1) in
+      let work =
+        Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+      in
+      let fwd_done = ref 0.0 in
+      Array.iter
+        (fun u ->
+          let duration =
+            in_size /. Platform.bandwidth platform !sender (Platform.Proc u)
+          in
+          let start =
+            Port.reserve_pair (comm_of !sender)
+              (comm_of (Platform.Proc u))
+              ~earliest:!data_ready ~duration
+          in
+          let received = start +. duration in
+          note
+            (Trace.Transfer
+               { src = !sender; dst = Platform.Proc u; dataset = d; start;
+                 finish = received });
+          (* The replica's compute unit serializes data sets. *)
+          let cduration = work /. Platform.speed platform u in
+          let cstart = Port.reserve compute.(u) ~earliest:received ~duration:cduration in
+          let finished = cstart +. cduration in
+          note (Trace.Compute { proc = u; dataset = d; start = cstart; finish = finished });
+          if u = forwarder.(j) then fwd_done := finished)
+        order.(j);
+      sender := Platform.Proc forwarder.(j);
+      data_ready := !fwd_done
+    done;
+    (* Final output to Pout. *)
+    let out_size = Pipeline.delta pipeline n in
+    let duration =
+      out_size /. Platform.bandwidth platform !sender Platform.Pout
+    in
+    let start =
+      Port.reserve_pair (comm_of !sender) (comm_of Platform.Pout)
+        ~earliest:!data_ready ~duration
+    in
+    let completion = start +. duration in
+    note
+      (Trace.Transfer
+         { src = !sender; dst = Platform.Pout; dataset = d; start;
+           finish = completion });
+    if d = 0 then first_completion := completion;
+    makespan := completion
+  done;
+  {
+    datasets;
+    first_completion = !first_completion;
+    makespan = !makespan;
+    estimated_period =
+      (if datasets = 1 then 0.0
+       else (!makespan -. !first_completion) /. float_of_int (datasets - 1));
+    analytic_latency = Latency.of_mapping pipeline platform mapping;
+    analytic_period = Period.of_mapping pipeline platform mapping;
+  }

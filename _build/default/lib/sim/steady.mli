@@ -1,0 +1,33 @@
+(** Steady-state (multi-data-set) simulation.
+
+    The paper's workflows run "during a very long time": data sets stream
+    through the mapped pipeline continuously.  This runner pushes [K] data
+    sets through the platform under the same worst-case conventions as
+    {!Trial} (fixed worst forwarder per interval, worst replica served
+    last, every replica charged), with every communication port and every
+    processor's compute unit serialized FIFO.
+
+    It validates the throughput extension ({!Relpipe_model.Period}):
+    the observed inter-completion gap converges to at most the analytic
+    period, and the makespan obeys the classic pipelining bound
+    [makespan <= latency + (K - 1) * period]. *)
+
+open Relpipe_model
+
+type result = {
+  datasets : int;
+  first_completion : float;  (** completion time of the first data set *)
+  makespan : float;  (** completion time of the last data set *)
+  estimated_period : float;
+      (** [(makespan - first_completion) / (K - 1)]; [0.0] when [K = 1] *)
+  analytic_latency : float;  (** Eq. (1)/(2) worst case *)
+  analytic_period : float;  (** {!Relpipe_model.Period.of_mapping} *)
+}
+
+val run : ?trace:Trace.t -> Instance.t -> Mapping.t -> datasets:int -> result
+(** All processors alive (throughput is a steady-state metric; failure
+    injection is {!Montecarlo}'s job).  When [trace] is supplied, every
+    transfer and computation is recorded so {!Trace} can check the
+    execution against the one-port/causality invariants.
+    @raise Invalid_argument when [datasets < 1] or the mapping does not
+    fit the instance. *)

@@ -1,0 +1,112 @@
+open Relpipe_model
+
+type event =
+  | Transfer of {
+      src : Platform.endpoint;
+      dst : Platform.endpoint;
+      dataset : int;
+      start : float;
+      finish : float;
+    }
+  | Compute of { proc : int; dataset : int; start : float; finish : float }
+
+type t = { mutable events : event list; mutable count : int }
+
+let create () = { events = []; count = 0 }
+
+let record t e =
+  t.events <- e :: t.events;
+  t.count <- t.count + 1
+
+let events t = List.rev t.events
+let length t = t.count
+
+type violation = { kind : string; first : event; second : event }
+
+(* Half-open windows [start, finish): back-to-back bookings are legal. *)
+let overlap (s1, f1) (s2, f2) = s1 < f2 && s2 < f1
+
+let transfer_endpoints = function
+  | Transfer { src; dst; _ } -> [ src; dst ]
+  | Compute _ -> []
+
+let window = function
+  | Transfer { start; finish; _ } | Compute { start; finish; _ } -> (start, finish)
+
+let pairwise_violations ~kind ~shares events =
+  (* Quadratic scan: traces in tests stay small (thousands of events). *)
+  let arr = Array.of_list events in
+  let out = ref [] in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      if shares arr.(i) arr.(j) && overlap (window arr.(i)) (window arr.(j)) then
+        out := { kind; first = arr.(i); second = arr.(j) } :: !out
+    done
+  done;
+  List.rev !out
+
+let one_port_violations t =
+  let transfers =
+    List.filter (function Transfer _ -> true | Compute _ -> false) (events t)
+  in
+  pairwise_violations ~kind:"one-port"
+    ~shares:(fun a b ->
+      List.exists
+        (fun ea -> List.exists (Platform.endpoint_equal ea) (transfer_endpoints b))
+        (transfer_endpoints a))
+    transfers
+
+let compute_violations t =
+  let computes =
+    List.filter (function Compute _ -> true | Transfer _ -> false) (events t)
+  in
+  pairwise_violations ~kind:"sequential-compute"
+    ~shares:(fun a b ->
+      match a, b with
+      | Compute { proc = p1; _ }, Compute { proc = p2; _ } -> p1 = p2
+      | _ -> false)
+    computes
+
+let causality_violations t =
+  let evs = events t in
+  let eps = 1e-9 in
+  let out = ref [] in
+  List.iter
+    (fun e ->
+      match e with
+      | Compute { proc; dataset; start; _ } ->
+          (* The replica must have finished receiving the data set. *)
+          List.iter
+            (fun e' ->
+              match e' with
+              | Transfer { dst = Platform.Proc p; dataset = d; finish; _ }
+                when p = proc && d = dataset && start +. eps < finish ->
+                  out := { kind = "compute-before-receive"; first = e'; second = e } :: !out
+              | Transfer _ | Compute _ -> ())
+            evs
+      | Transfer { src = Platform.Proc p; dataset; start; _ } ->
+          (* A processor forwards a data set only after computing it. *)
+          List.iter
+            (fun e' ->
+              match e' with
+              | Compute { proc; dataset = d; finish; _ }
+                when proc = p && d = dataset && start +. eps < finish ->
+                  out := { kind = "send-before-compute"; first = e'; second = e } :: !out
+              | Compute _ | Transfer _ -> ())
+            evs
+      | Transfer _ -> ())
+    evs;
+  List.rev !out
+
+let all_violations t =
+  one_port_violations t @ compute_violations t @ causality_violations t
+
+let pp_event ppf = function
+  | Transfer { src; dst; dataset; start; finish } ->
+      Format.fprintf ppf "transfer %a->%a d%d [%g, %g)" Platform.pp_endpoint src
+        Platform.pp_endpoint dst dataset start finish
+  | Compute { proc; dataset; start; finish } ->
+      Format.fprintf ppf "compute P%d d%d [%g, %g)" proc dataset start finish
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: %a / %a" v.kind pp_event v.first pp_event v.second

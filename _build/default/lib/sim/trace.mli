@@ -1,0 +1,58 @@
+(** Simulation event traces and model-invariant checking.
+
+    The steady-state runner can record every transfer and computation it
+    schedules.  The trace is then machine-checkable against the execution
+    model's invariants:
+
+    - {e one-port}: an endpoint takes part in at most one transfer at a
+      time (paper Section 2.1);
+    - {e sequential processors}: a processor computes at most one data set
+      at a time;
+    - {e causality}: a data set's computation on a replica starts only
+      after the replica received it, and transfers of a data set out of an
+      interval start only after its forwarder computed it.
+
+    The test suite runs random mappings through the runner and asserts the
+    violation lists are empty — an end-to-end check that the port
+    bookkeeping really implements the paper's model. *)
+
+open Relpipe_model
+
+type event =
+  | Transfer of {
+      src : Platform.endpoint;
+      dst : Platform.endpoint;
+      dataset : int;
+      start : float;
+      finish : float;
+    }
+  | Compute of { proc : int; dataset : int; start : float; finish : float }
+
+type t
+(** A mutable event collector. *)
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+(** In recording order. *)
+
+val length : t -> int
+
+type violation = { kind : string; first : event; second : event }
+(** Two events that jointly break an invariant. *)
+
+val one_port_violations : t -> violation list
+(** Pairs of transfers overlapping in time while sharing an endpoint. *)
+
+val compute_violations : t -> violation list
+(** Pairs of computations overlapping in time on the same processor. *)
+
+val causality_violations : t -> violation list
+(** For each (processor, data set): a computation starting before the
+    processor finished receiving that data set, or an outgoing transfer of
+    the data set leaving a processor before that processor computed it. *)
+
+val all_violations : t -> violation list
+
+val pp_event : Format.formatter -> event -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,184 @@
+open Relpipe_model
+
+type policy = Optimistic | Pessimistic
+
+type outcome = Completed of float | Failed of int
+
+(* Per-interval mutable simulation state. *)
+type interval_state = {
+  iv : Mapping.interval;
+  order : int array;  (* replicas in send order (worst served last) *)
+  alive_total : int;
+  mutable alive_finished : int;
+  mutable forwarder : int option;
+}
+
+let eq2_term instance intervals j u =
+  (* Compute-plus-forwarding cost of replica u of interval j: the inner
+     term of Eq. (2). *)
+  let { Instance.pipeline; platform } = instance in
+  let iv = intervals.(j) in
+  let work =
+    Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+  in
+  let out_size = Pipeline.delta pipeline iv.Mapping.last in
+  let targets =
+    if j = Array.length intervals - 1 then [ Platform.Pout ]
+    else
+      List.map (fun v -> Platform.Proc v) intervals.(j + 1).Mapping.procs
+  in
+  (work /. Platform.speed platform u)
+  +. Relpipe_util.Kahan.sum_map
+       (fun v -> out_size /. Platform.bandwidth platform (Platform.Proc u) v)
+       targets
+
+let send_order instance intervals j =
+  (* Serve the replica with the largest compute-plus-forwarding term last,
+     matching the adversarial ordering behind Eq. (1)/(2). *)
+  let procs = Array.of_list intervals.(j).Mapping.procs in
+  let keyed = Array.map (fun u -> (eq2_term instance intervals j u, u)) procs in
+  Array.sort compare keyed;
+  Array.map snd keyed
+
+let run instance mapping ~alive ~policy =
+  let { Instance.pipeline; platform } = instance in
+  let m = Platform.size platform in
+  let n = Pipeline.length pipeline in
+  if Array.length alive <> m then invalid_arg "Trial.run: alive vector size mismatch";
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let p = Array.length intervals in
+  if intervals.(p - 1).Mapping.last <> n then
+    invalid_arg "Trial.run: mapping does not cover the pipeline";
+  (* An interval with no survivor fails the whole data set. *)
+  let failed_interval = ref None in
+  Array.iteri
+    (fun j st ->
+      if !failed_interval = None
+         && not (List.exists (fun u -> alive.(u)) st.Mapping.procs)
+      then failed_interval := Some j)
+    intervals;
+  match !failed_interval with
+  | Some j -> Failed j
+  | None ->
+      let engine = Engine.create () in
+      (* Port 0 = Pin, 1..m = processors, m+1 = Pout. *)
+      let ports = Array.init (m + 2) (fun _ -> Port.create ()) in
+      let port_of = function
+        | Platform.Pin -> ports.(0)
+        | Platform.Proc u -> ports.(u + 1)
+        | Platform.Pout -> ports.(m + 1)
+      in
+      let states =
+        Array.init p (fun j ->
+            let iv = intervals.(j) in
+            {
+              iv;
+              order = send_order instance intervals j;
+              alive_total =
+                List.length (List.filter (fun u -> alive.(u)) iv.Mapping.procs);
+              alive_finished = 0;
+              forwarder = None;
+            })
+      in
+      let completion = ref None in
+      let rec forward_from j u =
+        (* Replica u of interval j becomes the forwarder: serialize sends of
+           the interval's output to the next interval (or Pout). *)
+        let out_size = Pipeline.delta pipeline intervals.(j).Mapping.last in
+        let src = Platform.Proc u in
+        if j = p - 1 then begin
+          let duration =
+            out_size /. Platform.bandwidth platform src Platform.Pout
+          in
+          let start =
+            Port.reserve_pair (port_of src) (port_of Platform.Pout)
+              ~earliest:(Engine.now engine) ~duration
+          in
+          Engine.schedule engine ~at:(start +. duration) (fun () ->
+              completion := Some (Engine.now engine))
+        end
+        else
+          Array.iter
+            (fun v ->
+              let dst = Platform.Proc v in
+              let duration = out_size /. Platform.bandwidth platform src dst in
+              let start =
+                Port.reserve_pair (port_of src) (port_of dst)
+                  ~earliest:(Engine.now engine) ~duration
+              in
+              Engine.schedule engine ~at:(start +. duration) (fun () ->
+                  replica_received (j + 1) v))
+            states.(j + 1).order
+      and replica_received j v =
+        if alive.(v) then begin
+          let iv = intervals.(j) in
+          let work =
+            Pipeline.work_sum pipeline ~first:iv.Mapping.first ~last:iv.Mapping.last
+          in
+          let delay = work /. Platform.speed platform v in
+          Engine.schedule_after engine ~delay (fun () -> replica_computed j v)
+        end
+      and replica_computed j v =
+        let st = states.(j) in
+        match policy with
+        | Optimistic ->
+            if st.forwarder = None then begin
+              st.forwarder <- Some v;
+              forward_from j v
+            end
+        | Pessimistic ->
+            st.alive_finished <- st.alive_finished + 1;
+            if st.alive_finished = st.alive_total then begin
+              st.forwarder <- Some v;
+              forward_from j v
+            end
+      in
+      (* Kick off: Pin serializes the input to the first interval. *)
+      let input_size = Pipeline.delta pipeline 0 in
+      Array.iter
+        (fun v ->
+          let dst = Platform.Proc v in
+          let duration =
+            input_size /. Platform.bandwidth platform Platform.Pin dst
+          in
+          let start =
+            Port.reserve_pair (port_of Platform.Pin) (port_of dst) ~earliest:0.0
+              ~duration
+          in
+          Engine.schedule engine ~at:(start +. duration) (fun () ->
+              replica_received 0 v))
+        states.(0).order;
+      Engine.run engine;
+      (match !completion with
+      | Some t -> Completed t
+      | None ->
+          (* Unreachable: every interval had a survivor, so the forwarding
+             chain always reaches Pout. *)
+          assert false)
+
+let worst_case_alive instance mapping =
+  let { Instance.platform; _ } = instance in
+  let intervals = Array.of_list (Mapping.intervals mapping) in
+  let alive = Array.make (Platform.size platform) false in
+  Array.iteri
+    (fun j iv ->
+      let worst =
+        List.fold_left
+          (fun best u ->
+            match best with
+            | None -> Some u
+            | Some b ->
+                if eq2_term instance intervals j u >= eq2_term instance intervals j b
+                then Some u
+                else best)
+          None iv.Mapping.procs
+      in
+      match worst with Some u -> alive.(u) <- true | None -> assert false)
+    intervals;
+  alive
+
+let worst_case_latency instance mapping =
+  let alive = worst_case_alive instance mapping in
+  match run instance mapping ~alive ~policy:Pessimistic with
+  | Completed t -> t
+  | Failed _ -> assert false

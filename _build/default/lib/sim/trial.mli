@@ -1,0 +1,47 @@
+(** Simulate one data set traversing a mapped pipeline.
+
+    The simulation follows the paper's execution model: the input is sent
+    from [Pin] to every replica of the first interval (serialized by
+    [Pin]'s port), replicas compute, a surviving replica is elected to
+    forward the interval's output to every replica of the next interval
+    (serialized by the forwarder's port — the "standard consensus
+    protocol" the paper invokes), and the last interval's forwarder returns
+    the result to [Pout].
+
+    Failures are injected per trial as an [alive] vector: a dead processor
+    still receives data (senders cannot know it failed, so communications
+    are still paid — exactly the assumption behind Eq. 1/2) but never
+    computes or forwards.
+
+    Forwarder election policies:
+    - [Optimistic]: the first surviving replica to finish computing
+      forwards immediately — what a real deployment would do;
+    - [Pessimistic]: the last surviving replica to finish forwards — the
+      adversarial scenario behind the paper's worst-case latency formulas.
+
+    With every replica alive, the [Pessimistic] makespan is bounded above
+    by Eq. (1)/(2), with equality when each interval keeps only its
+    worst replica alive (see {!worst_case_latency}). *)
+
+open Relpipe_model
+
+type policy = Optimistic | Pessimistic
+
+type outcome =
+  | Completed of float  (** end-to-end latency of the data set *)
+  | Failed of int  (** 0-based index of the first interval with no survivor *)
+
+val run : Instance.t -> Mapping.t -> alive:bool array -> policy:policy -> outcome
+(** [run instance mapping ~alive ~policy] simulates one data set.  [alive]
+    has one entry per platform processor.
+    @raise Invalid_argument if [alive] has the wrong length or the mapping
+    does not fit the instance. *)
+
+val worst_case_alive : Instance.t -> Mapping.t -> bool array
+(** The adversarial survivor pattern realizing the paper's worst case:
+    in each interval only the replica maximizing compute-plus-forwarding
+    survives. *)
+
+val worst_case_latency : Instance.t -> Mapping.t -> float
+(** Simulated latency under {!worst_case_alive} and [Pessimistic] — equal
+    (up to float tolerance) to {!Relpipe_model.Latency.of_mapping}. *)

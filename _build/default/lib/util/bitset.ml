@@ -1,0 +1,86 @@
+type t = int
+
+let max_width = Sys.int_size - 1
+
+let check i =
+  if i < 0 || i >= max_width then invalid_arg "Bitset: element out of range"
+
+let empty = 0
+let is_empty t = t = 0
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let full n =
+  if n < 0 || n > max_width then invalid_arg "Bitset.full: width out of range";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let add i t =
+  check i;
+  t lor (1 lsl i)
+
+let remove i t =
+  check i;
+  t land lnot (1 lsl i)
+
+let mem i t = i >= 0 && i < max_width && t land (1 lsl i) <> 0
+
+let cardinal t =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 t
+
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let disjoint a b = a land b = 0
+let subset a b = a land b = a
+
+let iter f t =
+  let rec go x =
+    if x <> 0 then begin
+      let low = x land -x in
+      (* Position of the lowest set bit. *)
+      let rec pos bit acc = if bit = 1 then acc else pos (bit lsr 1) (acc + 1) in
+      f (pos low 0);
+      go (x land (x - 1))
+    end
+  in
+  go t
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list = List.fold_left (fun acc i -> add i acc) empty
+
+let choose t =
+  if t = 0 then None
+  else begin
+    let low = t land -t in
+    let rec pos bit acc = if bit = 1 then acc else pos (bit lsr 1) (acc + 1) in
+    Some (pos low 0)
+  end
+
+let subsets t =
+  (* The classic [(s - 1) land t] walk visits every submask exactly once,
+     in decreasing order; collect and reverse for increasing mask order. *)
+  let rec collect s acc =
+    if s = 0 then 0 :: acc else collect ((s - 1) land t) (s :: acc)
+  in
+  List.to_seq (collect t [])
+
+let nonempty_subsets t = Seq.filter (fun s -> s <> 0) (subsets t)
+
+let equal = Int.equal
+let compare = Int.compare
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements t)

@@ -1,0 +1,58 @@
+(** Small integer sets packed in one native [int] (up to 62 elements).
+
+    Processor subsets in the exact solvers are represented this way: the
+    paper's exhaustive cases only ever enumerate subsets of at most a few
+    dozen processors, and packed sets make subset enumeration and
+    disjointness tests O(1). *)
+
+type t = private int
+(** A set of integers in [\[0, max_width)]. *)
+
+val max_width : int
+(** Largest representable element count (62 on 64-bit platforms). *)
+
+val empty : t
+val is_empty : t -> bool
+
+val singleton : int -> t
+(** @raise Invalid_argument if the element is out of range. *)
+
+val full : int -> t
+(** [full n] is [{0, ..., n-1}].  @raise Invalid_argument if out of range. *)
+
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val cardinal : t -> int
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val disjoint : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] holds when every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending order. *)
+
+val elements : t -> int list
+(** Ascending order. *)
+
+val of_list : int list -> t
+
+val choose : t -> int option
+(** Smallest element, if any. *)
+
+val subsets : t -> t Seq.t
+(** All subsets of the given set, including the empty set, in increasing
+    mask order. *)
+
+val nonempty_subsets : t -> t Seq.t
+(** All non-empty subsets. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let rec go acc i =
+      if i > k then acc else go (acc * (n - k + i) / i) (i + 1)
+    in
+    go 1 1
+  end
+
+let compositions n =
+  if n <= 0 then invalid_arg "Combin.compositions: n must be positive";
+  (* An interval partition of [1..n] is determined by the subset of cut
+     positions {1, .., n-1}; walk the 2^(n-1) subsets lazily. *)
+  let rec from_cuts mask =
+    let rec build first i acc =
+      if i > n then List.rev acc
+      else if i = n || mask land (1 lsl (i - 1)) <> 0 then
+        build (i + 1) (i + 1) ((first, i) :: acc)
+      else build first (i + 1) acc
+    in
+    build 1 1 []
+  and seq mask () =
+    if mask >= 1 lsl (n - 1) then Seq.Nil
+    else Seq.Cons (from_cuts mask, seq (mask + 1))
+  in
+  seq 0
+
+let compositions_up_to n p =
+  Seq.filter (fun intervals -> List.length intervals <= p) (compositions n)
+
+let subsets_of_size n k =
+  let rec go start k =
+    if k = 0 then Seq.return []
+    else if start >= n then Seq.empty
+    else begin
+      let with_start =
+        Seq.map (fun rest -> start :: rest) (go (start + 1) (k - 1))
+      in
+      let without_start = go (start + 1) k in
+      Seq.append with_start (fun () -> without_start ())
+    end
+  in
+  go 0 k
+
+let rec permutations = function
+  | [] -> Seq.return []
+  | xs ->
+      let insertless x rest = Seq.map (fun p -> x :: p) (permutations rest) in
+      let rec pick_each before after () =
+        match after with
+        | [] -> Seq.Nil
+        | x :: tl ->
+            let tail = pick_each (x :: before) tl in
+            Seq.append (insertless x (List.rev_append before tl)) tail ()
+      in
+      pick_each [] xs
+
+let disjoint_assignments pool p =
+  let rec go remaining p =
+    if p = 0 then Seq.return []
+    else
+      Seq.concat_map
+        (fun subset ->
+          Seq.map
+            (fun rest -> subset :: rest)
+            (go (Bitset.diff remaining subset) (p - 1)))
+        (Bitset.nonempty_subsets remaining)
+  in
+  go pool p
+
+let injections k candidates =
+  let rec go k available =
+    if k = 0 then Seq.return []
+    else
+      Seq.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) available in
+          Seq.map (fun tail -> x :: tail) (go (k - 1) rest))
+        (List.to_seq available)
+  in
+  go k candidates

@@ -1,0 +1,38 @@
+(** Combinatorial enumeration used by the exact solvers.
+
+    The paper's exhaustive cross-checks enumerate (i) partitions of the
+    stage range [1..n] into consecutive intervals and (ii) assignments of
+    pairwise-disjoint non-empty processor subsets to those intervals.  These
+    enumerations are exponential by nature; they are only ever invoked on
+    the small instances used to validate the polynomial algorithms and the
+    NP-hardness reductions. *)
+
+val binomial : int -> int -> int
+(** [binomial n k]; [0] when [k < 0] or [k > n]. *)
+
+val compositions : int -> (int * int) list Seq.t
+(** [compositions n] enumerates all partitions of [1..n] into non-empty
+    consecutive intervals, each given as an ordered list of
+    [(first, last)] stage-index pairs (1-based, inclusive).  There are
+    [2^(n-1)] of them.  @raise Invalid_argument if [n <= 0]. *)
+
+val compositions_up_to : int -> int -> (int * int) list Seq.t
+(** [compositions_up_to n p] restricts {!compositions} to partitions with at
+    most [p] intervals. *)
+
+val subsets_of_size : int -> int -> int list Seq.t
+(** [subsets_of_size n k] enumerates all [k]-element subsets of [0..n-1] in
+    lexicographic order, each as a sorted list. *)
+
+val permutations : 'a list -> 'a list Seq.t
+(** All permutations of a list.  Intended for lists of length <= ~8. *)
+
+val disjoint_assignments : Bitset.t -> int -> Bitset.t list Seq.t
+(** [disjoint_assignments pool p] enumerates all ways to assign a non-empty
+    subset of [pool] to each of [p] slots such that the subsets are pairwise
+    disjoint.  Used to enumerate replication sets per interval. *)
+
+val injections : int -> int list -> int list Seq.t
+(** [injections k candidates] enumerates ordered selections of [k] distinct
+    elements of [candidates] (i.e. injective maps [0..k-1] -> candidates),
+    as lists of length [k]. *)

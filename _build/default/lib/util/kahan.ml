@@ -1,0 +1,30 @@
+type t = { mutable total : float; mutable compensation : float }
+
+let create () = { total = 0.0; compensation = 0.0 }
+
+(* Neumaier's variant: also correct when the new term dominates the total. *)
+let add t x =
+  let sum = t.total +. x in
+  let correction =
+    if Float.abs t.total >= Float.abs x then t.total -. sum +. x
+    else x -. sum +. t.total
+  in
+  t.compensation <- t.compensation +. correction;
+  t.total <- sum
+
+let sum t = t.total +. t.compensation
+
+let sum_array a =
+  let acc = create () in
+  Array.iter (add acc) a;
+  sum acc
+
+let sum_seq s =
+  let acc = create () in
+  Seq.iter (add acc) s;
+  sum acc
+
+let sum_map f xs =
+  let acc = create () in
+  List.iter (fun x -> add acc (f x)) xs;
+  sum acc

@@ -1,0 +1,26 @@
+(** Compensated (Kahan–Babuška) floating-point summation.
+
+    Latency formulas accumulate many small communication terms; compensated
+    summation keeps the accumulated error independent of the number of
+    terms. *)
+
+type t
+(** Mutable accumulator. *)
+
+val create : unit -> t
+(** Fresh accumulator holding [0.0]. *)
+
+val add : t -> float -> unit
+(** Accumulate one term. *)
+
+val sum : t -> float
+(** Current compensated total. *)
+
+val sum_array : float array -> float
+(** Compensated sum of an array. *)
+
+val sum_seq : float Seq.t -> float
+(** Compensated sum of a sequence. *)
+
+val sum_map : ('a -> float) -> 'a list -> float
+(** [sum_map f xs] is the compensated sum of [f x] over [xs]. *)

@@ -1,0 +1,88 @@
+type 'a entry = { prio : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let entry_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    (* The placeholder below is never observed: slots >= size are dead. *)
+    let fresh = Array.make ncap t.heap.(0) in
+    Array.blit t.heap 0 fresh 0 t.size;
+    t.heap <- fresh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && entry_lt t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t prio payload =
+  let e = { prio; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 e
+  else grow t;
+  t.heap.(t.size) <- e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    Some (e.prio, e.payload)
+  end
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let e = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (e.prio, e.payload)
+  end
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let to_sorted_list t =
+  let copy =
+    { heap = Array.sub t.heap 0 (max t.size (min 1 t.size)); size = t.size; next_seq = t.next_seq }
+  in
+  let rec drain acc =
+    match pop copy with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  drain []

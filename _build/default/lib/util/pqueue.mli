@@ -1,0 +1,31 @@
+(** Binary-heap priority queue with float priorities.
+
+    Substrate for Dijkstra ({!Relpipe_graph}) and the discrete-event engine
+    ({!Relpipe_sim}), where priorities are path lengths or simulated
+    timestamps.  Smallest priority pops first; ties break by insertion
+    order (FIFO), which the event engine relies on for determinism. *)
+
+type 'a t
+(** Mutable queue of ['a] payloads. *)
+
+val create : unit -> 'a t
+(** Empty queue. *)
+
+val length : 'a t -> int
+(** Number of queued elements. *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] enqueues [x] with priority [prio]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element, FIFO among ties. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Minimum-priority element without removing it. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Drain a copy of the queue in pop order (the queue is unchanged). *)

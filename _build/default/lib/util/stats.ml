@@ -1,0 +1,82 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then Float.nan else Kahan.sum_array xs /. float_of_int n
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Kahan.create () in
+    Array.iter (fun x -> Kahan.add acc ((x -. m) *. (x -. m))) xs;
+    Kahan.sum acc /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = pos -. float_of_int lo in
+    ((1.0 -. frac) *. sorted.(lo)) +. (frac *. sorted.(hi))
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let mn = Array.fold_left Float.min xs.(0) xs in
+  let mx = Array.fold_left Float.max xs.(0) xs in
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = mn;
+    max = mx;
+    median = quantile xs 0.5;
+    p90 = quantile xs 0.9;
+    p99 = quantile xs 0.99;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.6g sd=%.3g min=%.6g med=%.6g p90=%.6g p99=%.6g max=%.6g"
+    s.count s.mean s.stddev s.min s.median s.p90 s.p99 s.max
+
+let proportion bs =
+  let n = Array.length bs in
+  if n = 0 then Float.nan
+  else begin
+    let k = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bs in
+    float_of_int k /. float_of_int n
+  end
+
+let wilson_interval ~successes ~trials ~z =
+  if trials <= 0 then invalid_arg "Stats.wilson_interval: trials <= 0";
+  if successes < 0 || successes > trials then
+    invalid_arg "Stats.wilson_interval: successes out of range";
+  let n = float_of_int trials in
+  let p = float_of_int successes /. n in
+  let z2 = z *. z in
+  let denom = 1.0 +. (z2 /. n) in
+  let centre = p +. (z2 /. (2.0 *. n)) in
+  let spread = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+  ((centre -. spread) /. denom, (centre +. spread) /. denom)

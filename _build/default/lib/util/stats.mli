@@ -1,0 +1,45 @@
+(** Descriptive statistics over float samples.
+
+    Used by the Monte-Carlo simulator and the heuristic-gap experiments. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+  p99 : float;
+}
+(** One-shot summary of a sample. *)
+
+val mean : float array -> float
+(** Compensated mean; [nan] on an empty array. *)
+
+val variance : float array -> float
+(** Unbiased sample variance; [0.0] for fewer than two samples. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [q] in [\[0,1\]], linear interpolation between order
+    statistics.  Does not mutate the input.  @raise Invalid_argument on an
+    empty array or [q] outside [\[0,1\]]. *)
+
+val summarize : float array -> summary
+(** Full summary.  @raise Invalid_argument on an empty array. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+(** Human-readable one-line rendering. *)
+
+(** {2 Counters and proportions} *)
+
+val proportion : bool array -> float
+(** Fraction of [true]; [nan] on empty input. *)
+
+val wilson_interval : successes:int -> trials:int -> z:float -> float * float
+(** Wilson score confidence interval for a binomial proportion; used to
+    compare empirical failure rates against analytic failure probabilities.
+    @raise Invalid_argument if [trials <= 0] or [successes] out of range. *)

@@ -1,0 +1,78 @@
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> List.length headers then
+          invalid_arg "Table.create: aligns arity mismatch";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter measure all;
+  let pad align width cell =
+    let gap = width - String.length cell in
+    if gap <= 0 then cell
+    else begin
+      match align with
+      | Left -> cell ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ cell
+    end
+  in
+  let render_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth t.aligns i) widths.(i) cell)
+        row
+    in
+    String.concat "  " cells
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row t.headers :: rule :: body) @ [ "" ])
+
+let render_markdown t =
+  let rows = List.rev t.rows in
+  let escape cell =
+    String.concat "\\|" (String.split_on_char '|' cell)
+  in
+  let line cells = "| " ^ String.concat " | " (List.map escape cells) ^ " |" in
+  let rule =
+    "|"
+    ^ String.concat "|"
+        (List.map
+           (function Left -> " :-- " | Right -> " --: ")
+           t.aligns)
+    ^ "|"
+  in
+  String.concat "\n" ((line t.headers :: rule :: List.map line rows) @ [ "" ])
+
+let print t = print_string (render t)
+
+let fmt_float ?(digits = 6) x = Printf.sprintf "%.*g" digits x

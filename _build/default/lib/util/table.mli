@@ -1,0 +1,33 @@
+(** Plain-text table rendering for experiment reports.
+
+    The benchmark harness and the experiment runner print paper-style
+    tables; this module keeps the formatting in one place. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table.  [aligns] defaults to [Left] for the
+    first column and [Right] for the rest, the usual shape for
+    "label, numbers..." experiment rows. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** Render with aligned columns, a header rule, and trailing newline. *)
+
+val render_markdown : t -> string
+(** GitHub-flavoured markdown table (used when regenerating
+    EXPERIMENTS.md). *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_float : ?digits:int -> float -> string
+(** Compact float for table cells ([%.*g], default 6 significant digits). *)

@@ -1,0 +1,1 @@
+lib/workload/app_gen.ml: List Pipeline Relpipe_model Relpipe_util

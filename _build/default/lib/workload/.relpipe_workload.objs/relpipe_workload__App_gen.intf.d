@@ -1,0 +1,1 @@
+lib/workload/app_gen.mli: Pipeline Relpipe_model Relpipe_util

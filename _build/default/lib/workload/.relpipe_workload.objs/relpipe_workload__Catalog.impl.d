@@ -1,0 +1,1 @@
+lib/workload/catalog.ml: Array Float List Platform Relpipe_model String

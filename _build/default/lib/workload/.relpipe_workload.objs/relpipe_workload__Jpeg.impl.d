@@ -1,0 +1,1 @@
+lib/workload/jpeg.ml: Array Instance List Pipeline Plat_gen Relpipe_model

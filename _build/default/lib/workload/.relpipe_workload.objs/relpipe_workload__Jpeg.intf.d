@@ -1,0 +1,1 @@
+lib/workload/jpeg.mli: Instance Pipeline Relpipe_model

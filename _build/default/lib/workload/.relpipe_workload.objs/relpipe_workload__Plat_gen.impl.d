@@ -1,0 +1,1 @@
+lib/workload/plat_gen.ml: Array Float Platform Relpipe_model Relpipe_util

@@ -1,0 +1,1 @@
+lib/workload/plat_gen.mli: Platform Relpipe_model Relpipe_util

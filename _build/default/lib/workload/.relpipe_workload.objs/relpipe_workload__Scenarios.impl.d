@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Instance List Mapping Pipeline Plat_gen Platform Relpipe_model

@@ -1,0 +1,1 @@
+lib/workload/scenarios.mli: Instance Mapping Pipeline Relpipe_model Relpipe_util

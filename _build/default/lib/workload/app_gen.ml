@@ -1,0 +1,34 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+
+type spec = { n : int; work : float * float; data : float * float }
+
+let sample rng (lo, hi) =
+  if lo > hi then invalid_arg "App_gen: empty range";
+  if lo = hi then lo else Rng.float_range rng lo hi
+
+let random rng spec =
+  if spec.n <= 0 then invalid_arg "App_gen.random: n must be positive";
+  let input = sample rng spec.data in
+  let stages =
+    List.init spec.n (fun _ ->
+        { Pipeline.work = sample rng spec.work; output = sample rng spec.data })
+  in
+  Pipeline.make ~input stages
+
+let uniform ~n ~work ~data =
+  if n <= 0 then invalid_arg "App_gen.uniform: n must be positive";
+  Pipeline.make ~input:data (List.init n (fun _ -> { Pipeline.work; output = data }))
+
+let compute_bound rng ~n = random rng { n; work = (50.0, 200.0); data = (1.0, 5.0) }
+let data_bound rng ~n = random rng { n; work = (1.0, 5.0); data = (50.0, 200.0) }
+
+let alternating ~n ~light ~heavy =
+  if n <= 0 then invalid_arg "App_gen.alternating: n must be positive";
+  if light <= 0.0 || heavy <= 0.0 then
+    invalid_arg "App_gen.alternating: costs must be positive";
+  let stage k =
+    if k mod 2 = 0 then { Pipeline.work = heavy; output = light }
+    else { Pipeline.work = light; output = heavy }
+  in
+  Pipeline.make ~input:heavy (List.init n stage)

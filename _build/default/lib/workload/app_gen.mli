@@ -1,0 +1,34 @@
+(** Synthetic pipeline generators.
+
+    The paper motivates the model with digital image processing workflows
+    (steady streams of data sets through a fixed stage chain).  These
+    generators produce pipelines with controlled computation/communication
+    balance so experiments can sweep the regimes where mapping decisions
+    flip (compute-bound vs communication-bound). *)
+
+open Relpipe_model
+
+type spec = {
+  n : int;  (** number of stages *)
+  work : float * float;  (** uniform range for w_k *)
+  data : float * float;  (** uniform range for delta_k (incl. delta_0) *)
+}
+
+val random : Relpipe_util.Rng.t -> spec -> Pipeline.t
+(** Uniform i.i.d. stage costs within the spec's ranges. *)
+
+val uniform : n:int -> work:float -> data:float -> Pipeline.t
+(** All stages identical: w_k = [work], delta_k = [data] for all k
+    (including delta_0). *)
+
+val compute_bound : Relpipe_util.Rng.t -> n:int -> Pipeline.t
+(** Heavy computation, light data: work in [\[50, 200\]], data in
+    [\[1, 5\]]. *)
+
+val data_bound : Relpipe_util.Rng.t -> n:int -> Pipeline.t
+(** Light computation, heavy data: work in [\[1, 5\]], data in
+    [\[50, 200\]]. *)
+
+val alternating : n:int -> light:float -> heavy:float -> Pipeline.t
+(** Stages alternate heavy and light computation with the complementary
+    data size — the shape where interval splitting pays off. *)

@@ -1,0 +1,70 @@
+open Relpipe_model
+
+type entry = { name : string; description : string; platform : Platform.t }
+
+let lab_cluster =
+  {
+    name = "lab-cluster";
+    description = "8 identical rack nodes, reliable, fast switch";
+    platform =
+      Platform.fully_homogeneous ~m:8 ~speed:100.0 ~failure:0.02
+        ~bandwidth:1000.0;
+  }
+
+let campus_grid =
+  (* Four machine generations, four nodes each; newer = faster but run
+     hotter and fail a bit more often over a long mission. *)
+  let generations = [| (25.0, 0.03); (50.0, 0.05); (75.0, 0.08); (100.0, 0.12) |] in
+  let speeds = Array.init 16 (fun u -> fst generations.(u / 4)) in
+  let failures = Array.init 16 (fun u -> snd generations.(u / 4)) in
+  {
+    name = "campus-grid";
+    description = "16 mixed-generation machines, one switch, hetero failures";
+    platform = Platform.uniform_links ~speeds ~failures ~bandwidth:100.0;
+  }
+
+let volunteer_network =
+  (* 20 fast unreliable peers with weak uplinks + 4 slow stable anchors
+     with good connectivity: Fig. 5's trade-off at scale. *)
+  let m = 24 in
+  let is_anchor u = u >= 20 in
+  let speeds = Array.init m (fun u -> if is_anchor u then 20.0 else 80.0) in
+  let failures = Array.init m (fun u -> if is_anchor u then 0.05 else 0.45) in
+  let bandwidth a b =
+    let endpoint_quality = function
+      | Platform.Pin | Platform.Pout -> 50.0
+      | Platform.Proc u -> if is_anchor u then 50.0 else 8.0
+    in
+    Float.min (endpoint_quality a) (endpoint_quality b)
+  in
+  {
+    name = "volunteer-network";
+    description = "20 fast flaky peers + 4 stable anchors, weak last miles";
+    platform = Platform.make ~speeds ~failures ~bandwidth;
+  }
+
+let federation =
+  let sites = 3 and per_site = 4 in
+  let m = sites * per_site in
+  let site_of u = u / per_site in
+  let site_speed = [| 60.0; 90.0; 40.0 |] in
+  let site_failure = [| 0.06; 0.10; 0.04 |] in
+  let speeds = Array.init m (fun u -> site_speed.(site_of u)) in
+  let failures = Array.init m (fun u -> site_failure.(site_of u)) in
+  let bandwidth a b =
+    match a, b with
+    | Platform.Proc u, Platform.Proc v ->
+        if site_of u = site_of v then 500.0 else 25.0
+    | _ -> 50.0
+  in
+  {
+    name = "federation";
+    description = "3 sites x 4 nodes, fast intra-site, slow inter-site";
+    platform = Platform.make ~speeds ~failures ~bandwidth;
+  }
+
+let all = [ lab_cluster; campus_grid; volunteer_network; federation ]
+
+let find name =
+  let target = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = target) all

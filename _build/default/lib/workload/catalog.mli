@@ -1,0 +1,39 @@
+(** Named platform presets.
+
+    The paper targets "large scale distributed platforms such as clusters
+    or grids"; these presets capture the recurring shapes from that
+    literature with concrete, documented parameters, so examples and
+    experiments can say "the campus grid" instead of re-deriving numbers.
+    Speeds are in abstract op/time units, bandwidths in data/time units,
+    and failure probabilities are per-mission (the paper's model). *)
+
+open Relpipe_model
+
+type entry = {
+  name : string;
+  description : string;
+  platform : Platform.t;
+}
+
+val lab_cluster : entry
+(** 8 identical rack nodes, reliable, fast switch — the Fully Homogeneous
+    reference point (Algorithms 1/2 territory). *)
+
+val campus_grid : entry
+(** 16 machines of mixed generations behind one switch: Communication
+    Homogeneous, speeds spread 4x, newer machines slightly less reliable
+    (heterogeneous failures — the paper's open case). *)
+
+val volunteer_network : entry
+(** 24 volunteer desktops: fast but unreliable peers plus a few slow
+    stable anchors, asymmetric last-mile bandwidths — Fully Heterogeneous,
+    the NP-hard regime and the Fig. 5 story at scale. *)
+
+val federation : entry
+(** Three 4-node sites with fast intra-site and slow inter-site links
+    (built with {!Plat_gen.clustered}-like structure, deterministic). *)
+
+val all : entry list
+
+val find : string -> entry option
+(** Lookup by name (case-insensitive). *)

@@ -1,0 +1,49 @@
+open Relpipe_model
+
+let stage_names =
+  [|
+    "scaling";
+    "rgb-to-ycbcr";
+    "subsampling";
+    "block-split";
+    "dct";
+    "quantization";
+    "entropy-coding";
+  |]
+
+(* Per-stage (work per input unit, output size per input unit).  The DCT is
+   the computational hot spot; subsampling halves chroma-bearing data;
+   entropy coding compresses by ~10x. *)
+let profile =
+  [|
+    (0.5, 1.0);   (* scaling: cheap, size-preserving *)
+    (1.0, 1.0);   (* colour conversion: one pass, size-preserving *)
+    (0.6, 0.5);   (* subsampling: halves the data *)
+    (0.3, 1.0);   (* block split: reshuffle *)
+    (8.0, 1.0);   (* DCT: dominant computation *)
+    (1.5, 1.0);   (* quantization *)
+    (2.0, 0.1);   (* entropy coding: compresses 10x *)
+  |]
+
+let pipeline ?(image_size = 512.0) () =
+  if image_size <= 0.0 then invalid_arg "Jpeg.pipeline: image size must be positive";
+  let stages = ref [] in
+  let current = ref image_size in
+  Array.iter
+    (fun (work_per_unit, shrink) ->
+      let work = work_per_unit *. !current in
+      let output = shrink *. !current in
+      stages := { Pipeline.work; output } :: !stages;
+      current := output)
+    profile;
+  Pipeline.make ~input:image_size (List.rev !stages)
+
+let default_instance ~m =
+  if m < 2 then invalid_arg "Jpeg.default_instance: need at least two processors";
+  let m_slow = m / 2 in
+  let m_fast = m - m_slow in
+  let platform =
+    Plat_gen.two_tier ~m_slow ~m_fast ~slow_speed:50.0 ~fast_speed:400.0
+      ~slow_failure:0.05 ~fast_failure:0.35 ~bandwidth:100.0
+  in
+  Instance.make (pipeline ()) platform

@@ -1,0 +1,26 @@
+(** A JPEG-encoder-shaped pipeline.
+
+    The paper cites JPEG encoding as the canonical pipeline workflow and
+    studies its interval mapping in the companion report [Benoit, Kosch,
+    Rehn-Sonigo, Robert 2008].  The authors' measured per-stage costs are
+    not public, so we model the seven classical encoder stages with
+    representative {e relative} costs: the DCT dominates computation,
+    subsampling shrinks the data by 2x, and entropy coding compresses it by
+    an order of magnitude.  Only the cost shape matters to mapping
+    decisions, so this preserves the behaviour the paper relies on. *)
+
+open Relpipe_model
+
+val stage_names : string array
+(** The seven stages: scaling, colour-space conversion, subsampling, block
+    split, DCT, quantization, entropy coding. *)
+
+val pipeline : ?image_size:float -> unit -> Pipeline.t
+(** [pipeline ~image_size ()] builds the encoder pipeline for an input
+    image of [image_size] data units (default [512.0], i.e. a 512 kB
+    frame).  Work scales linearly with the data each stage consumes. *)
+
+val default_instance : m:int -> Instance.t
+(** The encoder pipeline on a two-tier cluster (half slow/reliable, half
+    fast/unreliable) with unit bandwidth — a ready-made bi-criteria
+    playground used by examples and benches. *)

@@ -1,0 +1,84 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+
+let sample rng (lo, hi) =
+  if lo > hi then invalid_arg "Plat_gen: empty range";
+  if lo = hi then lo else Rng.float_range rng lo hi
+
+let fully_homogeneous ~m ~speed ~failure ~bandwidth =
+  Platform.fully_homogeneous ~m ~speed ~failure ~bandwidth
+
+let random_comm_homogeneous rng ~m ~speed ~failure ~bandwidth =
+  if m <= 0 then invalid_arg "Plat_gen: m must be positive";
+  let speeds = Array.init m (fun _ -> sample rng speed) in
+  let failures = Array.init m (fun _ -> sample rng failure) in
+  Platform.uniform_links ~speeds ~failures ~bandwidth
+
+let endpoint_id ~m = function
+  | Platform.Pin -> 0
+  | Platform.Proc u -> u + 1
+  | Platform.Pout -> m + 1
+
+let random_fully_heterogeneous rng ~m ~speed ~failure ~bandwidth =
+  if m <= 0 then invalid_arg "Plat_gen: m must be positive";
+  let speeds = Array.init m (fun _ -> sample rng speed) in
+  let failures = Array.init m (fun _ -> sample rng failure) in
+  (* Pre-sample a symmetric bandwidth matrix so the closure passed to
+     Platform.make is deterministic and symmetric. *)
+  let size = m + 2 in
+  let bw = Array.make_matrix size size 0.0 in
+  for i = 0 to size - 1 do
+    for j = i + 1 to size - 1 do
+      let v = sample rng bandwidth in
+      bw.(i).(j) <- v;
+      bw.(j).(i) <- v
+    done
+  done;
+  Platform.make ~speeds ~failures ~bandwidth:(fun a b ->
+      bw.(endpoint_id ~m a).(endpoint_id ~m b))
+
+let speed_correlated_failures rng ~m ~speed ~failure ~bandwidth =
+  if m <= 0 then invalid_arg "Plat_gen: m must be positive";
+  let speeds = Array.init m (fun _ -> sample rng speed) in
+  let smin = Array.fold_left Float.min speeds.(0) speeds in
+  let smax = Array.fold_left Float.max speeds.(0) speeds in
+  let flo, fhi = failure in
+  let failures =
+    Array.map
+      (fun s ->
+        if smax = smin then 0.5 *. (flo +. fhi)
+        else flo +. ((fhi -. flo) *. (s -. smin) /. (smax -. smin)))
+      speeds
+  in
+  Platform.uniform_links ~speeds ~failures ~bandwidth
+
+let clustered rng ~clusters ~cluster_size ~speed ~failure ~intra_bandwidth
+    ~inter_bandwidth ~io_bandwidth =
+  if clusters <= 0 || cluster_size <= 0 then
+    invalid_arg "Plat_gen.clustered: need positive cluster dimensions";
+  let m = clusters * cluster_size in
+  let cluster_speed = Array.init clusters (fun _ -> sample rng speed) in
+  let cluster_failure = Array.init clusters (fun _ -> sample rng failure) in
+  let cluster_of u = u / cluster_size in
+  let speeds = Array.init m (fun u -> cluster_speed.(cluster_of u)) in
+  let failures = Array.init m (fun u -> cluster_failure.(cluster_of u)) in
+  let bandwidth a b =
+    match a, b with
+    | Platform.Proc u, Platform.Proc v ->
+        if cluster_of u = cluster_of v then intra_bandwidth else inter_bandwidth
+    | Platform.Pin, _ | _, Platform.Pin | Platform.Pout, _ | _, Platform.Pout ->
+        io_bandwidth
+  in
+  Platform.make ~speeds ~failures ~bandwidth
+
+let two_tier ~m_slow ~m_fast ~slow_speed ~fast_speed ~slow_failure ~fast_failure
+    ~bandwidth =
+  if m_slow < 0 || m_fast < 0 || m_slow + m_fast = 0 then
+    invalid_arg "Plat_gen.two_tier: need at least one processor";
+  let speeds =
+    Array.append (Array.make m_slow slow_speed) (Array.make m_fast fast_speed)
+  in
+  let failures =
+    Array.append (Array.make m_slow slow_failure) (Array.make m_fast fast_failure)
+  in
+  Platform.uniform_links ~speeds ~failures ~bandwidth

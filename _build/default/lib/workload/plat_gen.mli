@@ -1,0 +1,71 @@
+(** Synthetic platform generators for the paper's three platform classes.
+
+    Speeds, bandwidths and failure probabilities are the only platform
+    parameters of the model, so sampling them uniformly (or with the
+    speed-correlated failure model below) reproduces the experimental
+    regime of the paper and its companion evaluations. *)
+
+open Relpipe_model
+
+val fully_homogeneous :
+  m:int -> speed:float -> failure:float -> bandwidth:float -> Platform.t
+(** Re-export of {!Platform.fully_homogeneous} for symmetry. *)
+
+val random_comm_homogeneous :
+  Relpipe_util.Rng.t ->
+  m:int ->
+  speed:float * float ->
+  failure:float * float ->
+  bandwidth:float ->
+  Platform.t
+(** Identical links, speeds and failure probabilities sampled uniformly. *)
+
+val random_fully_heterogeneous :
+  Relpipe_util.Rng.t ->
+  m:int ->
+  speed:float * float ->
+  failure:float * float ->
+  bandwidth:float * float ->
+  Platform.t
+(** Heterogeneous everything; each (unordered) link gets an independent
+    uniform bandwidth. *)
+
+val speed_correlated_failures :
+  Relpipe_util.Rng.t ->
+  m:int ->
+  speed:float * float ->
+  failure:float * float ->
+  bandwidth:float ->
+  Platform.t
+(** Communication Homogeneous platform in the spirit of the paper's Fig. 5:
+    the fastest processors are the least reliable.  Failure probabilities
+    interpolate linearly between the [failure] bounds as speed goes from
+    the slowest to the fastest sampled processor. *)
+
+val clustered :
+  Relpipe_util.Rng.t ->
+  clusters:int ->
+  cluster_size:int ->
+  speed:float * float ->
+  failure:float * float ->
+  intra_bandwidth:float ->
+  inter_bandwidth:float ->
+  io_bandwidth:float ->
+  Platform.t
+(** Grid-like Fully Heterogeneous platform: [clusters] homogeneous groups
+    of [cluster_size] processors (one speed and failure probability drawn
+    per cluster), fast links inside a cluster, slow links between clusters,
+    and [io_bandwidth] on every Pin/Pout link.  The canonical shape where
+    interval splitting must weigh communication locality. *)
+
+val two_tier :
+  m_slow:int ->
+  m_fast:int ->
+  slow_speed:float ->
+  fast_speed:float ->
+  slow_failure:float ->
+  fast_failure:float ->
+  bandwidth:float ->
+  Platform.t
+(** Deterministic "slow reliable + fast unreliable" platform (the exact
+    shape of the paper's Fig. 5 example). Slow processors come first. *)

@@ -1,0 +1,1 @@
+test/test_bb.ml: Alcotest Bb Exact Failure Float Helpers Instance Latency Mapping Mono Period Pipeline Platform Printf Relpipe_core Relpipe_model Relpipe_util Relpipe_workload Solution Tri

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Experiments Helpers List Relpipe_experiments Relpipe_util String

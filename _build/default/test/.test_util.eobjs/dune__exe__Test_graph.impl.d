@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bellman_ford Dag Dijkstra Float Fun Graph Hamiltonian Helpers List Relpipe_graph Relpipe_util

@@ -1,0 +1,1 @@
+test/test_metamorphic.ml: Alcotest Array Failure Float Fun Helpers Instance Latency List Mapping Period Pipeline Platform Relpipe_model Relpipe_util

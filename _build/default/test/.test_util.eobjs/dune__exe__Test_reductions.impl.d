@@ -1,0 +1,1 @@
+test/test_reductions.ml: Alcotest Array Float Helpers Instance List Mapping One_to_one Partition_reduction Pipeline Platform Relpipe_core Relpipe_graph Relpipe_model Relpipe_util Tsp_reduction

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Engine Failure_inject Helpers Instance Latency List Montecarlo Platform Port Relpipe_model Relpipe_sim Relpipe_util Relpipe_workload Trial

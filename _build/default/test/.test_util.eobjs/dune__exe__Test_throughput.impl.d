@@ -1,0 +1,1 @@
+test/test_throughput.ml: Alcotest Failure Fun Helpers Instance Latency List Mapping Period Pipeline Platform Relpipe_core Relpipe_model Relpipe_sim Relpipe_util Relpipe_workload Round_robin

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Float Helpers Lifetime List Platform Printf Relpipe_model Relpipe_sim Relpipe_util Relpipe_workload Steady Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Combin Float Float_cmp Fun Helpers Kahan List Option Pqueue Printf QCheck QCheck_alcotest Relpipe_util Rng Seq Stats String Table

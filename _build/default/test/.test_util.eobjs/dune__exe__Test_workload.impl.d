@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest App_gen Array Catalog Classify Helpers Instance Jpeg List Pipeline Plat_gen Platform Relpipe_model Relpipe_util Relpipe_workload Scenarios

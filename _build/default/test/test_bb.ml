@@ -1,0 +1,214 @@
+(* Tests for the branch-and-bound exact solver and the tri-criteria
+   extension. *)
+
+open Relpipe_model
+open Relpipe_core
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+let thresholds_for rng inst =
+  let n = Pipeline.length inst.Instance.pipeline in
+  let m = Platform.size inst.Instance.platform in
+  let lo =
+    Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+      (Mapping.single_interval ~n ~m [ Mono.fastest_proc inst.Instance.platform ])
+  in
+  let hi =
+    Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+      (Mapping.single_interval ~n ~m (Platform.procs inst.Instance.platform))
+  in
+  (Rng.float_range rng lo (hi *. 1.2), Rng.float_range rng 0.01 0.8)
+
+(* ------------------------------------------------------------------ *)
+(* Branch and bound                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bb_matches_enumeration_min_fp =
+  Helpers.seed_property ~count:40 "B&B = enumeration (min FP | L)"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let max_latency, _ = thresholds_for rng inst in
+      let objective = Instance.Min_failure { max_latency } in
+      match (Bb.solve inst objective, Exact.solve inst objective) with
+      | None, None -> true
+      | Some a, Some b ->
+          F.approx_eq ~eps:1e-6 a.Solution.evaluation.Instance.failure
+            b.Solution.evaluation.Instance.failure
+      | Some _, None | None, Some _ -> false)
+
+let bb_matches_enumeration_min_latency =
+  Helpers.seed_property ~count:40 "B&B = enumeration (min L | FP)"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let _, max_failure = thresholds_for rng inst in
+      let objective = Instance.Min_latency { max_failure } in
+      match (Bb.solve inst objective, Exact.solve inst objective) with
+      | None, None -> true
+      | Some a, Some b ->
+          F.approx_eq ~eps:1e-6 a.Solution.evaluation.Instance.latency
+            b.Solution.evaluation.Instance.latency
+      | Some _, None | None, Some _ -> false)
+
+let bb_solution_is_consistent =
+  Helpers.seed_property ~count:40 "B&B incremental latency = Eq2" (fun seed ->
+      (* The search computes latency incrementally; the reported value must
+         equal the from-scratch evaluation of the returned mapping. *)
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let max_latency, _ = thresholds_for rng inst in
+      match Bb.solve inst (Instance.Min_failure { max_latency }) with
+      | None -> true
+      | Some s ->
+          F.approx_eq ~eps:1e-9 s.Solution.evaluation.Instance.latency
+            (Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+               s.Solution.mapping))
+
+let bb_prunes () =
+  (* On a mid-size instance the B&B must expand far fewer nodes than the
+     flat enumeration has mappings. *)
+  let rng = Rng.create 99 in
+  let inst = Helpers.random_fully_hetero rng ~n:4 ~m:5 in
+  let max_latency, _ = thresholds_for rng inst in
+  let _, stats = Bb.solve_with_stats inst (Instance.Min_failure { max_latency }) in
+  let space = Exact.count_mappings ~n:4 ~m:5 () in
+  Alcotest.(check bool)
+    (Printf.sprintf "nodes %d < space %d" stats.Bb.nodes space)
+    true
+    (stats.Bb.evaluated < space)
+
+let bb_fig5 () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let objective = Instance.Min_failure { max_latency = 22.0 } in
+  match Bb.solve inst objective with
+  | None -> Alcotest.fail "expected a solution"
+  | Some s ->
+      Helpers.check_close "finds the paper's optimum"
+        (1.0 -. (0.9 *. (1.0 -. (0.8 ** 10.0))))
+        s.Solution.evaluation.Instance.failure
+
+(* ------------------------------------------------------------------ *)
+(* Tri-criteria                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tri_evaluate_consistent =
+  Helpers.seed_property ~count:60 "Tri.evaluate = individual evaluators"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let e = Tri.evaluate inst mapping in
+      F.approx_eq e.Tri.latency
+        (Latency.of_mapping inst.Instance.pipeline inst.Instance.platform mapping)
+      && F.approx_eq e.Tri.period
+           (Period.of_mapping inst.Instance.pipeline inst.Instance.platform mapping)
+      && F.approx_eq e.Tri.failure
+           (Failure.of_mapping inst.Instance.platform mapping))
+
+let tri_exact_respects_constraints =
+  Helpers.seed_property ~count:30 "tri-criteria optimum is feasible"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let max_latency, _ = thresholds_for rng inst in
+      let constraints =
+        { Tri.max_latency; max_period = max_latency (* loose on period *) }
+      in
+      match Tri.exact_min_failure inst constraints with
+      | None -> true
+      | Some s -> Tri.feasible constraints s.Tri.evaluation)
+
+let tri_tightening_period_cannot_help =
+  Helpers.seed_property ~count:25 "tighter period => no better FP"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let max_latency, _ = thresholds_for rng inst in
+      let loose = { Tri.max_latency; max_period = max_latency } in
+      let tight = { Tri.max_latency; max_period = max_latency /. 2.0 } in
+      match (Tri.exact_min_failure inst loose, Tri.exact_min_failure inst tight) with
+      | _, None -> true
+      | None, Some _ -> false
+      | Some l, Some t -> F.leq ~eps:1e-9 l.Tri.evaluation.Tri.failure
+                            t.Tri.evaluation.Tri.failure)
+
+let tri_loose_period_equals_bicriteria =
+  Helpers.seed_property ~count:25 "infinite period bound = bi-criteria optimum"
+    (fun seed ->
+      (* With the period constraint slack (period <= latency always), the
+         tri-criteria optimum must coincide with the bi-criteria one. *)
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let max_latency, _ = thresholds_for rng inst in
+      let constraints = { Tri.max_latency; max_period = Float.max_float } in
+      match
+        ( Tri.exact_min_failure inst constraints,
+          Exact.solve inst (Instance.Min_failure { max_latency }) )
+      with
+      | None, None -> true
+      | Some a, Some b ->
+          F.approx_eq ~eps:1e-6 a.Tri.evaluation.Tri.failure
+            b.Solution.evaluation.Instance.failure
+      | Some _, None | None, Some _ -> false)
+
+let tri_greedy_feasible_and_bounded =
+  Helpers.seed_property ~count:25 "greedy is feasible and >= exact"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let max_latency, _ = thresholds_for rng inst in
+      let constraints = { Tri.max_latency; max_period = 0.8 *. max_latency } in
+      match (Tri.greedy_min_failure inst constraints, Tri.exact_min_failure inst constraints) with
+      | None, _ -> true
+      | Some _, None -> false
+      | Some g, Some e ->
+          Tri.feasible constraints g.Tri.evaluation
+          && F.geq ~eps:1e-6 g.Tri.evaluation.Tri.failure
+               e.Tri.evaluation.Tri.failure)
+
+let tri_fig5_period_pressure () =
+  (* On Fig. 5, a tight period bound forbids the 10-fold replication (Pin
+     must serialize 10 sends of size 10), pushing the optimum away from the
+     paper's split mapping. *)
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let split_eval = Tri.evaluate inst (Relpipe_workload.Scenarios.fig5_split ()) in
+  Alcotest.(check bool) "split has a large period" true (split_eval.Tri.period >= 10.0);
+  let tight = { Tri.max_latency = 22.0; max_period = 5.0 } in
+  match Tri.exact_min_failure inst tight with
+  | None -> () (* acceptable: nothing fits such a tight period *)
+  | Some s ->
+      Alcotest.(check bool) "tight-period optimum is not the big split" true
+        (s.Tri.evaluation.Tri.failure > split_eval.Tri.failure)
+
+let () =
+  Alcotest.run "bb-tri"
+    [
+      ( "branch-and-bound",
+        [
+          bb_matches_enumeration_min_fp;
+          bb_matches_enumeration_min_latency;
+          bb_solution_is_consistent;
+          test "prunes the space" bb_prunes;
+          test "solves fig5" bb_fig5;
+        ] );
+      ( "tri-criteria",
+        [
+          tri_evaluate_consistent;
+          tri_exact_respects_constraints;
+          tri_tightening_period_cannot_help;
+          tri_loose_period_equals_bicriteria;
+          tri_greedy_feasible_and_bounded;
+          test "fig5 under period pressure" tri_fig5_period_pressure;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+open Relpipe_graph
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* Graph basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let graph_basics () =
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1 1.5;
+  Graph.add_edge g 1 2 2.5;
+  Graph.add_edge g 0 2 10.0;
+  Alcotest.(check int) "vertices" 3 (Graph.n_vertices g);
+  Alcotest.(check int) "edges" 3 (Graph.n_edges g);
+  Alcotest.(check (list (pair int (float 1e-9)))) "succ order"
+    [ (1, 1.5); (2, 10.0) ]
+    (Graph.succ g 0)
+
+let graph_validation () =
+  let g = Graph.create 2 in
+  let bad f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "vertex range" true (bad (fun () -> Graph.add_edge g 0 5 1.0));
+  Alcotest.(check bool) "nan weight" true
+    (bad (fun () -> Graph.add_edge g 0 1 Float.nan));
+  Alcotest.(check bool) "negative create" true (bad (fun () -> ignore (Graph.create (-1))))
+
+let graph_parallel_edges () =
+  (* Parallel edges: shortest path must use the cheaper one. *)
+  let g = Graph.of_edges 2 [ (0, 1, 5.0); (0, 1, 2.0) ] in
+  match Dijkstra.shortest_path g ~src:0 ~dst:1 with
+  | Some (d, _) -> Helpers.check_close "cheaper parallel edge" 2.0 d
+  | None -> Alcotest.fail "expected a path"
+
+let graph_transpose () =
+  let g = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, 2.0) ] in
+  let t = Graph.transpose g in
+  Alcotest.(check (list (pair int (float 1e-9)))) "reversed" [ (0, 1.0) ]
+    (Graph.succ t 1);
+  Alcotest.(check int) "edge count preserved" 2 (Graph.n_edges t)
+
+(* ------------------------------------------------------------------ *)
+(* Shortest paths: hand-checked                                        *)
+(* ------------------------------------------------------------------ *)
+
+let diamond () =
+  Graph.of_edges 4
+    [ (0, 1, 1.0); (0, 2, 4.0); (1, 2, 1.0); (1, 3, 6.0); (2, 3, 1.0) ]
+
+let dijkstra_hand () =
+  let g = diamond () in
+  match Dijkstra.shortest_path g ~src:0 ~dst:3 with
+  | Some (d, path) ->
+      Helpers.check_close "distance" 3.0 d;
+      Alcotest.(check (list int)) "path" [ 0; 1; 2; 3 ] path
+  | None -> Alcotest.fail "expected a path"
+
+let dijkstra_unreachable () =
+  let g = Graph.of_edges 3 [ (0, 1, 1.0) ] in
+  Alcotest.(check bool) "unreachable" true
+    (Dijkstra.shortest_path g ~src:0 ~dst:2 = None);
+  let dist = Dijkstra.distances g ~src:0 in
+  Alcotest.(check bool) "inf distance" true (dist.(2) = Float.infinity)
+
+let dijkstra_rejects_negative () =
+  let g = Graph.of_edges 2 [ (0, 1, -1.0) ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dijkstra.distances g ~src:0);
+       false
+     with Invalid_argument _ -> true)
+
+let bellman_ford_negative_edges () =
+  let g = Graph.of_edges 4 [ (0, 1, 5.0); (0, 2, 2.0); (2, 1, -1.0); (1, 3, 1.0) ] in
+  match Bellman_ford.shortest_path g ~src:0 ~dst:3 with
+  | Ok (Some (d, path)) ->
+      Helpers.check_close "distance with negative edge" 2.0 d;
+      Alcotest.(check (list int)) "path" [ 0; 2; 1; 3 ] path
+  | _ -> Alcotest.fail "expected a path"
+
+let bellman_ford_negative_cycle () =
+  let g = Graph.of_edges 3 [ (0, 1, 1.0); (1, 2, -3.0); (2, 1, 1.0) ] in
+  Alcotest.(check bool) "detected" true
+    (Bellman_ford.distances g ~src:0 = Error `Negative_cycle)
+
+let dag_hand () =
+  let g = diamond () in
+  Alcotest.(check bool) "is dag" true (Dag.is_dag g);
+  match Dag.shortest_path g ~src:0 ~dst:3 with
+  | Some (d, _) -> Helpers.check_close "dag distance" 3.0 d
+  | None -> Alcotest.fail "expected a path"
+
+let dag_detects_cycle () =
+  let g = Graph.of_edges 2 [ (0, 1, 1.0); (1, 0, 1.0) ] in
+  Alcotest.(check bool) "not a dag" false (Dag.is_dag g);
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dag.shortest_path g ~src:0 ~dst:1);
+       false
+     with Invalid_argument _ -> true)
+
+let topological_order_valid () =
+  let g = Graph.of_edges 5 [ (0, 1, 1.); (0, 2, 1.); (1, 3, 1.); (2, 3, 1.); (3, 4, 1.) ] in
+  match Dag.topological_order g with
+  | None -> Alcotest.fail "expected an order"
+  | Some order ->
+      let pos = Array.make 5 (-1) in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      Graph.iter_edges
+        (fun u v _ ->
+          Alcotest.(check bool) "edge goes forward" true (pos.(u) < pos.(v)))
+        g
+
+(* ------------------------------------------------------------------ *)
+(* Shortest paths: random cross-checks                                 *)
+(* ------------------------------------------------------------------ *)
+
+let random_dag rng ~n ~density =
+  (* Edges only go from lower to higher index: acyclic by construction. *)
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.float rng 1.0 < density then
+        Graph.add_edge g u v (Rng.float rng 10.0)
+    done
+  done;
+  g
+
+let three_solvers_agree =
+  Helpers.seed_property ~count:200 "Dijkstra = Bellman-Ford = DAG sweep"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + (seed mod 12) in
+      let g = random_dag rng ~n ~density:0.5 in
+      let d1 = Dijkstra.shortest_path g ~src:0 ~dst:(n - 1) in
+      let d2 =
+        match Bellman_ford.shortest_path g ~src:0 ~dst:(n - 1) with
+        | Ok r -> r
+        | Error _ -> None
+      in
+      let d3 = Dag.shortest_path g ~src:0 ~dst:(n - 1) in
+      match d1, d2, d3 with
+      | None, None, None -> true
+      | Some (a, _), Some (b, _), Some (c, _) ->
+          F.approx_eq a b && F.approx_eq b c
+      | _ -> false)
+
+let dijkstra_distance_is_minimal =
+  Helpers.seed_property ~count:100 "Dijkstra beats random walks" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 3 + (seed mod 8) in
+      let g = random_dag rng ~n ~density:0.7 in
+      let dist = Dijkstra.distances g ~src:0 in
+      (* Triangle inequality on every edge. *)
+      let ok = ref true in
+      Graph.iter_edges
+        (fun u v w ->
+          if Float.is_finite dist.(u) && dist.(u) +. w < dist.(v) -. 1e-9 then
+            ok := false)
+        g;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Hamiltonian paths                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let random_costs rng n =
+  let cost = Array.make_matrix n n 0.0 in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then cost.(u).(v) <- float_of_int (1 + Rng.int rng 9)
+    done
+  done;
+  cost
+
+let held_karp_hand () =
+  (* 3 vertices: paths 0-1-2 (cost 1+1=2) vs 0-2 direct is not Hamiltonian;
+     0-2-1 invalid endpoints.  Only 0-1-2. *)
+  let cost = [| [| 0.; 1.; 5. |]; [| 1.; 0.; 1. |]; [| 5.; 1.; 0. |] |] in
+  match Hamiltonian.held_karp ~cost ~s:0 ~t:2 with
+  | Some (c, path) ->
+      Helpers.check_close "cost" 2.0 c;
+      Alcotest.(check (list int)) "path" [ 0; 1; 2 ] path
+  | None -> Alcotest.fail "expected a path"
+
+let held_karp_matches_brute =
+  Helpers.seed_property ~count:60 "Held-Karp = brute force" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + (seed mod 6) in
+      let cost = random_costs rng n in
+      match
+        ( Hamiltonian.held_karp ~cost ~s:0 ~t:(n - 1),
+          Hamiltonian.brute_force ~cost ~s:0 ~t:(n - 1) )
+      with
+      | Some (a, pa), Some (b, pb) ->
+          F.approx_eq a b
+          && List.sort compare pa = List.init n Fun.id
+          && List.sort compare pb = List.init n Fun.id
+      | None, None -> true
+      | _ -> false)
+
+let held_karp_asymmetric () =
+  (* Directed costs: going 0->1 is cheap, 1->0 expensive. *)
+  let cost = [| [| 0.; 1.; 9. |]; [| 9.; 0.; 1. |]; [| 1.; 9.; 0. |] |] in
+  match Hamiltonian.held_karp ~cost ~s:0 ~t:2 with
+  | Some (c, _) -> Helpers.check_close "asymmetric cost" 2.0 c
+  | None -> Alcotest.fail "expected a path"
+
+let hamiltonian_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let cost = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  Alcotest.(check bool) "same endpoints" true
+    (bad (fun () -> Hamiltonian.held_karp ~cost ~s:0 ~t:0));
+  Alcotest.(check bool) "endpoint range" true
+    (bad (fun () -> Hamiltonian.held_karp ~cost ~s:0 ~t:5));
+  Alcotest.(check bool) "non-square" true
+    (bad (fun () -> Hamiltonian.held_karp ~cost:[| [| 0. |]; [| 0. |] |] ~s:0 ~t:1))
+
+let exists_leq_boundary () =
+  let cost = [| [| 0.; 2. |]; [| 2.; 0. |] |] in
+  Alcotest.(check bool) "at bound" true (Hamiltonian.exists_leq ~cost ~s:0 ~t:1 ~bound:2.0);
+  Alcotest.(check bool) "below bound" false
+    (Hamiltonian.exists_leq ~cost ~s:0 ~t:1 ~bound:1.9)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          test "basics" graph_basics;
+          test "validation" graph_validation;
+          test "parallel edges" graph_parallel_edges;
+          test "transpose" graph_transpose;
+        ] );
+      ( "dijkstra",
+        [
+          test "hand-checked" dijkstra_hand;
+          test "unreachable" dijkstra_unreachable;
+          test "rejects negative" dijkstra_rejects_negative;
+          dijkstra_distance_is_minimal;
+        ] );
+      ( "bellman-ford",
+        [
+          test "negative edges" bellman_ford_negative_edges;
+          test "negative cycle" bellman_ford_negative_cycle;
+        ] );
+      ( "dag",
+        [
+          test "hand-checked" dag_hand;
+          test "detects cycle" dag_detects_cycle;
+          test "topological order valid" topological_order_valid;
+        ] );
+      ("cross-check", [ three_solvers_agree ]);
+      ( "hamiltonian",
+        [
+          test "hand-checked" held_karp_hand;
+          held_karp_matches_brute;
+          test "asymmetric" held_karp_asymmetric;
+          test "validation" hamiltonian_validation;
+          test "exists_leq boundary" exists_leq_boundary;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* End-to-end scenarios exercising several libraries together: solve a
+   mapping problem, then validate the solution in the discrete-event
+   simulator against the analytic model. *)
+
+open Relpipe_model
+open Relpipe_core
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+(* Solve then simulate: the solver's analytic evaluation must match the
+   simulator's worst case exactly, and the Monte-Carlo success rate must
+   straddle the analytic reliability. *)
+let solve_then_simulate =
+  Helpers.seed_property ~count:10 "solver output validates in the simulator"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) and m = 2 + (seed mod 3) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let hi =
+        Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+          (Mapping.single_interval ~n ~m (Platform.procs inst.Instance.platform))
+      in
+      let objective = Instance.Min_failure { max_latency = hi *. 1.5 } in
+      match Solver.solve inst objective with
+      | None -> false
+      | Some s ->
+          let wc = Relpipe_sim.Trial.worst_case_latency inst s.Solution.mapping in
+          let r =
+            Relpipe_sim.Montecarlo.estimate rng inst s.Solution.mapping
+              ~trials:2000 ~policy:Relpipe_sim.Trial.Optimistic
+          in
+          let lo, hi' =
+            Relpipe_util.Stats.wilson_interval ~successes:r.Relpipe_sim.Montecarlo.successes
+              ~trials:2000 ~z:4.0
+          in
+          F.approx_eq ~eps:1e-9 wc s.Solution.evaluation.Instance.latency
+          && lo <= r.Relpipe_sim.Montecarlo.analytic_success
+          && r.Relpipe_sim.Montecarlo.analytic_success <= hi')
+
+(* The full JPEG scenario: build, solve both objectives, check sanity. *)
+let jpeg_end_to_end () =
+  let inst = Relpipe_workload.Jpeg.default_instance ~m:6 in
+  let front =
+    Pareto.front_with
+      (fun inst objective -> Solver.solve inst objective)
+      inst ~count:6
+  in
+  Alcotest.(check bool) "front non-empty" true (front <> []);
+  Alcotest.(check bool) "front is a staircase" true (Pareto.is_non_dominated front);
+  (* The most reliable point should replicate more than the fastest one. *)
+  match front with
+  | [] -> Alcotest.fail "unreachable"
+  | first :: _ ->
+      let last = List.nth front (List.length front - 1) in
+      Alcotest.(check bool) "reliability improves along the front" true
+        (last.Pareto.solution.Solution.evaluation.Instance.failure
+        <= first.Pareto.solution.Solution.evaluation.Instance.failure)
+
+(* Textio -> Solver round trip: solve an instance parsed from text. *)
+let textio_to_solver () =
+  let text =
+    "input 10\n\
+     stage 1 1\n\
+     stage 100 0\n\
+     proc 1 0.1\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     proc 100 0.8\n\
+     link default 1\n"
+  in
+  match Textio.parse text with
+  | Error msg -> Alcotest.failf "parse: %s" msg
+  | Ok inst -> (
+      (* This is exactly the paper's Fig. 5 instance. *)
+      let objective = Instance.Min_failure { max_latency = 22.0 } in
+      match Solver.solve inst objective with
+      | None -> Alcotest.fail "expected a solution"
+      | Some s ->
+          Helpers.check_leq "achieves the paper's bound"
+            s.Solution.evaluation.Instance.failure
+            (1.0 -. (0.9 *. (1.0 -. (0.8 ** 10.0)))))
+
+(* The paper's Fig. 5 story, end to end: exact solver finds the split
+   mapping; simulating it confirms both the latency and the reliability
+   advantage over the best single-interval mapping. *)
+let fig5_story () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let objective =
+    Instance.Min_failure { max_latency = Relpipe_workload.Scenarios.fig5_threshold }
+  in
+  let opt = Option.get (Exact.solve inst objective) in
+  Alcotest.(check int) "optimum is two intervals" 2
+    (Mapping.num_intervals opt.Solution.mapping);
+  let single = Option.get (Exact.solve_single_interval inst objective) in
+  Alcotest.(check bool) "replication set split beats single interval" true
+    (opt.Solution.evaluation.Instance.failure
+    < single.Solution.evaluation.Instance.failure);
+  (* Simulate both at scale; empirical success rates must be ordered the
+     same way. *)
+  let rng = Rng.create 777 in
+  let sim mapping =
+    (Relpipe_sim.Montecarlo.estimate rng inst mapping ~trials:5000
+       ~policy:Relpipe_sim.Trial.Optimistic)
+      .Relpipe_sim.Montecarlo.success_rate
+  in
+  let split_rate = sim opt.Solution.mapping in
+  let single_rate = sim single.Solution.mapping in
+  Alcotest.(check bool) "empirically more reliable too" true
+    (split_rate > single_rate)
+
+(* Stress: a long pipeline on a big platform through the heuristics, then
+   simulator agreement on the result. *)
+let large_instance_smoke () =
+  let rng = Rng.create 4242 in
+  let pipeline =
+    Relpipe_workload.App_gen.random rng
+      { Relpipe_workload.App_gen.n = 20; work = (1.0, 50.0); data = (1.0, 20.0) }
+  in
+  let platform =
+    Relpipe_workload.Plat_gen.random_fully_heterogeneous rng ~m:24
+      ~speed:(1.0, 20.0) ~failure:(0.02, 0.5) ~bandwidth:(1.0, 20.0)
+  in
+  let inst = Instance.make pipeline platform in
+  let hi =
+    Latency.of_mapping pipeline platform
+      (Mapping.single_interval ~n:20 ~m:24 (Platform.procs platform))
+  in
+  let objective = Instance.Min_failure { max_latency = hi } in
+  match Solver.solve inst objective with
+  | None -> Alcotest.fail "portfolio found nothing on a loose bound"
+  | Some s ->
+      Helpers.check_close "simulator agrees with Eq2"
+        s.Solution.evaluation.Instance.latency
+        (Relpipe_sim.Trial.worst_case_latency inst s.Solution.mapping)
+
+(* The clustered-grid scenario across the whole stack: solve, certify,
+   run a traced steady-state stream, and check every model invariant. *)
+let grid_full_stack () =
+  let inst = Relpipe_workload.Scenarios.grid_instance (Rng.create 31337) in
+  let floor = General_mapping.optimal_latency inst in
+  let objective = Instance.Min_failure { max_latency = 2.0 *. floor } in
+  match Solver.solve inst objective with
+  | None -> Alcotest.fail "no feasible mapping at 2x the latency floor"
+  | Some s ->
+      let report = Validate.check inst objective s in
+      Alcotest.(check bool) "certificate ok" true (Validate.ok report);
+      let trace = Relpipe_sim.Trace.create () in
+      let r = Relpipe_sim.Steady.run ~trace inst s.Solution.mapping ~datasets:12 in
+      Alcotest.(check (list string)) "no invariant violations" []
+        (List.map
+           (fun v -> Format.asprintf "%a" Relpipe_sim.Trace.pp_violation v)
+           (Relpipe_sim.Trace.all_violations trace));
+      Helpers.check_close "first completion = analytic latency"
+        s.Solution.evaluation.Instance.latency
+        r.Relpipe_sim.Steady.first_completion
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "cross-library",
+        [
+          solve_then_simulate;
+          test "jpeg end to end" jpeg_end_to_end;
+          test "textio to solver" textio_to_solver;
+          test "fig5 story" fig5_story;
+          test "large instance smoke" large_instance_smoke;
+          test "grid full stack" grid_full_stack;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* Metamorphic properties of the analytic model: transformations of the
+   instance with predictable effects on latency, period, and failure
+   probability.  These pin down the semantics of Eq. (1)/(2) and the FP
+   formula far more tightly than point checks. *)
+
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+(* Rebuild a platform with transformed parameters. *)
+let transform_platform ?(speed = Fun.id) ?(failure = Fun.id) ?(bandwidth = Fun.id)
+    platform =
+  Platform.make
+    ~speeds:(Array.map speed (Platform.speeds platform))
+    ~failures:(Array.map failure (Platform.failures platform))
+    ~bandwidth:(fun a b -> bandwidth (Platform.bandwidth platform a b))
+
+let transform_pipeline ?(work = Fun.id) ?(data = Fun.id) pipeline =
+  Pipeline.make
+    ~input:(data (Pipeline.delta pipeline 0))
+    (List.map
+       (fun s -> { Pipeline.work = work s.Pipeline.work; output = data s.Pipeline.output })
+       (Pipeline.stages pipeline))
+
+let with_random_case seed k =
+  let rng = Rng.create seed in
+  let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+  let inst = Helpers.random_fully_hetero rng ~n ~m in
+  let mapping = Helpers.random_mapping rng ~n ~m in
+  k rng inst mapping
+
+(* ------------------------------------------------------------------ *)
+(* Time-rescaling invariances                                          *)
+(* ------------------------------------------------------------------ *)
+
+let speedup_divides_latency =
+  Helpers.seed_property ~count:100 "speeds and bandwidths x c => latency / c"
+    (fun seed ->
+      with_random_case seed (fun rng inst mapping ->
+          let c = Rng.float_range rng 1.5 5.0 in
+          let faster =
+            Instance.make inst.Instance.pipeline
+              (transform_platform ~speed:(( *. ) c) ~bandwidth:(( *. ) c)
+                 inst.Instance.platform)
+          in
+          let base =
+            Latency.of_mapping inst.Instance.pipeline inst.Instance.platform mapping
+          in
+          let scaled =
+            Latency.of_mapping faster.Instance.pipeline faster.Instance.platform
+              mapping
+          in
+          F.approx_eq ~eps:1e-9 (base /. c) scaled))
+
+let speedup_divides_period =
+  Helpers.seed_property ~count:100 "speeds and bandwidths x c => period / c"
+    (fun seed ->
+      with_random_case seed (fun rng inst mapping ->
+          let c = Rng.float_range rng 1.5 5.0 in
+          let platform' =
+            transform_platform ~speed:(( *. ) c) ~bandwidth:(( *. ) c)
+              inst.Instance.platform
+          in
+          F.approx_eq ~eps:1e-9
+            (Period.of_mapping inst.Instance.pipeline inst.Instance.platform
+               mapping
+            /. c)
+            (Period.of_mapping inst.Instance.pipeline platform' mapping)))
+
+let workload_scales_latency =
+  Helpers.seed_property ~count:100 "work and data x c => latency x c"
+    (fun seed ->
+      with_random_case seed (fun rng inst mapping ->
+          let c = Rng.float_range rng 1.5 5.0 in
+          let pipeline' =
+            transform_pipeline ~work:(( *. ) c) ~data:(( *. ) c)
+              inst.Instance.pipeline
+          in
+          F.approx_eq ~eps:1e-9
+            (c
+            *. Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+                 mapping)
+            (Latency.of_mapping pipeline' inst.Instance.platform mapping)))
+
+(* ------------------------------------------------------------------ *)
+(* Failure probability is orthogonal to performance parameters         *)
+(* ------------------------------------------------------------------ *)
+
+let fp_ignores_performance =
+  Helpers.seed_property ~count:100 "FP invariant under speed/bandwidth changes"
+    (fun seed ->
+      with_random_case seed (fun rng inst mapping ->
+          let c = Rng.float_range rng 0.1 10.0 in
+          let platform' =
+            transform_platform ~speed:(( *. ) c)
+              ~bandwidth:(fun b -> b /. c)
+              inst.Instance.platform
+          in
+          F.approx_eq ~eps:1e-12
+            (Failure.of_mapping inst.Instance.platform mapping)
+            (Failure.of_mapping platform' mapping)))
+
+let fp_monotone_in_unreliability =
+  Helpers.seed_property ~count:100 "raising every fp_u cannot lower FP"
+    (fun seed ->
+      with_random_case seed (fun rng inst mapping ->
+          let bump = Rng.float_range rng 1.01 1.5 in
+          let platform' =
+            transform_platform
+              ~failure:(fun fp -> Float.min 1.0 (fp *. bump))
+              inst.Instance.platform
+          in
+          F.leq ~eps:1e-12
+            (Failure.of_mapping inst.Instance.platform mapping)
+            (Failure.of_mapping platform' mapping)))
+
+(* ------------------------------------------------------------------ *)
+(* Monotonicity in individual resources                                *)
+(* ------------------------------------------------------------------ *)
+
+let latency_monotone_in_bandwidth =
+  Helpers.seed_property ~count:100 "halving every bandwidth cannot lower latency"
+    (fun seed ->
+      with_random_case seed (fun _rng inst mapping ->
+          let platform' =
+            transform_platform ~bandwidth:(fun b -> b /. 2.0) inst.Instance.platform
+          in
+          F.leq ~eps:1e-9
+            (Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+               mapping)
+            (Latency.of_mapping inst.Instance.pipeline platform' mapping)))
+
+let latency_monotone_in_speed =
+  Helpers.seed_property ~count:100 "doubling every speed cannot raise latency"
+    (fun seed ->
+      with_random_case seed (fun _rng inst mapping ->
+          let platform' =
+            transform_platform ~speed:(( *. ) 2.0) inst.Instance.platform
+          in
+          F.geq ~eps:1e-9
+            (Latency.of_mapping inst.Instance.pipeline inst.Instance.platform
+               mapping)
+            (Latency.of_mapping inst.Instance.pipeline platform' mapping)))
+
+(* ------------------------------------------------------------------ *)
+(* Relabeling invariance                                               *)
+(* ------------------------------------------------------------------ *)
+
+let relabeling_invariance =
+  Helpers.seed_property ~count:100 "processor relabeling leaves metrics unchanged"
+    (fun seed ->
+      with_random_case seed (fun rng inst mapping ->
+          let m = Platform.size inst.Instance.platform in
+          let perm = Rng.permutation rng m in
+          (* perm.(u) is the new index of old processor u. *)
+          let inv = Array.make m 0 in
+          Array.iteri (fun old_u new_u -> inv.(new_u) <- old_u) perm;
+          let platform = inst.Instance.platform in
+          let relabeled =
+            Platform.make
+              ~speeds:(Array.init m (fun u -> Platform.speed platform inv.(u)))
+              ~failures:(Array.init m (fun u -> Platform.failure platform inv.(u)))
+              ~bandwidth:(fun a b ->
+                let back = function
+                  | Platform.Proc u -> Platform.Proc inv.(u)
+                  | e -> e
+                in
+                Platform.bandwidth platform (back a) (back b))
+          in
+          let mapping' =
+            Mapping.make
+              ~n:(Pipeline.length inst.Instance.pipeline)
+              ~m
+              (List.map
+                 (fun iv ->
+                   { iv with Mapping.procs = List.map (fun u -> perm.(u)) iv.Mapping.procs })
+                 (Mapping.intervals mapping))
+          in
+          let pipeline = inst.Instance.pipeline in
+          F.approx_eq ~eps:1e-9
+            (Latency.of_mapping pipeline platform mapping)
+            (Latency.of_mapping pipeline relabeled mapping')
+          && F.approx_eq ~eps:1e-12
+               (Failure.of_mapping platform mapping)
+               (Failure.of_mapping relabeled mapping')
+          && F.approx_eq ~eps:1e-9
+               (Period.of_mapping pipeline platform mapping)
+               (Period.of_mapping pipeline relabeled mapping')))
+
+(* ------------------------------------------------------------------ *)
+(* Stage-merging identity                                              *)
+(* ------------------------------------------------------------------ *)
+
+let merging_stages_within_interval =
+  Helpers.seed_property ~count:100
+    "fusing two stages inside an interval leaves latency unchanged"
+    (fun seed ->
+      (* If stages k and k+1 always live in the same interval, replacing
+         them by one stage with summed work and the second one's output is
+         an equivalent pipeline. *)
+      let rng = Rng.create seed in
+      let n = 2 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let pipeline = inst.Instance.pipeline in
+      (* Single interval: any fusion is safe. *)
+      let mapping = Mapping.single_interval ~n ~m [ 0; 1 ] in
+      let k = 1 + Rng.int rng (n - 1) in
+      let fused =
+        Pipeline.make
+          ~input:(Pipeline.delta pipeline 0)
+          (List.concat
+             (List.init n (fun i ->
+                  let stage = Pipeline.stage pipeline (i + 1) in
+                  if i + 1 = k then
+                    [
+                      {
+                        Pipeline.work = stage.Pipeline.work +. Pipeline.work pipeline (k + 1);
+                        output = Pipeline.delta pipeline (k + 1);
+                      };
+                    ]
+                  else if i + 1 = k + 1 then []
+                  else [ stage ])))
+      in
+      let mapping' = Mapping.single_interval ~n:(n - 1) ~m [ 0; 1 ] in
+      F.approx_eq ~eps:1e-9
+        (Latency.of_mapping pipeline inst.Instance.platform mapping)
+        (Latency.of_mapping fused inst.Instance.platform mapping'))
+
+let () =
+  Alcotest.run "metamorphic"
+    [
+      ( "rescaling",
+        [
+          speedup_divides_latency;
+          speedup_divides_period;
+          workload_scales_latency;
+        ] );
+      ( "failure-orthogonality",
+        [ fp_ignores_performance; fp_monotone_in_unreliability ] );
+      ( "monotonicity",
+        [ latency_monotone_in_bandwidth; latency_monotone_in_speed ] );
+      ("relabeling", [ relabeling_invariance ]);
+      ("stage-fusion", [ merging_stages_within_interval ]);
+    ]

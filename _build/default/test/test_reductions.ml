@@ -1,0 +1,171 @@
+open Relpipe_model
+open Relpipe_core
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 3: TSP -> one-to-one latency                                *)
+(* ------------------------------------------------------------------ *)
+
+let tsp_equivalence =
+  Helpers.seed_property ~count:40 "TSP feasible iff mapping feasible"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + (seed mod 4) in
+      let r = Tsp_reduction.random rng ~n ~max_cost:9 in
+      Tsp_reduction.equivalent r)
+
+let tsp_known_feasible () =
+  (* Path 0-1-2 costs 2; bound 2 is feasible, bound 1.5 is not. *)
+  let cost = [| [| 0.; 1.; 5. |]; [| 1.; 0.; 1. |]; [| 5.; 1.; 0. |] |] in
+  let base = { Tsp_reduction.cost; source = 0; target = 2; bound = 2.0 } in
+  Alcotest.(check bool) "tsp side" true (Tsp_reduction.tsp_feasible base);
+  Alcotest.(check bool) "mapping side" true (Tsp_reduction.mapping_feasible base);
+  let tight = { base with Tsp_reduction.bound = 1.5 } in
+  Alcotest.(check bool) "tsp side infeasible" false (Tsp_reduction.tsp_feasible tight);
+  Alcotest.(check bool) "mapping side infeasible" false
+    (Tsp_reduction.mapping_feasible tight)
+
+let tsp_instance_shape () =
+  let rng = Rng.create 5 in
+  let r = Tsp_reduction.random rng ~n:4 ~max_cost:5 in
+  let inst, bound = Tsp_reduction.to_instance r in
+  Alcotest.(check int) "n stages" 4 (Pipeline.length inst.Instance.pipeline);
+  Alcotest.(check int) "m = n procs" 4 (Platform.size inst.Instance.platform);
+  Helpers.check_close "K' = K + n + 2" (r.Tsp_reduction.bound +. 6.0) bound;
+  (* Unit application costs and unit speeds, as in the proof. *)
+  Helpers.check_close "unit work" 1.0 (Pipeline.work inst.Instance.pipeline 2);
+  Helpers.check_close "unit speed" 1.0 (Platform.speed inst.Instance.platform 1);
+  (* The in->source link is fast, other in-links are unusably slow. *)
+  Helpers.check_close "in->s" 1.0
+    (Platform.bandwidth inst.Instance.platform Platform.Pin
+       (Platform.Proc r.Tsp_reduction.source));
+  Alcotest.(check bool) "slow in-link" true
+    (Platform.bandwidth inst.Instance.platform Platform.Pin
+       (Platform.Proc r.Tsp_reduction.target)
+    < 1.0 /. (r.Tsp_reduction.bound +. 4.0 +. 3.0))
+
+let tsp_mapping_cost_formula =
+  Helpers.seed_property ~count:30
+    "proper path mapping costs n + 2 + path cost" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + (seed mod 4) in
+      let r = Tsp_reduction.random rng ~n ~max_cost:9 in
+      let inst, _ = Tsp_reduction.to_instance r in
+      (* Take the optimal Hamiltonian path and price its mapping. *)
+      match
+        Relpipe_graph.Hamiltonian.held_karp ~cost:r.Tsp_reduction.cost
+          ~s:r.Tsp_reduction.source ~t:r.Tsp_reduction.target
+      with
+      | None -> false
+      | Some (path_cost, path) ->
+          let mapping_cost = One_to_one.cost inst (Array.of_list path) in
+          F.approx_eq ~eps:1e-9 mapping_cost (path_cost +. float_of_int n +. 2.0))
+
+let tsp_validation () =
+  let bad r =
+    match Tsp_reduction.validate r with Ok () -> false | Error _ -> true
+  in
+  let cost = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  Alcotest.(check bool) "same endpoints" true
+    (bad { Tsp_reduction.cost; source = 0; target = 0; bound = 1.0 });
+  Alcotest.(check bool) "bad bound" true
+    (bad { Tsp_reduction.cost; source = 0; target = 1; bound = -1.0 });
+  Alcotest.(check bool) "zero cost" true
+    (bad
+       {
+         Tsp_reduction.cost = [| [| 0.; 0. |]; [| 1.; 0. |] |];
+         source = 0;
+         target = 1;
+         bound = 1.0;
+       });
+  Alcotest.(check bool) "valid accepted" false
+    (bad { Tsp_reduction.cost; source = 0; target = 1; bound = 1.0 })
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 7: 2-PARTITION -> bi-criteria feasibility                   *)
+(* ------------------------------------------------------------------ *)
+
+let partition_equivalence =
+  Helpers.seed_property ~count:60 "2-PARTITION feasible iff mapping feasible"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let m = 2 + (seed mod 8) in
+      let values = Partition_reduction.random rng ~m ~max_value:12 in
+      Partition_reduction.equivalent values)
+
+let partition_known_cases () =
+  Alcotest.(check bool) "1,1 splits" true
+    (Partition_reduction.partition_feasible [| 1; 1 |]);
+  Alcotest.(check bool) "odd sum cannot" false
+    (Partition_reduction.partition_feasible [| 1; 2 |]);
+  Alcotest.(check bool) "3,1,1,1 splits" true
+    (Partition_reduction.partition_feasible [| 3; 1; 1; 1 |]);
+  Alcotest.(check bool) "3,1,1 cannot" false
+    (Partition_reduction.partition_feasible [| 3; 1; 1 |]);
+  Alcotest.(check bool) "mapping side agrees (feasible)" true
+    (Partition_reduction.mapping_feasible [| 3; 1; 1; 1 |]);
+  Alcotest.(check bool) "mapping side agrees (infeasible)" false
+    (Partition_reduction.mapping_feasible [| 3; 1; 1 |])
+
+let partition_witness_is_half () =
+  let values = [| 4; 2; 3; 1; 2 |] in
+  (* S = 12, halves of sum 6 exist, e.g. {4,2}. *)
+  match Partition_reduction.witness values with
+  | None -> Alcotest.fail "expected a witness"
+  | Some procs ->
+      let sum = List.fold_left (fun acc j -> acc + values.(j)) 0 procs in
+      Alcotest.(check int) "witness sums to S/2" 6 sum
+
+let partition_instance_shape () =
+  let values = [| 2; 3; 5 |] in
+  let inst, latency_bound, failure_bound = Partition_reduction.to_instance values in
+  Alcotest.(check int) "single stage" 1 (Pipeline.length inst.Instance.pipeline);
+  Alcotest.(check int) "three procs" 3 (Platform.size inst.Instance.platform);
+  Helpers.check_close "L = S/2 + 2" 7.0 latency_bound;
+  Helpers.check_close "FP = e^-S/2" (Float.exp (-5.0)) failure_bound;
+  Helpers.check_close "fp_j = e^-a_j" (Float.exp (-3.0))
+    (Platform.failure inst.Instance.platform 1);
+  Helpers.check_close "b_in_j = 1/a_j" (1.0 /. 5.0)
+    (Platform.bandwidth inst.Instance.platform Platform.Pin (Platform.Proc 2))
+
+let partition_latency_formula () =
+  (* Replicating the stage on a set I costs sum_I a_j + 2. *)
+  let values = [| 2; 3; 5 |] in
+  let inst, _, _ = Partition_reduction.to_instance values in
+  let mapping = Mapping.single_interval ~n:1 ~m:3 [ 0; 2 ] in
+  let e = Instance.evaluate inst mapping in
+  Helpers.check_close "latency = 2 + 5 + 2" 9.0 e.Instance.latency;
+  Helpers.check_close "fp = e^-(2+5)" (Float.exp (-7.0)) e.Instance.failure
+
+let partition_validation () =
+  Alcotest.(check bool) "empty rejected" true
+    (match Partition_reduction.validate [||] with Error _ -> true | Ok () -> false);
+  Alcotest.(check bool) "nonpositive rejected" true
+    (match Partition_reduction.validate [| 1; 0 |] with
+    | Error _ -> true
+    | Ok () -> false)
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "tsp (theorem 3)",
+        [
+          tsp_equivalence;
+          test "known instance" tsp_known_feasible;
+          test "instance shape" tsp_instance_shape;
+          tsp_mapping_cost_formula;
+          test "validation" tsp_validation;
+        ] );
+      ( "2-partition (theorem 7)",
+        [
+          partition_equivalence;
+          test "known cases" partition_known_cases;
+          test "witness is a half" partition_witness_is_half;
+          test "instance shape" partition_instance_shape;
+          test "latency formula" partition_latency_formula;
+          test "validation" partition_validation;
+        ] );
+    ]

@@ -1,0 +1,298 @@
+open Relpipe_model
+open Relpipe_sim
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let engine_orders_events () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:3.0 (fun () -> log := "c" :: !log);
+  Engine.schedule e ~at:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~at:2.0 (fun () -> log := "b" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "processed" 3 (Engine.events_processed e)
+
+let engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~at:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~at:1.0 (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "insertion order" [ 1; 2 ] (List.rev !log)
+
+let engine_nested_scheduling () =
+  let e = Engine.create () in
+  let finished = ref 0.0 in
+  Engine.schedule e ~at:1.0 (fun () ->
+      Engine.schedule_after e ~delay:2.0 (fun () -> finished := Engine.now e));
+  Engine.run e;
+  Helpers.check_close "chained event time" 3.0 !finished
+
+let engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule e ~at:5.0 (fun () ->
+      Alcotest.(check bool) "past rejected" true
+        (try
+           Engine.schedule e ~at:1.0 (fun () -> ());
+           false
+         with Invalid_argument _ -> true));
+  Engine.run e
+
+(* ------------------------------------------------------------------ *)
+(* Port                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let port_serializes () =
+  let p = Port.create () in
+  Helpers.check_close "first starts at earliest" 2.0
+    (Port.reserve p ~earliest:2.0 ~duration:3.0);
+  Helpers.check_close "second waits" 5.0 (Port.reserve p ~earliest:0.0 ~duration:1.0);
+  Helpers.check_close "free at" 6.0 (Port.free_at p)
+
+let port_pair () =
+  let a = Port.create () and b = Port.create () in
+  ignore (Port.reserve a ~earliest:0.0 ~duration:4.0);
+  Helpers.check_close "pair waits for both" 4.0
+    (Port.reserve_pair a b ~earliest:1.0 ~duration:1.0);
+  Helpers.check_close "receiver blocked too" 5.0 (Port.free_at b)
+
+let port_reset () =
+  let p = Port.create () in
+  ignore (Port.reserve p ~earliest:0.0 ~duration:10.0);
+  Port.reset p;
+  Helpers.check_close "reset" 0.0 (Port.free_at p)
+
+(* ------------------------------------------------------------------ *)
+(* Trial: worst case matches the analytic formulas                     *)
+(* ------------------------------------------------------------------ *)
+
+let wc_matches_eq1_comm_homog =
+  Helpers.seed_property ~count:150 "worst-case sim = Eq1 (comm homog)"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_comm_homog rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let analytic =
+        Latency.eq1 inst.Instance.pipeline inst.Instance.platform mapping
+      in
+      F.approx_eq ~eps:1e-9 analytic (Trial.worst_case_latency inst mapping))
+
+let wc_matches_eq2_fully_hetero =
+  Helpers.seed_property ~count:150 "worst-case sim = Eq2 (fully hetero)"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let analytic =
+        Latency.eq2 inst.Instance.pipeline inst.Instance.platform mapping
+      in
+      F.approx_eq ~eps:1e-9 analytic (Trial.worst_case_latency inst mapping))
+
+let all_alive_below_analytic =
+  Helpers.seed_property ~count:150 "all-alive pessimistic <= analytic"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let analytic =
+        Latency.of_mapping inst.Instance.pipeline inst.Instance.platform mapping
+      in
+      let alive = Failure_inject.all_alive inst.Instance.platform in
+      match Trial.run inst mapping ~alive ~policy:Trial.Pessimistic with
+      | Trial.Completed t -> F.leq ~eps:1e-9 t analytic
+      | Trial.Failed _ -> false)
+
+(* On heterogeneous links the optimistic forwarder can have slower outgoing
+   links than the pessimistic one, so the policies are not ordered in
+   general; with homogeneous links the forwarder identity does not affect
+   communication times and the ordering holds. *)
+let optimistic_below_pessimistic_comm_homog =
+  Helpers.seed_property ~count:150 "optimistic <= pessimistic (comm homog)"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_comm_homog rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let alive = Failure_inject.sample rng inst.Instance.platform in
+      match
+        ( Trial.run inst mapping ~alive ~policy:Trial.Optimistic,
+          Trial.run inst mapping ~alive ~policy:Trial.Pessimistic )
+      with
+      | Trial.Completed o, Trial.Completed p -> F.leq ~eps:1e-9 o p
+      | Trial.Failed i, Trial.Failed j -> i = j
+      | _ -> false)
+
+(* Under any policy and any survivor pattern, the simulated latency never
+   exceeds the analytic worst case of Eq. (1)/(2). *)
+let any_trial_below_analytic =
+  Helpers.seed_property ~count:150 "every completed trial <= analytic bound"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let analytic =
+        Latency.of_mapping inst.Instance.pipeline inst.Instance.platform mapping
+      in
+      let alive = Failure_inject.sample rng inst.Instance.platform in
+      List.for_all
+        (fun policy ->
+          match Trial.run inst mapping ~alive ~policy with
+          | Trial.Completed t -> F.leq ~eps:1e-9 t analytic
+          | Trial.Failed _ -> true)
+        [ Trial.Optimistic; Trial.Pessimistic ])
+
+let trial_fails_without_survivor () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let alive = Failure_inject.all_alive inst.Instance.platform in
+  let alive = Failure_inject.kill alive [ 0 ] in
+  (match Trial.run inst mapping ~alive ~policy:Trial.Optimistic with
+  | Trial.Failed 0 -> ()
+  | Trial.Failed j -> Alcotest.failf "wrong interval: %d" j
+  | Trial.Completed _ -> Alcotest.fail "expected failure");
+  (* Killing one fast replica of the second interval is survivable. *)
+  let alive = Failure_inject.all_alive inst.Instance.platform in
+  let alive = Failure_inject.kill alive [ 1; 2; 3 ] in
+  match Trial.run inst mapping ~alive ~policy:Trial.Optimistic with
+  | Trial.Completed _ -> ()
+  | Trial.Failed _ -> Alcotest.fail "expected success"
+
+let fig5_worst_case_is_22 () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  Helpers.check_close "paper's 22" 22.0
+    (Trial.worst_case_latency inst (Relpipe_workload.Scenarios.fig5_split ()))
+
+let trial_single_replica_exact () =
+  (* With one replica per interval, all policies and survivor patterns
+     coincide with the analytic value. *)
+  let inst = Relpipe_workload.Scenarios.fig34 () in
+  let mapping = Relpipe_workload.Scenarios.fig34_split () in
+  let alive = Failure_inject.all_alive inst.Instance.platform in
+  (match Trial.run inst mapping ~alive ~policy:Trial.Optimistic with
+  | Trial.Completed t -> Helpers.check_close "optimistic" 7.0 t
+  | Trial.Failed _ -> Alcotest.fail "unexpected failure");
+  match Trial.run inst mapping ~alive ~policy:Trial.Pessimistic with
+  | Trial.Completed t -> Helpers.check_close "pessimistic" 7.0 t
+  | Trial.Failed _ -> Alcotest.fail "unexpected failure"
+
+let trial_validation () =
+  let inst = Relpipe_workload.Scenarios.fig34 () in
+  let mapping = Relpipe_workload.Scenarios.fig34_split () in
+  Alcotest.(check bool) "alive size checked" true
+    (try
+       ignore (Trial.run inst mapping ~alive:[| true |] ~policy:Trial.Optimistic);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let inject_rates () =
+  let platform =
+    Platform.uniform_links ~speeds:[| 1.0; 1.0 |] ~failures:[| 0.0; 1.0 |]
+      ~bandwidth:1.0
+  in
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let alive = Failure_inject.sample rng platform in
+    Alcotest.(check bool) "fp=0 always alive" true alive.(0);
+    Alcotest.(check bool) "fp=1 always dead" false alive.(1)
+  done
+
+let inject_kill () =
+  let alive = [| true; true; true |] in
+  let killed = Failure_inject.kill alive [ 1 ] in
+  Alcotest.(check bool) "killed" false killed.(1);
+  Alcotest.(check bool) "original untouched" true alive.(1)
+
+(* ------------------------------------------------------------------ *)
+(* Monte Carlo                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let montecarlo_matches_analytic_fp () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let rng = Rng.create 2024 in
+  let r = Montecarlo.estimate rng inst mapping ~trials:20_000 ~policy:Trial.Optimistic in
+  (* Wilson 99.9% interval around the empirical rate must contain the
+     analytic success probability. *)
+  let lo, hi =
+    Relpipe_util.Stats.wilson_interval ~successes:r.Montecarlo.successes
+      ~trials:r.Montecarlo.trials ~z:3.29
+  in
+  Alcotest.(check bool) "analytic success within Wilson interval" true
+    (lo <= r.Montecarlo.analytic_success && r.Montecarlo.analytic_success <= hi)
+
+let montecarlo_latency_bounded =
+  Helpers.seed_property ~count:20 "observed latency never exceeds analytic"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let r =
+        Montecarlo.estimate rng inst mapping ~trials:200 ~policy:Trial.Pessimistic
+      in
+      r.Montecarlo.successes = 0
+      || F.leq ~eps:1e-9 r.Montecarlo.max_latency r.Montecarlo.analytic_latency)
+
+let montecarlo_rejects_bad_trials () =
+  let inst = Relpipe_workload.Scenarios.fig34 () in
+  let mapping = Relpipe_workload.Scenarios.fig34_split () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Montecarlo.estimate (Rng.create 0) inst mapping ~trials:0
+            ~policy:Trial.Optimistic);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          test "orders events" engine_orders_events;
+          test "FIFO ties" engine_fifo_ties;
+          test "nested scheduling" engine_nested_scheduling;
+          test "rejects past" engine_rejects_past;
+        ] );
+      ( "port",
+        [
+          test "serializes" port_serializes;
+          test "pair" port_pair;
+          test "reset" port_reset;
+        ] );
+      ( "trial",
+        [
+          wc_matches_eq1_comm_homog;
+          wc_matches_eq2_fully_hetero;
+          all_alive_below_analytic;
+          optimistic_below_pessimistic_comm_homog;
+          any_trial_below_analytic;
+          test "fails without survivor" trial_fails_without_survivor;
+          test "fig5 worst case is 22" fig5_worst_case_is_22;
+          test "single replica exact" trial_single_replica_exact;
+          test "validation" trial_validation;
+        ] );
+      ( "failure_inject",
+        [ test "rates" inject_rates; test "kill" inject_kill ] );
+      ( "montecarlo",
+        [
+          test "matches analytic FP" montecarlo_matches_analytic_fp;
+          montecarlo_latency_bounded;
+          test "rejects bad trials" montecarlo_rejects_bad_trials;
+        ] );
+    ]

@@ -1,0 +1,262 @@
+(* Tests for the throughput extension (paper Section 5 future work):
+   the Period model, the steady-state simulator, and round-robin
+   replication. *)
+
+open Relpipe_model
+open Relpipe_core
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* Period                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let period_manual () =
+  (* Comm-homog: b=2, two intervals: I1 = {S1} on {P0,P1} (speeds 2,1),
+     I2 = {S2} on {P2} (speed 4).  Pipeline: d0=6, (w1=4,d1=2), (w2=8,d2=10).
+     Pin: 2*6/2 = 6.  I1 replica cycle: 6/2 + 4/1 + 1*2/2 = 8.
+     I2: 2/2 + 8/4 + 10/2 = 8.  Pout: 10/2 = 5.  Period = 8. *)
+  let pipeline = Pipeline.of_costs ~input:6.0 [ (4.0, 2.0); (8.0, 10.0) ] in
+  let platform =
+    Platform.uniform_links ~speeds:[| 2.0; 1.0; 4.0 |]
+      ~failures:[| 0.1; 0.2; 0.3 |] ~bandwidth:2.0
+  in
+  let mapping =
+    Mapping.make ~n:2 ~m:3
+      [
+        { Mapping.first = 1; last = 1; procs = [ 0; 1 ] };
+        { Mapping.first = 2; last = 2; procs = [ 2 ] };
+      ]
+  in
+  Helpers.check_close "period by hand" 8.0 (Period.of_mapping pipeline platform mapping);
+  Helpers.check_close "collapsed formula" 8.0 (Period.comm_homog pipeline platform mapping);
+  Helpers.check_close "throughput" 0.125 (Period.throughput pipeline platform mapping)
+
+let period_formulas_agree =
+  Helpers.seed_property ~count:120 "general = collapsed formula on comm homog"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_comm_homog rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      F.approx_eq ~eps:1e-9
+        (Period.of_mapping inst.Instance.pipeline inst.Instance.platform mapping)
+        (Period.comm_homog inst.Instance.pipeline inst.Instance.platform mapping))
+
+let period_below_latency =
+  Helpers.seed_property ~count:100 "period <= latency" (fun seed ->
+      (* Each resource's per-data-set busy time is one summand of the
+         worst-case latency path, so the max cycle cannot exceed the sum. *)
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 5) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      F.leq ~eps:1e-9
+        (Period.of_mapping inst.Instance.pipeline inst.Instance.platform mapping)
+        (Latency.of_mapping inst.Instance.pipeline inst.Instance.platform mapping))
+
+let period_replication_tradeoff () =
+  (* Adding replicas can only increase the (worst-case) period: more
+     serialized sends, and the new replica may be slower. *)
+  let rng = Rng.create 12 in
+  let inst = Helpers.random_comm_homog rng ~n:3 ~m:4 in
+  let single = Mapping.single_interval ~n:3 ~m:4 [ 0 ] in
+  let replicated = Mapping.single_interval ~n:3 ~m:4 [ 0; 1; 2 ] in
+  Helpers.check_leq "replication worsens period"
+    (Period.of_mapping inst.Instance.pipeline inst.Instance.platform single)
+    (Period.of_mapping inst.Instance.pipeline inst.Instance.platform replicated)
+
+(* ------------------------------------------------------------------ *)
+(* Steady-state simulation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let steady_single_dataset_is_latency =
+  Helpers.seed_property ~count:80 "K=1 steady run = worst-case latency"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let r = Relpipe_sim.Steady.run inst mapping ~datasets:1 in
+      F.approx_eq ~eps:1e-9 r.Relpipe_sim.Steady.makespan
+        r.Relpipe_sim.Steady.analytic_latency)
+
+let steady_period_bounded =
+  Helpers.seed_property ~count:60 "estimated period <= analytic period"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let r = Relpipe_sim.Steady.run inst mapping ~datasets:50 in
+      F.leq ~eps:1e-6 r.Relpipe_sim.Steady.estimated_period
+        r.Relpipe_sim.Steady.analytic_period)
+
+let steady_makespan_pipelining_bound =
+  Helpers.seed_property ~count:60 "makespan <= latency + (K-1) * period"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let k = 20 in
+      let r = Relpipe_sim.Steady.run inst mapping ~datasets:k in
+      F.leq ~eps:1e-6 r.Relpipe_sim.Steady.makespan
+        (r.Relpipe_sim.Steady.analytic_latency
+        +. (float_of_int (k - 1) *. r.Relpipe_sim.Steady.analytic_period)))
+
+let steady_monotone_completions () =
+  let rng = Rng.create 3 in
+  let inst = Helpers.random_fully_hetero rng ~n:3 ~m:4 in
+  let mapping = Helpers.random_mapping rng ~n:3 ~m:4 in
+  let r10 = Relpipe_sim.Steady.run inst mapping ~datasets:10 in
+  let r20 = Relpipe_sim.Steady.run inst mapping ~datasets:20 in
+  Helpers.check_leq "more data sets take longer" r10.Relpipe_sim.Steady.makespan
+    r20.Relpipe_sim.Steady.makespan;
+  Helpers.check_close "first dataset unaffected"
+    r10.Relpipe_sim.Steady.first_completion r20.Relpipe_sim.Steady.first_completion
+
+let steady_validation () =
+  let inst = Relpipe_workload.Scenarios.fig34 () in
+  let mapping = Relpipe_workload.Scenarios.fig34_split () in
+  Alcotest.(check bool) "rejects K=0" true
+    (try
+       ignore (Relpipe_sim.Steady.run inst mapping ~datasets:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Round-robin replication                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rr_q1_equals_mapping =
+  Helpers.seed_property ~count:80 "q=1 round-robin = plain mapping metrics"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 5) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let rr = Round_robin.of_mapping mapping in
+      F.approx_eq ~eps:1e-9 (Round_robin.latency inst rr)
+        (Latency.eq2 inst.Instance.pipeline inst.Instance.platform mapping)
+      && F.approx_eq ~eps:1e-9 (Round_robin.period inst rr)
+           (Period.of_mapping inst.Instance.pipeline inst.Instance.platform mapping)
+      && F.approx_eq ~eps:1e-9 (Round_robin.failure inst rr)
+           (Failure.of_mapping inst.Instance.platform mapping))
+
+let rr_partition_tradeoff =
+  Helpers.seed_property ~count:60
+    "splitting groups improves period, degrades reliability" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) in
+      let m = 6 in
+      let inst = Helpers.random_comm_homog rng ~n ~m in
+      (* One interval replicated on 4+ processors so q=2 is possible. *)
+      let mapping = Mapping.single_interval ~n ~m [ 0; 1; 2; 3 ] in
+      match Round_robin.partition_groups mapping ~q:2 with
+      | None -> false
+      | Some rr ->
+          let base = Round_robin.of_mapping mapping in
+          F.leq ~eps:1e-9 (Round_robin.period inst rr)
+            (Round_robin.period inst base)
+          && F.geq ~eps:1e-9 (Round_robin.failure inst rr)
+               (Round_robin.failure inst base))
+
+let rr_partition_needs_enough_replicas () =
+  let mapping = Mapping.single_interval ~n:2 ~m:3 [ 0; 1 ] in
+  Alcotest.(check bool) "q=3 impossible with 2 replicas" true
+    (Round_robin.partition_groups mapping ~q:3 = None);
+  Alcotest.(check bool) "q=2 possible" true
+    (Round_robin.partition_groups mapping ~q:2 <> None)
+
+let rr_failure_manual () =
+  (* Two groups of one processor each: both must survive. *)
+  let inst =
+    Instance.make
+      (Pipeline.of_costs ~input:1.0 [ (1.0, 1.0) ])
+      (Platform.uniform_links ~speeds:[| 1.0; 1.0 |] ~failures:[| 0.2; 0.3 |]
+         ~bandwidth:1.0)
+  in
+  let rr =
+    Round_robin.make ~n:1 ~m:2
+      [ { Round_robin.first = 1; last = 1; groups = [ [ 0 ]; [ 1 ] ] } ]
+  in
+  (* 1 - (1-0.2)(1-0.3) = 0.44 *)
+  Helpers.check_close "both groups must survive" 0.44 (Round_robin.failure inst rr)
+
+let rr_per_dataset_mappings_bounded =
+  Helpers.seed_property ~count:40
+    "every per-data-set mapping's worst case <= RR latency" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 3) in
+      let m = 6 in
+      let inst = Helpers.random_comm_homog rng ~n ~m in
+      let mapping = Mapping.single_interval ~n ~m [ 0; 1; 2; 3 ] in
+      match Round_robin.partition_groups mapping ~q:2 with
+      | None -> false
+      | Some rr ->
+          let bound = Round_robin.latency inst rr in
+          List.for_all
+            (fun d ->
+              let md = Round_robin.mapping_for_dataset ~m rr ~dataset:d in
+              F.leq ~eps:1e-9 (Relpipe_sim.Trial.worst_case_latency inst md) bound)
+            (List.init (Round_robin.cycle_length rr) Fun.id))
+
+let rr_cycle_length () =
+  let rr =
+    Round_robin.make ~n:2 ~m:6
+      [
+        { Round_robin.first = 1; last = 1; groups = [ [ 0 ]; [ 1 ] ] };
+        { Round_robin.first = 2; last = 2; groups = [ [ 2 ]; [ 3 ]; [ 4 ] ] };
+      ]
+  in
+  Alcotest.(check int) "lcm 2 3" 6 (Round_robin.cycle_length rr);
+  (* Data set 1 goes to group 1 of interval 1 and group 1 of interval 2. *)
+  let md = Round_robin.mapping_for_dataset ~m:6 rr ~dataset:1 in
+  Alcotest.(check (list int)) "groups selected" [ 1; 3 ] (Mapping.used_procs md)
+
+let rr_validation () =
+  let bad specs =
+    try
+      ignore (Round_robin.make ~n:2 ~m:3 specs);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty group" true
+    (bad [ { Round_robin.first = 1; last = 2; groups = [ []; [ 0 ] ] } ]);
+  Alcotest.(check bool) "proc reused" true
+    (bad [ { Round_robin.first = 1; last = 2; groups = [ [ 0 ]; [ 0 ] ] } ]);
+  Alcotest.(check bool) "gap" true
+    (bad [ { Round_robin.first = 1; last = 1; groups = [ [ 0 ] ] } ])
+
+let () =
+  Alcotest.run "throughput"
+    [
+      ( "period",
+        [
+          test "by hand" period_manual;
+          period_formulas_agree;
+          period_below_latency;
+          test "replication trade-off" period_replication_tradeoff;
+        ] );
+      ( "steady-state",
+        [
+          steady_single_dataset_is_latency;
+          steady_period_bounded;
+          steady_makespan_pipelining_bound;
+          test "monotone completions" steady_monotone_completions;
+          test "validation" steady_validation;
+        ] );
+      ( "round-robin",
+        [
+          rr_q1_equals_mapping;
+          rr_partition_tradeoff;
+          test "needs enough replicas" rr_partition_needs_enough_replicas;
+          test "failure by hand" rr_failure_manual;
+          rr_per_dataset_mappings_bounded;
+          test "cycle length" rr_cycle_length;
+          test "validation" rr_validation;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Tests for the simulation trace / invariant checker and the lifetime
+   (goodput) simulator. *)
+
+open Relpipe_model
+open Relpipe_sim
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* Trace mechanics on hand-built events                                *)
+(* ------------------------------------------------------------------ *)
+
+let transfer ?(dataset = 0) src dst start finish =
+  Trace.Transfer { src; dst; dataset; start; finish }
+
+let compute ?(dataset = 0) proc start finish =
+  Trace.Compute { proc; dataset; start; finish }
+
+let trace_detects_one_port_violation () =
+  let t = Trace.create () in
+  (* P0 sends to P1 and receives from P2 at the same time: two transfers
+     sharing endpoint P0 with overlapping windows. *)
+  Trace.record t (transfer (Platform.Proc 0) (Platform.Proc 1) 0.0 2.0);
+  Trace.record t (transfer (Platform.Proc 2) (Platform.Proc 0) 1.0 3.0);
+  Alcotest.(check int) "one violation" 1 (List.length (Trace.one_port_violations t))
+
+let trace_allows_back_to_back () =
+  let t = Trace.create () in
+  Trace.record t (transfer (Platform.Proc 0) (Platform.Proc 1) 0.0 2.0);
+  Trace.record t (transfer (Platform.Proc 0) (Platform.Proc 2) 2.0 4.0);
+  Alcotest.(check int) "touching windows are fine" 0
+    (List.length (Trace.one_port_violations t))
+
+let trace_allows_disjoint_pairs () =
+  let t = Trace.create () in
+  (* Independent pairs may communicate simultaneously (one-port only
+     serializes per endpoint). *)
+  Trace.record t (transfer (Platform.Proc 0) (Platform.Proc 1) 0.0 2.0);
+  Trace.record t (transfer (Platform.Proc 2) (Platform.Proc 3) 0.0 2.0);
+  Alcotest.(check int) "independent pairs ok" 0
+    (List.length (Trace.one_port_violations t))
+
+let trace_detects_compute_overlap () =
+  let t = Trace.create () in
+  Trace.record t (compute ~dataset:0 1 0.0 5.0);
+  Trace.record t (compute ~dataset:1 1 4.0 6.0);
+  Trace.record t (compute ~dataset:2 2 4.0 6.0);
+  Alcotest.(check int) "one overlap on P1" 1
+    (List.length (Trace.compute_violations t))
+
+let trace_detects_compute_before_receive () =
+  let t = Trace.create () in
+  Trace.record t (transfer ~dataset:3 Platform.Pin (Platform.Proc 0) 0.0 2.0);
+  Trace.record t (compute ~dataset:3 0 1.0 4.0);
+  Alcotest.(check int) "causality violation" 1
+    (List.length (Trace.causality_violations t))
+
+let trace_detects_send_before_compute () =
+  let t = Trace.create () in
+  Trace.record t (compute ~dataset:3 0 0.0 4.0);
+  Trace.record t (transfer ~dataset:3 (Platform.Proc 0) Platform.Pout 3.0 5.0);
+  Alcotest.(check int) "causality violation" 1
+    (List.length (Trace.causality_violations t))
+
+(* ------------------------------------------------------------------ *)
+(* The steady-state runner satisfies the model invariants              *)
+(* ------------------------------------------------------------------ *)
+
+let steady_trace_clean =
+  Helpers.seed_property ~count:40 "steady-state traces have no violations"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 4) and m = 2 + (seed mod 4) in
+      let inst = Helpers.random_fully_hetero rng ~n ~m in
+      let mapping = Helpers.random_mapping rng ~n ~m in
+      let trace = Trace.create () in
+      let _ = Steady.run ~trace inst mapping ~datasets:8 in
+      Trace.all_violations trace = [])
+
+let steady_trace_event_count () =
+  (* K data sets through p intervals with k_j replicas each: per data set,
+     sum k_j transfers in, sum k_j computations, and 1 transfer to Pout. *)
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let trace = Trace.create () in
+  let k = 5 in
+  let _ = Steady.run ~trace inst mapping ~datasets:k in
+  (* k_1 = 1, k_2 = 10: per data set 11 receives + 11 computes + 1 out. *)
+  Alcotest.(check int) "event count" (k * 23) (Trace.length trace)
+
+(* ------------------------------------------------------------------ *)
+(* Lifetime / goodput                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lifetime_no_failures () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let rng = Rng.create 1 in
+  let r =
+    Lifetime.run rng inst mapping ~rates:(Array.make 11 0.0) ~mission:1000.0
+  in
+  Alcotest.(check bool) "not compromised" false r.Lifetime.compromised;
+  Helpers.check_close "full goodput" 1.0 r.Lifetime.goodput;
+  Alcotest.(check bool) "stream is long" true (r.Lifetime.offered > 10)
+
+let lifetime_certain_failure () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let rng = Rng.create 2 in
+  (* Gigantic rates: everything dies almost immediately. *)
+  let r =
+    Lifetime.run rng inst mapping ~rates:(Array.make 11 1e6) ~mission:1000.0
+  in
+  Alcotest.(check bool) "compromised" true r.Lifetime.compromised;
+  Alcotest.(check bool) "goodput near zero" true (r.Lifetime.goodput < 0.05)
+
+let lifetime_goodput_monotone =
+  Helpers.seed_property ~count:25 "higher rates cannot improve goodput"
+    (fun seed ->
+      let rng = Rng.create seed in
+      let inst = Helpers.random_comm_homog rng ~n:3 ~m:4 in
+      let mapping = Helpers.random_mapping rng ~n:3 ~m:4 in
+      let rates = Array.init 4 (fun _ -> Rng.float_range rng 0.001 0.05) in
+      let doubled = Array.map (fun r -> r *. 4.0) rates in
+      (* Same seed for both runs: the underlying exponential draws scale
+         deterministically, so the comparison is paired. *)
+      let r1 = Lifetime.run (Rng.create (seed + 1)) inst mapping ~rates ~mission:50.0 in
+      let r2 =
+        Lifetime.run (Rng.create (seed + 1)) inst mapping ~rates:doubled ~mission:50.0
+      in
+      r2.Lifetime.goodput <= r1.Lifetime.goodput +. 1e-9)
+
+let lifetime_survival_matches_analytic () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let rng = Rng.create 99 in
+  let rates =
+    Array.init 11 (fun u -> if u = 0 then 0.01 else 0.15)
+  in
+  let empirical, analytic =
+    Lifetime.survival_estimate rng inst mapping ~rates ~mission:10.0
+      ~trials:20_000
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %.4f near analytic %.4f" empirical analytic)
+    true
+    (Float.abs (empirical -. analytic) < 0.015)
+
+let lifetime_validation () =
+  let inst = Relpipe_workload.Scenarios.fig5 () in
+  let mapping = Relpipe_workload.Scenarios.fig5_split () in
+  let rng = Rng.create 0 in
+  Alcotest.(check bool) "wrong rate arity" true
+    (try
+       ignore (Lifetime.run rng inst mapping ~rates:[| 0.1 |] ~mission:10.0);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad mission" true
+    (try
+       ignore
+         (Lifetime.run rng inst mapping ~rates:(Array.make 11 0.1) ~mission:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "trace-lifetime"
+    [
+      ( "trace",
+        [
+          test "detects one-port violation" trace_detects_one_port_violation;
+          test "allows back-to-back" trace_allows_back_to_back;
+          test "allows disjoint pairs" trace_allows_disjoint_pairs;
+          test "detects compute overlap" trace_detects_compute_overlap;
+          test "detects compute before receive" trace_detects_compute_before_receive;
+          test "detects send before compute" trace_detects_send_before_compute;
+        ] );
+      ( "steady-invariants",
+        [
+          steady_trace_clean;
+          test "event count" steady_trace_event_count;
+        ] );
+      ( "lifetime",
+        [
+          test "no failures" lifetime_no_failures;
+          test "certain failure" lifetime_certain_failure;
+          lifetime_goodput_monotone;
+          test "survival matches analytic" lifetime_survival_matches_analytic;
+          test "validation" lifetime_validation;
+        ] );
+    ]

@@ -1,0 +1,548 @@
+open Relpipe_util
+module Q = QCheck
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let rng_int_bounds =
+  Helpers.seed_property "Rng.int stays within bounds" (fun seed ->
+      let rng = Rng.create seed in
+      let bound = 1 + (seed mod 50) in
+      List.for_all
+        (fun _ ->
+          let v = Rng.int rng bound in
+          v >= 0 && v < bound)
+        (List.init 200 Fun.id))
+
+let rng_int_rejects_bad () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let rng_float_bounds =
+  Helpers.seed_property "Rng.float stays within bounds" (fun seed ->
+      let rng = Rng.create seed in
+      List.for_all
+        (fun _ ->
+          let v = Rng.float rng 3.5 in
+          v >= 0.0 && v < 3.5)
+        (List.init 200 Fun.id))
+
+let rng_float_range_order () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Rng.float_range: lo > hi")
+    (fun () -> ignore (Rng.float_range rng 2.0 1.0))
+
+let rng_mean_reasonable () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20_000 (fun _ -> Rng.float rng 1.0) in
+  let mean = Stats.mean xs in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let rng_bernoulli_rate () =
+  let rng = Rng.create 13 in
+  let hits = ref 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let rng_permutation_valid =
+  Helpers.seed_property "Rng.permutation is a permutation" (fun seed ->
+      let rng = Rng.create seed in
+      let n = 1 + (seed mod 20) in
+      let p = Rng.permutation rng n in
+      let sorted = Array.copy p in
+      Array.sort compare sorted;
+      sorted = Array.init n Fun.id)
+
+let rng_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xs = Array.init 32 (fun _ -> Rng.int64 a) in
+  let ys = Array.init 32 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let rng_exponential_positive () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Rng.exponential rng 2.0 in
+    Alcotest.(check bool) "positive" true (v >= 0.0 && Float.is_finite v)
+  done
+
+let rng_pick_member =
+  Helpers.seed_property "Rng.pick returns a member" (fun seed ->
+      let rng = Rng.create seed in
+      let a = [| 1; 5; 9; 12 |] in
+      Array.mem (Rng.pick rng a) a)
+
+(* ------------------------------------------------------------------ *)
+(* Float_cmp                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let float_cmp_basic () =
+  Alcotest.(check bool) "equal" true (Float_cmp.approx_eq 1.0 1.0);
+  Alcotest.(check bool) "close" true (Float_cmp.approx_eq 1.0 (1.0 +. 1e-12));
+  Alcotest.(check bool) "far" false (Float_cmp.approx_eq 1.0 1.1);
+  Alcotest.(check bool) "relative" true
+    (Float_cmp.approx_eq 1e12 (1e12 *. (1.0 +. 1e-12)));
+  Alcotest.(check bool) "nan not equal" false (Float_cmp.approx_eq Float.nan 1.0);
+  Alcotest.(check bool) "inf equal to itself" true
+    (Float_cmp.approx_eq Float.infinity Float.infinity)
+
+let float_cmp_leq () =
+  Alcotest.(check bool) "strictly less" true (Float_cmp.leq 1.0 2.0);
+  Alcotest.(check bool) "approx equal counts" true (Float_cmp.leq (1.0 +. 1e-12) 1.0);
+  Alcotest.(check bool) "greater fails" false (Float_cmp.leq 2.0 1.0)
+
+let float_cmp_compare_consistent =
+  QCheck_alcotest.to_alcotest
+    (Q.Test.make ~name:"Float_cmp.compare antisymmetric" ~count:500
+       Q.(pair (float_bound_exclusive 100.0) (float_bound_exclusive 100.0))
+       (fun (a, b) -> Float_cmp.compare a b = -Float_cmp.compare b a))
+
+let float_cmp_clamp () =
+  Alcotest.(check (float 0.0)) "below" 0.0 (Float_cmp.clamp ~lo:0.0 ~hi:1.0 (-3.0));
+  Alcotest.(check (float 0.0)) "above" 1.0 (Float_cmp.clamp ~lo:0.0 ~hi:1.0 2.0);
+  Alcotest.(check (float 0.0)) "inside" 0.5 (Float_cmp.clamp ~lo:0.0 ~hi:1.0 0.5)
+
+let float_cmp_probability () =
+  Alcotest.(check bool) "0 ok" true (Float_cmp.is_probability 0.0);
+  Alcotest.(check bool) "1 ok" true (Float_cmp.is_probability 1.0);
+  Alcotest.(check bool) "1.5 bad" false (Float_cmp.is_probability 1.5);
+  Alcotest.(check bool) "nan bad" false (Float_cmp.is_probability Float.nan)
+
+(* ------------------------------------------------------------------ *)
+(* Kahan                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let kahan_hard_case () =
+  (* 1 + 1e-16 added 1e6 times loses the small terms with naive
+     summation. *)
+  let acc = Kahan.create () in
+  Kahan.add acc 1.0;
+  for _ = 1 to 1_000_000 do
+    Kahan.add acc 1e-16
+  done;
+  Helpers.check_close ~eps:1e-12 "compensated" (1.0 +. 1e-10) (Kahan.sum acc)
+
+let kahan_matches_naive_on_easy =
+  Helpers.seed_property "Kahan equals naive on benign input" (fun seed ->
+      let rng = Rng.create seed in
+      let xs = Array.init 100 (fun _ -> Rng.float rng 10.0) in
+      let naive = Array.fold_left ( +. ) 0.0 xs in
+      Float_cmp.approx_eq ~eps:1e-9 naive (Kahan.sum_array xs))
+
+let kahan_neumaier_order () =
+  (* Neumaier's variant handles a huge term arriving after small ones. *)
+  let acc = Kahan.create () in
+  Kahan.add acc 1.0;
+  Kahan.add acc 1e100;
+  Kahan.add acc 1.0;
+  Kahan.add acc (-1e100);
+  Helpers.check_close "big cancellation" 2.0 (Kahan.sum acc)
+
+let kahan_seq_and_map () =
+  Helpers.check_close "sum_seq" 6.0 (Kahan.sum_seq (List.to_seq [ 1.0; 2.0; 3.0 ]));
+  Helpers.check_close "sum_map" 12.0 (Kahan.sum_map (fun x -> 2.0 *. x) [ 1.0; 2.0; 3.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stats_known_values () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  Helpers.check_close "mean" 5.0 (Stats.mean xs);
+  Helpers.check_close "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev xs);
+  Helpers.check_close "median" 4.5 (Stats.quantile xs 0.5);
+  Helpers.check_close "q0" 2.0 (Stats.quantile xs 0.0);
+  Helpers.check_close "q1" 9.0 (Stats.quantile xs 1.0)
+
+let stats_quantile_monotone =
+  Helpers.seed_property "quantiles are monotone" (fun seed ->
+      let rng = Rng.create seed in
+      let xs = Array.init 50 (fun _ -> Rng.float rng 100.0) in
+      let q1 = Stats.quantile xs 0.25
+      and q2 = Stats.quantile xs 0.5
+      and q3 = Stats.quantile xs 0.75 in
+      q1 <= q2 && q2 <= q3)
+
+let stats_summary_bounds =
+  Helpers.seed_property "summary min <= mean <= max" (fun seed ->
+      let rng = Rng.create seed in
+      let xs = Array.init 30 (fun _ -> Rng.float rng 100.0) in
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean && s.Stats.mean <= s.Stats.max)
+
+let stats_empty_rejected () =
+  Alcotest.check_raises "empty summarize"
+    (Invalid_argument "Stats.summarize: empty sample") (fun () ->
+      ignore (Stats.summarize [||]))
+
+let stats_wilson () =
+  let lo, hi = Stats.wilson_interval ~successes:50 ~trials:100 ~z:1.96 in
+  Alcotest.(check bool) "contains p-hat" true (lo < 0.5 && 0.5 < hi);
+  Alcotest.(check bool) "sane width" true (hi -. lo < 0.25);
+  let lo0, _ = Stats.wilson_interval ~successes:0 ~trials:100 ~z:1.96 in
+  Alcotest.(check bool) "zero successes" true (lo0 >= 0.0)
+
+let stats_proportion () =
+  Helpers.check_close "proportion" 0.25 (Stats.proportion [| true; false; false; false |])
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let pqueue_sorts =
+  Helpers.seed_property "pop order is sorted" (fun seed ->
+      let rng = Rng.create seed in
+      let q = Pqueue.create () in
+      let n = 1 + (seed mod 100) in
+      for i = 0 to n - 1 do
+        Pqueue.push q (Rng.float rng 100.0) i
+      done;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (p, _) -> p >= last && drain p
+      in
+      drain Float.neg_infinity)
+
+let pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 1.0 "b";
+  Pqueue.push q 1.0 "c";
+  let pop () = snd (Option.get (Pqueue.pop q)) in
+  Alcotest.(check string) "first" "a" (pop ());
+  Alcotest.(check string) "second" "b" (pop ());
+  Alcotest.(check string) "third" "c" (pop ())
+
+let pqueue_peek_and_length () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 2.0 20;
+  Pqueue.push q 1.0 10;
+  Alcotest.(check int) "length" 2 (Pqueue.length q);
+  (match Pqueue.peek q with
+  | Some (p, v) ->
+      Helpers.check_close "peek prio" 1.0 p;
+      Alcotest.(check int) "peek value" 10 v
+  | None -> Alcotest.fail "expected peek");
+  Alcotest.(check int) "peek does not remove" 2 (Pqueue.length q)
+
+let pqueue_to_sorted_list () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push q p v) [ (3.0, 'c'); (1.0, 'a'); (2.0, 'b') ];
+  let listed = Pqueue.to_sorted_list q in
+  Alcotest.(check (list char)) "sorted payloads" [ 'a'; 'b'; 'c' ]
+    (List.map snd listed);
+  Alcotest.(check int) "queue unchanged" 3 (Pqueue.length q)
+
+let pqueue_clear () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 1;
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let pqueue_oracle_stress () =
+  (* 10k random operations against a sorted-list oracle. *)
+  let rng = Rng.create 2718 in
+  let q = Pqueue.create () in
+  let oracle = ref [] in
+  (* Oracle entries: (prio, seq); pop order = (prio, seq) lexicographic. *)
+  let seq = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.float rng 1.0 < 0.6 || !oracle = [] then begin
+      let p = Rng.float rng 100.0 in
+      Pqueue.push q p !seq;
+      oracle := (p, !seq) :: !oracle;
+      incr seq
+    end
+    else begin
+      let sorted = List.sort compare !oracle in
+      match sorted, Pqueue.pop q with
+      | (p, s) :: rest, Some (p', s') ->
+          Alcotest.(check (float 0.0)) "priority" p p';
+          Alcotest.(check int) "payload" s s';
+          oracle := rest
+      | _, None -> Alcotest.fail "queue empty but oracle not"
+      | [], _ -> Alcotest.fail "oracle empty but queue not"
+    end
+  done;
+  Alcotest.(check int) "sizes agree" (List.length !oracle) (Pqueue.length q)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let bitset_model =
+  Helpers.seed_property "bitset agrees with a list model" (fun seed ->
+      let rng = Rng.create seed in
+      let ops = List.init 60 (fun _ -> (Rng.int rng 20, Rng.bool rng)) in
+      let set, model =
+        List.fold_left
+          (fun (set, model) (i, add) ->
+            if add then (Bitset.add i set, List.sort_uniq compare (i :: model))
+            else (Bitset.remove i set, List.filter (( <> ) i) model))
+          (Bitset.empty, []) ops
+      in
+      Bitset.elements set = model
+      && Bitset.cardinal set = List.length model
+      && List.for_all (fun i -> Bitset.mem i set) model)
+
+let bitset_set_ops () =
+  let a = Bitset.of_list [ 0; 2; 4 ] and b = Bitset.of_list [ 2; 3 ] in
+  Alcotest.(check (list int)) "union" [ 0; 2; 3; 4 ]
+    (Bitset.elements (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 2 ] (Bitset.elements (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 4 ] (Bitset.elements (Bitset.diff a b));
+  Alcotest.(check bool) "not disjoint" false (Bitset.disjoint a b);
+  Alcotest.(check bool) "disjoint" true
+    (Bitset.disjoint a (Bitset.of_list [ 1; 3 ]));
+  Alcotest.(check bool) "subset" true
+    (Bitset.subset (Bitset.of_list [ 0; 4 ]) a)
+
+let bitset_subsets_count () =
+  let s = Bitset.of_list [ 1; 3; 5; 7 ] in
+  let subsets = List.of_seq (Bitset.subsets s) in
+  Alcotest.(check int) "2^4 subsets" 16 (List.length subsets);
+  Alcotest.(check int) "unique" 16
+    (List.length (List.sort_uniq Bitset.compare subsets));
+  Alcotest.(check bool) "all are subsets" true
+    (List.for_all (fun sub -> Bitset.subset sub s) subsets);
+  Alcotest.(check int) "nonempty count" 15
+    (List.length (List.of_seq (Bitset.nonempty_subsets s)))
+
+let bitset_full_and_choose () =
+  Alcotest.(check int) "full cardinal" 5 (Bitset.cardinal (Bitset.full 5));
+  Alcotest.(check (option int)) "choose smallest" (Some 3)
+    (Bitset.choose (Bitset.of_list [ 7; 3; 9 ]));
+  Alcotest.(check (option int)) "choose empty" None (Bitset.choose Bitset.empty)
+
+let bitset_range_checks () =
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: element out of range")
+    (fun () -> ignore (Bitset.singleton (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Combin                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let combin_binomial () =
+  Alcotest.(check int) "C(5,2)" 10 (Combin.binomial 5 2);
+  Alcotest.(check int) "C(10,0)" 1 (Combin.binomial 10 0);
+  Alcotest.(check int) "C(10,10)" 1 (Combin.binomial 10 10);
+  Alcotest.(check int) "C(4,7)" 0 (Combin.binomial 4 7);
+  Alcotest.(check int) "C(20,10)" 184756 (Combin.binomial 20 10)
+
+let combin_compositions_count () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "2^%d compositions" (n - 1))
+        (1 lsl (n - 1))
+        (Seq.length (Combin.compositions n)))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let combin_compositions_cover =
+  Helpers.seed_property "compositions cover 1..n contiguously" (fun seed ->
+      let n = 1 + (seed mod 7) in
+      Seq.for_all
+        (fun intervals ->
+          let rec check expected = function
+            | [] -> expected = n + 1
+            | (first, last) :: tl ->
+                first = expected && last >= first && check (last + 1) tl
+          in
+          check 1 intervals)
+        (Combin.compositions n))
+
+let combin_subsets_of_size () =
+  let subsets = List.of_seq (Combin.subsets_of_size 5 3) in
+  Alcotest.(check int) "C(5,3)" 10 (List.length subsets);
+  Alcotest.(check bool) "sorted & distinct" true
+    (List.for_all
+       (fun s -> List.length s = 3 && List.sort_uniq compare s = s)
+       subsets);
+  Alcotest.(check int) "all unique" 10
+    (List.length (List.sort_uniq compare subsets))
+
+let combin_permutations_count () =
+  Alcotest.(check int) "4! perms" 24
+    (Seq.length (Combin.permutations [ 1; 2; 3; 4 ]));
+  Alcotest.(check int) "0! perms" 1 (Seq.length (Combin.permutations []))
+
+let combin_permutations_distinct () =
+  let perms = List.of_seq (Combin.permutations [ 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "distinct" 24 (List.length (List.sort_uniq compare perms));
+  Alcotest.(check bool) "each is a permutation" true
+    (List.for_all (fun p -> List.sort compare p = [ 1; 2; 3; 4 ]) perms)
+
+let combin_disjoint_assignments () =
+  let pool = Relpipe_util.Bitset.full 3 in
+  (* p=1: 7 non-empty subsets.  p=2: ordered disjoint non-empty pairs. *)
+  Alcotest.(check int) "p=1" 7
+    (Seq.length (Combin.disjoint_assignments pool 1));
+  let pairs = List.of_seq (Combin.disjoint_assignments pool 2) in
+  Alcotest.(check bool) "pairwise disjoint" true
+    (List.for_all
+       (fun sets ->
+         match sets with
+         | [ a; b ] ->
+             Relpipe_util.Bitset.disjoint a b
+             && (not (Relpipe_util.Bitset.is_empty a))
+             && not (Relpipe_util.Bitset.is_empty b)
+         | _ -> false)
+       pairs);
+  (* Count: sum over non-empty A of (2^(3-|A|) - 1) = 3*3 + 3*1 + 1*0 = 12. *)
+  Alcotest.(check int) "p=2 count" 12 (List.length pairs)
+
+let combin_compositions_up_to () =
+  (* Partitions of 1..n into at most p intervals: sum_{q<=p} C(n-1, q-1). *)
+  let expected n p =
+    let total = ref 0 in
+    for q = 1 to p do
+      total := !total + Combin.binomial (n - 1) (q - 1)
+    done;
+    !total
+  in
+  List.iter
+    (fun (n, p) ->
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d p=%d" n p)
+        (expected n p)
+        (Seq.length (Combin.compositions_up_to n p)))
+    [ (5, 1); (5, 2); (5, 5); (7, 3); (1, 1) ]
+
+let combin_injections () =
+  let inj = List.of_seq (Combin.injections 2 [ 1; 2; 3 ]) in
+  Alcotest.(check int) "3*2 injections" 6 (List.length inj);
+  Alcotest.(check bool) "entries distinct" true
+    (List.for_all
+       (fun l -> List.length (List.sort_uniq compare l) = List.length l)
+       inj)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table_renders () =
+  let t = Table.create [ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length out > 0
+    && String.sub out 0 4 = "name");
+  (* Columns aligned: every line has the same position for the second
+     column. *)
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count (header+rule+2 rows+trailing)" 5
+    (List.length lines)
+
+let table_arity_checked () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let table_fmt_float () =
+  Alcotest.(check string) "compact" "1.5" (Table.fmt_float 1.5);
+  Alcotest.(check string) "digits" "3.14" (Table.fmt_float ~digits:3 3.14159)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          test "deterministic streams" rng_deterministic;
+          test "different seeds differ" rng_seeds_differ;
+          rng_int_bounds;
+          test "int rejects bad bound" rng_int_rejects_bad;
+          rng_float_bounds;
+          test "float_range rejects inverted" rng_float_range_order;
+          test "uniform mean" rng_mean_reasonable;
+          test "bernoulli rate" rng_bernoulli_rate;
+          rng_permutation_valid;
+          test "split independence" rng_split_independent;
+          test "exponential positive" rng_exponential_positive;
+          rng_pick_member;
+        ] );
+      ( "float_cmp",
+        [
+          test "approx_eq basics" float_cmp_basic;
+          test "leq" float_cmp_leq;
+          float_cmp_compare_consistent;
+          test "clamp" float_cmp_clamp;
+          test "is_probability" float_cmp_probability;
+        ] );
+      ( "kahan",
+        [
+          test "hard case" kahan_hard_case;
+          kahan_matches_naive_on_easy;
+          test "neumaier order" kahan_neumaier_order;
+          test "seq and map" kahan_seq_and_map;
+        ] );
+      ( "stats",
+        [
+          test "known values" stats_known_values;
+          stats_quantile_monotone;
+          stats_summary_bounds;
+          test "empty rejected" stats_empty_rejected;
+          test "wilson interval" stats_wilson;
+          test "proportion" stats_proportion;
+        ] );
+      ( "pqueue",
+        [
+          pqueue_sorts;
+          test "FIFO among ties" pqueue_fifo_ties;
+          test "peek and length" pqueue_peek_and_length;
+          test "to_sorted_list" pqueue_to_sorted_list;
+          test "clear" pqueue_clear;
+          test "oracle stress (10k ops)" pqueue_oracle_stress;
+        ] );
+      ( "bitset",
+        [
+          bitset_model;
+          test "set operations" bitset_set_ops;
+          test "subsets enumeration" bitset_subsets_count;
+          test "full and choose" bitset_full_and_choose;
+          test "range checks" bitset_range_checks;
+        ] );
+      ( "combin",
+        [
+          test "binomial" combin_binomial;
+          test "compositions count" combin_compositions_count;
+          combin_compositions_cover;
+          test "subsets of size" combin_subsets_of_size;
+          test "permutations count" combin_permutations_count;
+          test "permutations distinct" combin_permutations_distinct;
+          test "disjoint assignments" combin_disjoint_assignments;
+          test "compositions up to" combin_compositions_up_to;
+          test "injections" combin_injections;
+        ] );
+      ( "table",
+        [
+          test "renders" table_renders;
+          test "arity checked" table_arity_checked;
+          test "fmt_float" table_fmt_float;
+        ] );
+    ]

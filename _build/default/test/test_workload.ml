@@ -1,0 +1,269 @@
+open Relpipe_model
+open Relpipe_workload
+module Rng = Relpipe_util.Rng
+
+let test = Helpers.test
+
+(* ------------------------------------------------------------------ *)
+(* App_gen                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let app_random_ranges =
+  Helpers.seed_property "random pipeline respects ranges" (fun seed ->
+      let rng = Rng.create seed in
+      let spec = { App_gen.n = 5; work = (2.0, 4.0); data = (1.0, 3.0) } in
+      let p = App_gen.random rng spec in
+      Pipeline.length p = 5
+      && List.for_all
+           (fun k ->
+             let w = Pipeline.work p k in
+             w >= 2.0 && w <= 4.0)
+           [ 1; 2; 3; 4; 5 ]
+      && List.for_all
+           (fun k ->
+             let d = Pipeline.delta p k in
+             d >= 1.0 && d <= 3.0)
+           [ 0; 1; 2; 3; 4; 5 ])
+
+let app_uniform () =
+  let p = App_gen.uniform ~n:3 ~work:2.0 ~data:5.0 in
+  Helpers.check_close "work" 2.0 (Pipeline.work p 2);
+  Helpers.check_close "delta0" 5.0 (Pipeline.delta p 0);
+  Helpers.check_close "total" 6.0 (Pipeline.total_work p)
+
+let app_profiles () =
+  let rng = Rng.create 1 in
+  let cb = App_gen.compute_bound rng ~n:4 in
+  let db = App_gen.data_bound rng ~n:4 in
+  Alcotest.(check bool) "compute-bound has more work than data" true
+    (Pipeline.total_work cb > Pipeline.delta cb 0);
+  Alcotest.(check bool) "data-bound has more data than work" true
+    (Pipeline.delta db 0 > Pipeline.work db 1)
+
+let app_alternating () =
+  let p = App_gen.alternating ~n:4 ~light:1.0 ~heavy:10.0 in
+  Helpers.check_close "stage1 heavy" 10.0 (Pipeline.work p 1);
+  Helpers.check_close "stage2 light" 1.0 (Pipeline.work p 2);
+  Helpers.check_close "stage1 output light" 1.0 (Pipeline.delta p 1);
+  Helpers.check_close "stage2 output heavy" 10.0 (Pipeline.delta p 2)
+
+let app_rejects () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "n=0" true (bad (fun () -> App_gen.uniform ~n:0 ~work:1.0 ~data:1.0));
+  Alcotest.(check bool) "alternating bad cost" true
+    (bad (fun () -> App_gen.alternating ~n:2 ~light:0.0 ~heavy:1.0))
+
+(* ------------------------------------------------------------------ *)
+(* Plat_gen                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let plat_comm_homog_class =
+  Helpers.seed_property "comm-homog generator lands in its class" (fun seed ->
+      let rng = Rng.create seed in
+      let p =
+        Plat_gen.random_comm_homogeneous rng ~m:5 ~speed:(1.0, 10.0)
+          ~failure:(0.1, 0.5) ~bandwidth:2.0
+      in
+      Classify.links_homogeneous p
+      && Platform.size p = 5
+      && List.for_all
+           (fun u ->
+             let s = Platform.speed p u and f = Platform.failure p u in
+             s >= 1.0 && s <= 10.0 && f >= 0.1 && f <= 0.5)
+           (Platform.procs p))
+
+let plat_fully_hetero_symmetric =
+  Helpers.seed_property "fully-hetero bandwidths are symmetric" (fun seed ->
+      let rng = Rng.create seed in
+      let p =
+        Plat_gen.random_fully_heterogeneous rng ~m:4 ~speed:(1.0, 10.0)
+          ~failure:(0.1, 0.5) ~bandwidth:(0.5, 5.0)
+      in
+      let eps = Platform.Pin :: Platform.Pout
+                :: List.map (fun u -> Platform.Proc u) (Platform.procs p) in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              Platform.endpoint_equal a b
+              || Relpipe_util.Float_cmp.approx_eq
+                   (Platform.bandwidth p a b) (Platform.bandwidth p b a))
+            eps)
+        eps)
+
+let plat_correlated_failures () =
+  let rng = Rng.create 7 in
+  let p =
+    Plat_gen.speed_correlated_failures rng ~m:8 ~speed:(1.0, 100.0)
+      ~failure:(0.05, 0.8) ~bandwidth:1.0
+  in
+  (* The fastest processor must carry the largest failure probability. *)
+  let fastest = ref 0 and slowest = ref 0 in
+  List.iter
+    (fun u ->
+      if Platform.speed p u > Platform.speed p !fastest then fastest := u;
+      if Platform.speed p u < Platform.speed p !slowest then slowest := u)
+    (Platform.procs p);
+  Alcotest.(check bool) "fast less reliable" true
+    (Platform.failure p !fastest >= Platform.failure p !slowest)
+
+let plat_two_tier () =
+  let p =
+    Plat_gen.two_tier ~m_slow:2 ~m_fast:3 ~slow_speed:1.0 ~fast_speed:10.0
+      ~slow_failure:0.1 ~fast_failure:0.7 ~bandwidth:1.0
+  in
+  Alcotest.(check int) "size" 5 (Platform.size p);
+  Helpers.check_close "slow first" 1.0 (Platform.speed p 0);
+  Helpers.check_close "fast after" 10.0 (Platform.speed p 2);
+  Helpers.check_close "fast failure" 0.7 (Platform.failure p 4)
+
+(* ------------------------------------------------------------------ *)
+(* Jpeg                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let jpeg_shape () =
+  let p = Jpeg.pipeline () in
+  Alcotest.(check int) "seven stages" 7 (Pipeline.length p);
+  Alcotest.(check int) "names match" 7 (Array.length Jpeg.stage_names);
+  (* DCT (stage 5) dominates computation. *)
+  let dct = Pipeline.work p 5 in
+  List.iter
+    (fun k ->
+      if k <> 5 then
+        Alcotest.(check bool) "dct dominates" true (dct > Pipeline.work p k))
+    [ 1; 2; 3; 4; 6; 7 ];
+  (* Entropy coding compresses: output smaller than input. *)
+  Alcotest.(check bool) "compresses" true
+    (Pipeline.delta p 7 < Pipeline.delta p 0)
+
+let jpeg_scales_with_image () =
+  let small = Jpeg.pipeline ~image_size:100.0 () in
+  let large = Jpeg.pipeline ~image_size:200.0 () in
+  Helpers.check_close "work scales linearly"
+    (2.0 *. Pipeline.total_work small)
+    (Pipeline.total_work large)
+
+let jpeg_instance () =
+  let inst = Jpeg.default_instance ~m:6 in
+  Alcotest.(check int) "procs" 6 (Platform.size inst.Instance.platform);
+  Alcotest.(check bool) "comm homog" true
+    (Classify.links_homogeneous inst.Instance.platform)
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let catalog_entries () =
+  Alcotest.(check int) "four presets" 4 (List.length Catalog.all);
+  (* Each preset lands in its intended platform class. *)
+  Alcotest.(check bool) "lab cluster fully homogeneous" true
+    (Classify.comm_class Catalog.lab_cluster.Catalog.platform
+    = Classify.Fully_homogeneous);
+  Alcotest.(check bool) "campus grid comm homogeneous" true
+    (Classify.comm_class Catalog.campus_grid.Catalog.platform
+    = Classify.Comm_homogeneous);
+  Alcotest.(check bool) "campus grid failure hetero" true
+    (Classify.failure_class Catalog.campus_grid.Catalog.platform
+    = Classify.Failure_heterogeneous);
+  Alcotest.(check bool) "volunteer net fully heterogeneous" true
+    (Classify.comm_class Catalog.volunteer_network.Catalog.platform
+    = Classify.Fully_heterogeneous);
+  Alcotest.(check bool) "federation fully heterogeneous" true
+    (Classify.comm_class Catalog.federation.Catalog.platform
+    = Classify.Fully_heterogeneous)
+
+let catalog_lookup () =
+  (match Catalog.find "Campus-Grid" with
+  | Some e -> Alcotest.(check string) "case-insensitive" "campus-grid" e.Catalog.name
+  | None -> Alcotest.fail "lookup failed");
+  Alcotest.(check bool) "unknown" true (Catalog.find "does-not-exist" = None)
+
+let fig34_platform_class () =
+  let inst = Scenarios.fig34 () in
+  Alcotest.(check bool) "fully heterogeneous links" true
+    (Classify.comm_class inst.Instance.platform = Classify.Fully_heterogeneous)
+
+let plat_clustered () =
+  let rng = Rng.create 5 in
+  let p =
+    Plat_gen.clustered rng ~clusters:3 ~cluster_size:4 ~speed:(1.0, 10.0)
+      ~failure:(0.1, 0.4) ~intra_bandwidth:50.0 ~inter_bandwidth:5.0
+      ~io_bandwidth:10.0
+  in
+  Alcotest.(check int) "size" 12 (Platform.size p);
+  (* Same cluster: fast link; different clusters: slow link. *)
+  Helpers.check_close "intra" 50.0
+    (Platform.bandwidth p (Platform.Proc 0) (Platform.Proc 3));
+  Helpers.check_close "inter" 5.0
+    (Platform.bandwidth p (Platform.Proc 0) (Platform.Proc 4));
+  Helpers.check_close "io" 10.0 (Platform.bandwidth p Platform.Pin (Platform.Proc 7));
+  (* Homogeneous inside a cluster. *)
+  Helpers.check_close "cluster speed" (Platform.speed p 4) (Platform.speed p 7);
+  Alcotest.(check bool) "fully heterogeneous" true
+    (Classify.comm_class p = Classify.Fully_heterogeneous)
+
+let scenario_pipelines () =
+  let vt = Scenarios.video_transcoder () in
+  Alcotest.(check int) "transcoder stages" 5 (Pipeline.length vt);
+  (* Decode inflates the data, encode compresses it. *)
+  Alcotest.(check bool) "decode inflates" true
+    (Pipeline.delta vt 2 > Pipeline.delta vt 1);
+  Alcotest.(check bool) "encode compresses" true
+    (Pipeline.delta vt 4 < Pipeline.delta vt 3);
+  let sf = Scenarios.sensor_fusion () in
+  Alcotest.(check int) "fusion stages" 6 (Pipeline.length sf);
+  (* Data shrinks monotonically after ingest. *)
+  let rec shrinking k =
+    k >= Pipeline.length sf || (Pipeline.delta sf k >= Pipeline.delta sf (k + 1) && shrinking (k + 1))
+  in
+  Alcotest.(check bool) "monotone shrink" true (shrinking 1)
+
+let scenario_grid_instance () =
+  let inst = Scenarios.grid_instance (Rng.create 7) in
+  Alcotest.(check int) "12 processors" 12 (Platform.size inst.Instance.platform);
+  Alcotest.(check int) "5 stages" 5 (Pipeline.length inst.Instance.pipeline)
+
+let fig5_platform_class () =
+  let inst = Scenarios.fig5 () in
+  Alcotest.(check bool) "comm homog" true
+    (Classify.links_homogeneous inst.Instance.platform);
+  Alcotest.(check bool) "failure hetero" true
+    (Classify.failure_class inst.Instance.platform
+    = Classify.Failure_heterogeneous);
+  Alcotest.(check int) "eleven procs" 11 (Platform.size inst.Instance.platform)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "app_gen",
+        [
+          app_random_ranges;
+          test "uniform" app_uniform;
+          test "profiles" app_profiles;
+          test "alternating" app_alternating;
+          test "rejects" app_rejects;
+        ] );
+      ( "plat_gen",
+        [
+          plat_comm_homog_class;
+          plat_fully_hetero_symmetric;
+          test "correlated failures" plat_correlated_failures;
+          test "two tier" plat_two_tier;
+          test "clustered" plat_clustered;
+        ] );
+      ( "jpeg",
+        [
+          test "shape" jpeg_shape;
+          test "scales with image" jpeg_scales_with_image;
+          test "default instance" jpeg_instance;
+        ] );
+      ( "scenarios",
+        [
+          test "fig34 class" fig34_platform_class;
+          test "fig5 class" fig5_platform_class;
+          test "scenario pipelines" scenario_pipelines;
+          test "grid instance" scenario_grid_instance;
+        ] );
+      ( "catalog",
+        [ test "entries" catalog_entries; test "lookup" catalog_lookup ] );
+    ]
