@@ -407,6 +407,157 @@ let catalog_cmd =
   let doc = "List the built-in platform presets, or export one as an instance." in
   Cmd.v (Cmd.info "catalog" ~doc) Term.(ret (const run $ write_arg $ out_arg))
 
+let lint_cmd =
+  let module A = Relpipe_analysis in
+  let file_arg =
+    let doc =
+      "Instance file to lint.  Omit when using $(b,--rules) or \
+       $(b,--builtin)."
+    in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc)
+  in
+  let mapping_arg =
+    let doc =
+      "Also lint this mapping (e.g. \"1-2:0; 3:1,2\") against the instance."
+    in
+    Arg.(value & opt (some string) None & info [ "mapping" ] ~doc)
+  in
+  let rules_flag =
+    let doc = "Print the rule catalog and exit." in
+    Arg.(value & flag & info [ "rules" ] ~doc)
+  in
+  let builtin_flag =
+    let doc =
+      "Lint the built-in catalog presets and paper scenarios instead of a \
+       file."
+    in
+    Arg.(value & flag & info [ "builtin" ] ~doc)
+  in
+  let print_rules () =
+    let table =
+      Relpipe_util.Table.create
+        ~aligns:
+          [ Relpipe_util.Table.Left; Relpipe_util.Table.Left;
+            Relpipe_util.Table.Left; Relpipe_util.Table.Left ]
+        [ "id"; "severity"; "pass"; "title" ]
+    in
+    List.iter
+      (fun r ->
+        Relpipe_util.Table.add_row table
+          [
+            r.A.Rule.id;
+            A.Severity.to_string r.A.Rule.severity;
+            A.Rule.pass_name r.A.Rule.pass;
+            r.A.Rule.title;
+          ])
+      (A.Analysis.rules ());
+    Relpipe_util.Table.print table
+  in
+  let report_text ~file diags =
+    if diags = [] then Format.printf "%s: clean@." file
+    else
+      List.iter (fun d -> Format.printf "%a@." (A.Diagnostic.pp ~file) d) diags
+  in
+  (* Exit reflects the worst finding: 2 on errors, 1 on warnings, 0
+     otherwise (hints are informational). *)
+  let finish diags =
+    let code = A.Diagnostic.exit_code diags in
+    if code = 0 then `Ok ()
+    else begin
+      Format.print_flush ();
+      Stdlib.exit code
+    end
+  in
+  let builtin_instances () =
+    let jpeg = Relpipe_workload.Jpeg.pipeline () in
+    List.map
+      (fun e ->
+        ( "catalog:" ^ e.Relpipe_workload.Catalog.name,
+          Instance.make jpeg e.Relpipe_workload.Catalog.platform ))
+      Relpipe_workload.Catalog.all
+    @ [
+        ("scenario:fig34", Relpipe_workload.Scenarios.fig34 ());
+        ("scenario:fig5", Relpipe_workload.Scenarios.fig5 ());
+        ( "scenario:grid",
+          Relpipe_workload.Scenarios.grid_instance (Relpipe_util.Rng.create 7) );
+      ]
+  in
+  let run file format mapping rules builtin =
+    if rules then begin
+      print_rules ();
+      `Ok ()
+    end
+    else if builtin then begin
+      let diags =
+        List.concat_map
+          (fun (name, inst) ->
+            let ds = A.Analysis.lint_instance inst in
+            (match format with `Text -> report_text ~file:name ds | `Json -> ());
+            ds)
+          (builtin_instances ())
+      in
+      if format = `Json then
+        print_endline (A.Diagnostic.report_to_json ~file:"<builtin>" diags);
+      finish diags
+    end
+    else
+      match file with
+      | None ->
+          `Error (true, "pass an instance FILE (or --rules / --builtin)")
+      | Some path ->
+          let text = In_channel.with_open_text path In_channel.input_all in
+          let instance_diags = A.Analysis.lint_instance_text text in
+          let mapping_diags =
+            match mapping with
+            | None -> []
+            | Some mtext -> (
+                (* Mapping rules need the instance's shape; skip (with an
+                   error already reported) when it does not even parse. *)
+                match Textio.parse text with
+                | Error _ -> []
+                | Ok inst ->
+                    let n = Pipeline.length inst.Instance.pipeline in
+                    let m = Platform.size inst.Instance.platform in
+                    A.Analysis.lint_mapping_text ~n ~m mtext)
+          in
+          (match format with
+          | `Text ->
+              report_text ~file:path instance_diags;
+              if mapping <> None then
+                report_text ~file:"<mapping>" mapping_diags
+          | `Json ->
+              print_endline
+                (A.Diagnostic.report_to_json ~file:path
+                   (instance_diags @ mapping_diags)));
+          finish (instance_diags @ mapping_diags)
+  in
+  let doc = "Statically check an instance (and optionally a mapping)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the $(b,relpipe.analysis) diagnostics engine: the instance \
+         pass (domain errors, connectivity, dominance), the numeric pass \
+         (underflow/absorption hazards) and, with $(b,--mapping), the \
+         mapping pass (contiguity, replication, one-port effects).";
+      `P
+        "Exit status is 2 if any error was reported, 1 if any warning, 0 \
+         otherwise.";
+    ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(
+      ret
+        (const run $ file_arg $ format_arg $ mapping_arg $ rules_flag
+       $ builtin_flag))
+
 let demo_cmd =
   let out_arg =
     let doc = "Where to write the sample instance." in
@@ -437,5 +588,6 @@ let () =
        (Cmd.group info
           [
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
-            tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; demo_cmd;
+            tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
+            demo_cmd;
           ]))

@@ -1,0 +1,70 @@
+open Relpipe_model
+
+let r_instance_syntax =
+  let r =
+    {
+      Rule.id = "RP-P001";
+      severity = Severity.Error;
+      pass = Rule.Instance_pass;
+      title = "instance file does not parse";
+      rationale =
+        "Nothing can be analysed until the text matches the instance \
+         grammar (see Textio).";
+      example = "frobnicate 1";
+    }
+  in
+  Rule.register r;
+  r
+
+let r_mapping_syntax =
+  let r =
+    {
+      Rule.id = "RP-P002";
+      severity = Severity.Error;
+      pass = Rule.Mapping_pass;
+      title = "mapping text does not parse";
+      rationale =
+        "Nothing can be analysed until the text matches the \
+         range:procs[;...] mapping grammar (see Mapping_syntax).";
+      example = "1-2-3:0";
+    }
+  in
+  Rule.register r;
+  r
+
+(* Referencing the pass rule lists here guarantees their registration
+   side effects have run whenever this module is linked. *)
+let rules () =
+  ignore Instance_pass.rules;
+  ignore Mapping_pass.rules;
+  ignore Numeric_pass.rules;
+  Rule.all ()
+
+let run_instance_subject subject =
+  Diagnostic.sort (Instance_pass.run subject @ Numeric_pass.run subject)
+
+let lint_instance_text text =
+  match Textio.parse_raw text with
+  | Error { Textio.message; span } ->
+      [ Rule.diag r_instance_syntax ?span "%s" message ]
+  | Ok raw -> run_instance_subject (Subject.of_raw raw)
+
+let lint_instance instance = run_instance_subject (Subject.of_instance instance)
+
+let instance_errors instance = Diagnostic.errors (lint_instance instance)
+
+let lint_mapping_text ~n ~m text =
+  match Mapping_syntax.parse_raw text with
+  | Error { Mapping_syntax.message; span } ->
+      [ Rule.diag r_mapping_syntax ?span "%s" message ]
+  | Ok raw -> Diagnostic.sort (Mapping_pass.run ~n ~m (Mapping_pass.of_raw raw))
+
+let lint_mapping ~n ~m mapping =
+  Diagnostic.sort (Mapping_pass.run ~n ~m (Mapping_pass.of_mapping mapping))
+
+let lint_solution instance mapping =
+  let n = Pipeline.length instance.Instance.pipeline in
+  let m = Platform.size instance.Instance.platform in
+  Diagnostic.sort
+    (Mapping_pass.run ~n ~m (Mapping_pass.of_mapping mapping)
+    @ Numeric_pass.run (Subject.of_instance instance))

@@ -1,0 +1,35 @@
+(** High-level entry points of the diagnostics engine.
+
+    [relpipe lint], the solver guards and {!Relpipe_core.Validate} all go
+    through this module; the individual passes stay available for callers
+    that already hold a {!Subject.t}.
+
+    Findings are returned sorted worst-first ({!Diagnostic.sort}). *)
+
+open Relpipe_model
+
+val rules : unit -> Rule.t list
+(** The full registered rule catalog, in ID order (forces every pass
+    module to load). *)
+
+val lint_instance_text : string -> Diagnostic.t list
+(** Run the instance and numeric passes over instance-file text.  A
+    syntax error is reported as the single finding [RP-P001] with the
+    parser's span. *)
+
+val lint_instance : Instance.t -> Diagnostic.t list
+(** Instance and numeric passes over a constructed instance (findings
+    carry no spans). *)
+
+val instance_errors : Instance.t -> Diagnostic.t list
+(** Only the [Error]-level findings — the solver-entry guard. *)
+
+val lint_mapping_text : n:int -> m:int -> string -> Diagnostic.t list
+(** Mapping pass over mapping text; syntax errors become [RP-P002]. *)
+
+val lint_mapping : n:int -> m:int -> Mapping.t -> Diagnostic.t list
+(** Mapping pass over a constructed mapping (e.g. a solver output). *)
+
+val lint_solution : Instance.t -> Mapping.t -> Diagnostic.t list
+(** Everything that applies to a solved mapping in context: the mapping
+    pass plus the numeric pass of its instance. *)

@@ -1,0 +1,99 @@
+module Loc = Relpipe_util.Loc
+
+type t = {
+  rule : string;
+  severity : Severity.t;
+  message : string;
+  span : Loc.span option;
+}
+
+let make ~rule ~severity ?span fmt =
+  Format.kasprintf (fun message -> { rule; severity; message; span }) fmt
+
+let compare_span_opt a b =
+  match a, b with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some a, Some b -> Loc.compare_span a b
+
+let compare a b =
+  let c = Int.compare (Severity.rank b.severity) (Severity.rank a.severity) in
+  if c <> 0 then c
+  else
+    let c = compare_span_opt a.span b.span in
+    if c <> 0 then c else String.compare a.rule b.rule
+
+let sort ds = List.stable_sort (fun a b -> compare a b) ds
+
+let max_severity = function
+  | [] -> None
+  | d :: tl ->
+      Some (List.fold_left (fun acc d -> Severity.max acc d.severity) d.severity tl)
+
+let exit_code ds = Severity.exit_code (max_severity ds)
+
+let errors ds = List.filter (fun d -> d.severity = Severity.Error) ds
+
+let pp ?file ppf d =
+  (match file with Some f -> Format.fprintf ppf "%s:" f | None -> ());
+  (match d.span with
+  | Some span -> Format.fprintf ppf "%a: " Loc.pp_span span
+  | None -> if file <> None then Format.pp_print_string ppf " ");
+  Format.fprintf ppf "%a[%s]: %s" Severity.pp d.severity d.rule d.message
+
+let to_string ?file d = Format.asprintf "%a" (pp ?file) d
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let span_to_json = function
+  | None -> "null"
+  | Some { Loc.start; stop } ->
+      Printf.sprintf
+        "{\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d}" start.Loc.line
+        start.Loc.col stop.Loc.line stop.Loc.col
+
+let to_json d =
+  Printf.sprintf "{\"rule\":\"%s\",\"severity\":\"%s\",\"message\":\"%s\",\"span\":%s}"
+    (json_escape d.rule)
+    (Severity.to_string d.severity)
+    (json_escape d.message) (span_to_json d.span)
+
+let report_to_json ?file ds =
+  let ds = sort ds in
+  let count sev =
+    List.length (List.filter (fun d -> d.severity = sev) ds)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "{\"version\":1,";
+  (match file with
+  | Some f -> Buffer.add_string buf (Printf.sprintf "\"file\":\"%s\"," (json_escape f))
+  | None -> ());
+  Buffer.add_string buf "\"findings\":[";
+  List.iteri
+    (fun i d ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (to_json d))
+    ds;
+  Buffer.add_string buf
+    (Printf.sprintf "],\"summary\":{\"error\":%d,\"warning\":%d,\"hint\":%d}}"
+       (count Severity.Error) (count Severity.Warning) (count Severity.Hint));
+  Buffer.contents buf

@@ -1,0 +1,380 @@
+open Relpipe_model
+module F = Relpipe_util.Float_cmp
+
+let rule ~id ~severity ~title ~rationale ~example =
+  let r = { Rule.id; severity; pass = Rule.Instance_pass; title; rationale; example } in
+  Rule.register r;
+  r
+
+let r_speed =
+  rule ~id:"RP-I001" ~severity:Severity.Error
+    ~title:"processor speed must be finite and positive"
+    ~rationale:
+      "Latency terms divide work by speed; a zero, negative or non-finite \
+       speed makes every latency formula meaningless."
+    ~example:"proc 0 0.1"
+
+let r_failure_domain =
+  rule ~id:"RP-I002" ~severity:Severity.Error
+    ~title:"failure probability must lie in [0,1)"
+    ~rationale:
+      "The paper models fp as the probability a processor fails during \
+       execution; fp = 1 (a dead machine) or a value outside [0,1] breaks \
+       the product formula for interval failure."
+    ~example:"proc 10 1.5"
+
+let r_failure_zero =
+  rule ~id:"RP-I003" ~severity:Severity.Warning
+    ~title:"failure probability is exactly 0"
+    ~rationale:
+      "A perfectly reliable processor collapses the bi-criteria trade-off: \
+       mapping everything there satisfies any failure threshold, so the \
+       instance likely encodes a modeling mistake."
+    ~example:"proc 10 0"
+
+let r_cost_domain =
+  rule ~id:"RP-I004" ~severity:Severity.Error
+    ~title:"work and data volumes must be finite and non-negative"
+    ~rationale:
+      "Negative or non-finite stage work or data sizes produce negative \
+       or NaN latency terms."
+    ~example:"stage -3 1"
+
+let r_noop_stage =
+  rule ~id:"RP-I005" ~severity:Severity.Warning
+    ~title:"stage has zero work and zero output"
+    ~rationale:
+      "A no-op stage only enlarges the mapping search space (it still \
+       occupies an interval slot and a replica set) without affecting any \
+       metric."
+    ~example:"stage 0 0"
+
+let r_bandwidth_domain =
+  rule ~id:"RP-I006" ~severity:Severity.Error
+    ~title:"link bandwidth must be finite and positive"
+    ~rationale:
+      "Communication terms divide data volume by bandwidth; zero gives \
+       infinite latency, negative or NaN values poison every sum."
+    ~example:"link 0 1 0"
+
+let r_undefined_proc =
+  rule ~id:"RP-I007" ~severity:Severity.Error
+    ~title:"link references an undefined processor"
+    ~rationale:
+      "A link endpoint must be \"in\", \"out\" or the index of a declared \
+       processor; anything else is silently unusable."
+    ~example:"proc 1 0.1\nlink 0 7 5"
+
+let r_missing_bandwidth =
+  rule ~id:"RP-I008" ~severity:Severity.Error
+    ~title:"endpoint pair has no bandwidth and no default"
+    ~rationale:
+      "The platform is a clique: every pair of endpoints needs a declared \
+       bandwidth or a `link default` fallback."
+    ~example:"link in 0 5   # no other links, no default"
+
+let r_disconnected =
+  rule ~id:"RP-I009" ~severity:Severity.Error
+    ~title:"endpoint is disconnected from Pin by zero-bandwidth links"
+    ~rationale:
+      "A processor (or Pout) with no positive-bandwidth route to Pin can \
+       never carry an interval: data cannot reach it or leave it."
+    ~example:"link in 1 0\nlink 0 1 0\nlink 1 out 0"
+
+let r_dominated =
+  rule ~id:"RP-I010" ~severity:Severity.Hint
+    ~title:"processor is dominated (slower and less reliable)"
+    ~rationale:
+      "On homogeneous links the paper's dominance order applies: a \
+       processor that is no faster and no more reliable than another (and \
+       strictly worse in one) never appears in some optimal mapping; \
+       dropping it shrinks the search space."
+    ~example:"proc 10 0.1\nproc 5 0.2"
+
+let r_single_stage =
+  rule ~id:"RP-I011" ~severity:Severity.Hint
+    ~title:"single-stage pipeline"
+    ~rationale:
+      "With n = 1 every mapping is one interval: the problem degenerates \
+       to choosing a replica set, and the interval-mapping machinery is \
+       overkill."
+    ~example:"stage 5 1   # the only stage"
+
+let r_duplicate_link =
+  rule ~id:"RP-I012" ~severity:Severity.Warning
+    ~title:"link declared more than once"
+    ~rationale:
+      "Later declarations silently win (links are symmetric), which hides \
+       typos where two different bandwidths were intended for distinct \
+       pairs."
+    ~example:"link 0 1 5\nlink 1 0 8"
+
+let r_missing_directive =
+  rule ~id:"RP-I013" ~severity:Severity.Error
+    ~title:"required directive is missing"
+    ~rationale:
+      "An instance needs an `input` size, at least one `stage` and at \
+       least one `proc` to be well-formed."
+    ~example:"stage 1 1\nproc 1 0.1   # no input line"
+
+let rules =
+  [
+    r_speed; r_failure_domain; r_failure_zero; r_cost_domain; r_noop_stage;
+    r_bandwidth_domain; r_undefined_proc; r_missing_bandwidth; r_disconnected;
+    r_dominated; r_single_stage; r_duplicate_link; r_missing_directive;
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let finite_pos x = Float.is_finite x && x > 0.0
+
+let finite_nonneg x = Float.is_finite x && x >= 0.0
+
+let check_procs (s : Subject.t) out =
+  Array.iteri
+    (fun u (p : Subject.proc) ->
+      if not (finite_pos p.speed) then
+        out (Rule.diag r_speed ?span:p.span "processor %d: speed %g is not finite and positive" u p.speed);
+      if not (Float.is_finite p.failure && p.failure >= 0.0 && p.failure < 1.0)
+      then
+        out
+          (Rule.diag r_failure_domain ?span:p.span
+             "processor %d: failure probability %g is outside [0,1)" u p.failure)
+      else if p.failure = 0.0 then
+        out
+          (Rule.diag r_failure_zero ?span:p.span
+             "processor %d never fails (fp = 0); the reliability constraint \
+              is trivially satisfied by mapping everything on it" u))
+    s.Subject.procs
+
+let check_stages (s : Subject.t) out =
+  (match s.Subject.input with
+  | Some (v, span) when not (finite_nonneg v) ->
+      out (Rule.diag r_cost_domain ?span "input size %g is not finite and non-negative" v)
+  | _ -> ());
+  Array.iteri
+    (fun k (st : Subject.stage) ->
+      let bad_work = not (finite_nonneg st.work) in
+      let bad_output = not (finite_nonneg st.output) in
+      if bad_work then
+        out
+          (Rule.diag r_cost_domain ?span:st.span
+             "stage %d: work %g is not finite and non-negative" (k + 1) st.work);
+      if bad_output then
+        out
+          (Rule.diag r_cost_domain ?span:st.span
+             "stage %d: output size %g is not finite and non-negative" (k + 1)
+             st.output);
+      if (not bad_work) && (not bad_output) && st.work = 0.0 && st.output = 0.0
+      then
+        out
+          (Rule.diag r_noop_stage ?span:st.span
+             "stage %d does nothing (zero work, zero output); it only \
+              enlarges the mapping search space" (k + 1)))
+    s.Subject.stages
+
+let pp_raw_endpoint ~m ppf = function
+  | Textio.Rin -> Format.pp_print_string ppf "in"
+  | Textio.Rout -> Format.pp_print_string ppf "out"
+  | Textio.Rproc u ->
+      if u >= 0 && u < m then Format.fprintf ppf "P%d" u
+      else Format.fprintf ppf "%d" u
+
+let check_links (s : Subject.t) out =
+  let m = Subject.num_procs s in
+  match s.Subject.origin with
+  | Subject.From_value ->
+      (* Smart constructors enforce positivity, but stay total. *)
+      for i = 0 to m + 1 do
+        for j = i + 1 to m + 1 do
+          match s.Subject.bandwidth i j with
+          | Some b when not (finite_pos b) ->
+              out
+                (Rule.diag r_bandwidth_domain
+                   "link %s-%s: bandwidth %g is not finite and positive"
+                   (Subject.endpoint_name ~m i) (Subject.endpoint_name ~m j) b)
+          | _ -> ()
+        done
+      done
+  | Subject.From_text ->
+      (match s.Subject.default_bw with
+      | Some (b, span) when not (finite_pos b) ->
+          out
+            (Rule.diag r_bandwidth_domain ?span
+               "default bandwidth %g is not finite and positive" b)
+      | _ -> ());
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun (l : Subject.link) ->
+          let pp = pp_raw_endpoint ~m in
+          if not (finite_pos l.bw) then
+            out
+              (Rule.diag r_bandwidth_domain ?span:l.span
+                 "link %a-%a: bandwidth %g is not finite and positive" pp l.a pp
+                 l.b l.bw);
+          let check_ref e =
+            match e with
+            | Textio.Rproc u when u < 0 || u >= m ->
+                out
+                  (Rule.diag r_undefined_proc ?span:l.span
+                     "link references processor %d but only %d processor%s \
+                      declared (0..%d)"
+                     u m
+                     (if m = 1 then " is" else "s are")
+                     (m - 1))
+            | _ -> ()
+          in
+          check_ref l.a;
+          check_ref l.b;
+          match Subject.endpoint_index ~m l.a, Subject.endpoint_index ~m l.b with
+          | Some i, Some j ->
+              let key = (Int.min i j, Int.max i j) in
+              if Hashtbl.mem seen key then
+                out
+                  (Rule.diag r_duplicate_link ?span:l.span
+                     "link %s-%s is declared more than once; the last \
+                      declaration wins"
+                     (Subject.endpoint_name ~m (fst key))
+                     (Subject.endpoint_name ~m (snd key)))
+              else Hashtbl.add seen key ();
+          | _ -> ())
+        s.Subject.links
+
+(* Missing-bandwidth scan; returns true when at least one pair is
+   undeclared so the connectivity check can be skipped (the bandwidth map
+   is not total, reachability would just echo the holes). *)
+let check_missing (s : Subject.t) out =
+  match s.Subject.origin, s.Subject.default_bw with
+  | Subject.From_value, _ | _, Some _ -> false
+  | Subject.From_text, None ->
+      let m = Subject.num_procs s in
+      let missing = ref false in
+      for i = 0 to m + 1 do
+        for j = i + 1 to m + 1 do
+          if s.Subject.bandwidth i j = None then begin
+            missing := true;
+            out
+              (Rule.diag r_missing_bandwidth
+                 "no bandwidth for link %s-%s and no `link default`"
+                 (Subject.endpoint_name ~m i) (Subject.endpoint_name ~m j))
+          end
+        done
+      done;
+      !missing
+
+let check_connectivity (s : Subject.t) out =
+  let m = Subject.num_procs s in
+  let size = m + 2 in
+  let reachable = Array.make size false in
+  let queue = Queue.create () in
+  reachable.(0) <- true;
+  Queue.push 0 queue;
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    for j = 0 to size - 1 do
+      if (not reachable.(j)) && i <> j then
+        match s.Subject.bandwidth i j with
+        | Some b when b > 0.0 ->
+            reachable.(j) <- true;
+            Queue.push j queue
+        | _ -> ()
+    done
+  done;
+  Array.iteri
+    (fun u (p : Subject.proc) ->
+      if not reachable.(u + 1) then
+        out
+          (Rule.diag r_disconnected ?span:p.span
+             "processor %d has no positive-bandwidth route to Pin; it can \
+              never carry an interval" u))
+    s.Subject.procs;
+  if not reachable.(m + 1) then
+    out
+      (Rule.diag r_disconnected
+         "Pout has no positive-bandwidth route to Pin; no mapping can \
+          deliver results")
+
+let links_homogeneous (s : Subject.t) =
+  let m = Subject.num_procs s in
+  match s.Subject.bandwidth 0 (m + 1) with
+  | None -> false
+  | Some reference ->
+      let ok = ref (finite_pos reference) in
+      for i = 0 to m + 1 do
+        for j = i + 1 to m + 1 do
+          match s.Subject.bandwidth i j with
+          | Some b when F.approx_eq reference b -> ()
+          | _ -> ok := false
+        done
+      done;
+      !ok
+
+let check_dominance (s : Subject.t) out =
+  if links_homogeneous s then begin
+    let procs = s.Subject.procs in
+    let m = Array.length procs in
+    let valid (p : Subject.proc) =
+      finite_pos p.speed && Float.is_finite p.failure && p.failure >= 0.0
+      && p.failure < 1.0
+    in
+    for v = 0 to m - 1 do
+      let pv = procs.(v) in
+      if valid pv then begin
+        (* Best strict dominator: fastest, then most reliable. *)
+        let dominator = ref None in
+        for u = 0 to m - 1 do
+          let pu = procs.(u) in
+          if
+            u <> v && valid pu && pu.speed >= pv.speed
+            && pu.failure <= pv.failure
+            && (pu.speed > pv.speed || pu.failure < pv.failure)
+          then
+            match !dominator with
+            | None -> dominator := Some u
+            | Some w ->
+                let pw = procs.(w) in
+                if
+                  pu.speed > pw.speed
+                  || (pu.speed = pw.speed && pu.failure < pw.failure)
+                then dominator := Some u
+        done;
+        match !dominator with
+        | Some u ->
+            out
+              (Rule.diag r_dominated ?span:pv.span
+                 "processor %d is dominated by processor %d (no faster, no \
+                  more reliable, strictly worse in one); it can be dropped \
+                  from the search" v u)
+        | None -> ()
+      end
+    done
+  end
+
+let check_shape (s : Subject.t) out =
+  (match s.Subject.origin with
+  | Subject.From_text ->
+      if s.Subject.input = None then
+        out (Rule.diag r_missing_directive "missing `input` directive");
+      if Array.length s.Subject.stages = 0 then
+        out (Rule.diag r_missing_directive "no `stage` directives");
+      if Array.length s.Subject.procs = 0 then
+        out (Rule.diag r_missing_directive "no `proc` directives")
+  | Subject.From_value -> ());
+  if Array.length s.Subject.stages = 1 then
+    out
+      (Rule.diag r_single_stage
+         ?span:(s.Subject.stages.(0)).Subject.span
+         "single-stage pipeline: the problem reduces to choosing one \
+          replica set")
+
+let run (s : Subject.t) =
+  let acc = ref [] in
+  let out d = acc := d :: !acc in
+  check_shape s out;
+  check_procs s out;
+  check_stages s out;
+  check_links s out;
+  let holes = check_missing s out in
+  if not holes then check_connectivity s out;
+  check_dominance s out;
+  List.rev !acc

@@ -1,0 +1,13 @@
+(** The instance pass: structural and domain checks over a platform and
+    pipeline description (rules [RP-I001] .. [RP-I013]).
+
+    Works on both raw parsed text (with spans) and constructed instances
+    (spanless) via {!Subject.t}.  Smart constructors already reject some
+    of these defects at build time; running the pass first turns the
+    would-be [Invalid_argument] into a complete, located report. *)
+
+val rules : Rule.t list
+(** The rules this pass registers, in ID order. *)
+
+val run : Subject.t -> Diagnostic.t list
+(** Findings in no particular order; {!Diagnostic.sort} to present. *)

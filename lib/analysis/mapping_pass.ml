@@ -1,0 +1,171 @@
+open Relpipe_model
+
+type interval = {
+  first : int;
+  last : int;
+  procs : (int * Relpipe_util.Loc.span option) list;
+  span : Relpipe_util.Loc.span option;
+}
+
+let of_raw raw =
+  List.map
+    (fun iv ->
+      {
+        first = iv.Mapping_syntax.r_first;
+        last = iv.Mapping_syntax.r_last;
+        procs =
+          List.map (fun (u, span) -> (u, Some span)) iv.Mapping_syntax.r_procs;
+        span = Some iv.Mapping_syntax.r_span;
+      })
+    raw
+
+let of_mapping mapping =
+  List.map
+    (fun iv ->
+      {
+        first = iv.Mapping.first;
+        last = iv.Mapping.last;
+        procs = List.map (fun u -> (u, None)) iv.Mapping.procs;
+        span = None;
+      })
+    (Mapping.intervals mapping)
+
+let rule ~id ~severity ~title ~rationale ~example =
+  let r = { Rule.id; severity; pass = Rule.Mapping_pass; title; rationale; example } in
+  Rule.register r;
+  r
+
+let r_range =
+  rule ~id:"RP-M001" ~severity:Severity.Error
+    ~title:"interval stage range is invalid"
+    ~rationale:
+      "An interval must cover a non-empty range of existing stages: \
+       1 <= first <= last <= n."
+    ~example:"3-2:0   # inverted range"
+
+let r_contiguity =
+  rule ~id:"RP-M002" ~severity:Severity.Error
+    ~title:"intervals are not contiguous over the pipeline"
+    ~rationale:
+      "The paper's interval mappings partition stages 1..n into \
+       consecutive blocks; a gap or overlap leaves stages unmapped or \
+       mapped twice."
+    ~example:"1:0; 3:1   # stage 2 unmapped"
+
+let r_proc_range =
+  rule ~id:"RP-M003" ~severity:Severity.Error
+    ~title:"interval uses a processor outside the platform"
+    ~rationale:"Processor indices must lie in 0..m-1."
+    ~example:"1-2:7   # platform has 3 processors"
+
+let r_proc_reuse =
+  rule ~id:"RP-M004" ~severity:Severity.Error
+    ~title:"processor assigned more than once"
+    ~rationale:
+      "Replica sets are disjoint: a processor carries at most one \
+       interval (it is fully pipelined on that interval's computations)."
+    ~example:"1:0; 2:0"
+
+let r_replication =
+  rule ~id:"RP-M005" ~severity:Severity.Error
+    ~title:"replication exceeds the platform size"
+    ~rationale:
+      "An interval cannot enroll more replicas than there are \
+       processors."
+    ~example:"1-2:0,1,0   # 3 slots on a 2-processor platform"
+
+let r_one_port =
+  rule ~id:"RP-M006" ~severity:Severity.Warning
+    ~title:"adjacent replicated intervals serialize under the one-port model"
+    ~rationale:
+      "Consecutive intervals replicated r and r' ways exchange r * r' \
+       messages; the one-port model sends them sequentially, so latency \
+       grows with the product while reliability gains stay per-interval."
+    ~example:"1:0,1; 2:2,3"
+
+let rules =
+  [ r_range; r_contiguity; r_proc_range; r_proc_reuse; r_replication; r_one_port ]
+
+let pp_range ppf (iv : interval) =
+  if iv.first = iv.last then Format.fprintf ppf "[%d]" iv.first
+  else Format.fprintf ppf "[%d-%d]" iv.first iv.last
+
+let run ~n ~m intervals =
+  let acc = ref [] in
+  let out d = acc := d :: !acc in
+  let ranges_ok = ref true in
+  List.iter
+    (fun iv ->
+      if iv.first < 1 || iv.last > n || iv.first > iv.last then begin
+        ranges_ok := false;
+        out
+          (Rule.diag r_range ?span:iv.span
+             "interval %a is not a valid stage range for a %d-stage pipeline"
+             pp_range iv n)
+      end)
+    intervals;
+  (* Contiguity is only meaningful once every range is well-formed. *)
+  if !ranges_ok then begin
+    let expected = ref 1 in
+    List.iter
+      (fun iv ->
+        if iv.first <> !expected then
+          out
+            (Rule.diag r_contiguity ?span:iv.span
+               "interval %a starts at stage %d but stage %d is expected \
+                (gap or overlap)"
+               pp_range iv iv.first !expected);
+        expected := Int.max !expected (iv.last + 1))
+      intervals;
+    if !expected <> n + 1 && !expected <= n then begin
+      let last_span =
+        match List.rev intervals with [] -> None | iv :: _ -> iv.span
+      in
+      out
+        (Rule.diag r_contiguity ?span:last_span
+           "stages %d..%d are not mapped by any interval" !expected n)
+    end
+  end;
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun iv ->
+      List.iter
+        (fun (u, span) ->
+          if u < 0 || u >= m then
+            out
+              (Rule.diag r_proc_range ?span
+                 "interval %a uses processor %d but the platform has %d \
+                  (indices 0..%d)"
+                 pp_range iv u m (m - 1))
+          else
+            match Hashtbl.find_opt seen u with
+            | Some first_iv ->
+                out
+                  (Rule.diag r_proc_reuse ?span
+                     "processor %d is already assigned to interval %a" u
+                     pp_range first_iv)
+            | None -> Hashtbl.add seen u iv)
+        iv.procs;
+      let r = List.length iv.procs in
+      if r > m then
+        out
+          (Rule.diag r_replication ?span:iv.span
+             "interval %a replicates %d ways but the platform only has %d \
+              processor%s"
+             pp_range iv r m
+             (if m = 1 then "" else "s")))
+    intervals;
+  let rec adjacent = function
+    | a :: (b :: _ as tl) ->
+        let ra = List.length a.procs and rb = List.length b.procs in
+        if ra > 1 && rb > 1 then
+          out
+            (Rule.diag r_one_port ?span:b.span
+               "intervals %a and %a are both replicated: the one-port model \
+                serializes their %d x %d = %d inter-interval transfers"
+               pp_range a pp_range b ra rb (ra * rb));
+        adjacent tl
+    | _ -> ()
+  in
+  adjacent intervals;
+  List.rev !acc

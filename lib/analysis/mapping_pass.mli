@@ -1,0 +1,24 @@
+(** The mapping pass: structural checks of an interval mapping against a
+    pipeline of [n] stages and a platform of [m] processors (rules
+    [RP-M001] .. [RP-M006]).
+
+    Works on the raw, span-carrying form produced by
+    {!Relpipe_model.Mapping_syntax.parse_raw} — which can represent every
+    defect {!Relpipe_model.Mapping.validate} rejects — and on constructed
+    mappings (solver outputs), where only the model-assumption rules can
+    still fire. *)
+
+type interval = {
+  first : int;
+  last : int;
+  procs : (int * Relpipe_util.Loc.span option) list;
+  span : Relpipe_util.Loc.span option;
+}
+
+val of_raw : Relpipe_model.Mapping_syntax.raw_interval list -> interval list
+
+val of_mapping : Relpipe_model.Mapping.t -> interval list
+
+val rules : Rule.t list
+
+val run : n:int -> m:int -> interval list -> Diagnostic.t list

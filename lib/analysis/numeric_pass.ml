@@ -1,0 +1,122 @@
+let rule ~id ~severity ~title ~rationale ~example =
+  let r = { Rule.id; severity; pass = Rule.Numeric_pass; title; rationale; example } in
+  Rule.register r;
+  r
+
+let r_underflow =
+  rule ~id:"RP-N001" ~severity:Severity.Warning
+    ~title:"reliability product underflows in linear space"
+    ~rationale:
+      "Interval failure is a product of failure probabilities; when the \
+       worst-case product over all processors drops below the smallest \
+       normal double (~2.2e-308), linear-space evaluation reports exactly \
+       0 and reliability comparisons become meaningless.  Compute in log \
+       space (Failure.log_survival does)."
+    ~example:"proc 1 1e-120   # x3: product 1e-360 underflows"
+
+let r_absorption =
+  rule ~id:"RP-N002" ~severity:Severity.Warning
+    ~title:"latency terms differ by more than 2^53"
+    ~rationale:
+      "Latency is a sum of work and communication terms; once the \
+       largest term exceeds the smallest by the double-precision \
+       significand (2^53 ~ 9e15), naive left-to-right summation absorbs \
+       the small terms entirely.  Use compensated summation (Util.Kahan, \
+       as Pipeline's prefix sums do)."
+    ~example:"stage 1e20 1\nstage 1 1"
+
+let r_failure_near_one =
+  rule ~id:"RP-N003" ~severity:Severity.Hint
+    ~title:"failure probability within 1e-12 of 1"
+    ~rationale:
+      "Interval survival multiplies (1 - fp) factors; when fp is this \
+       close to 1 the complement loses most of its significant digits, \
+       so reliability differences between mappings may be noise."
+    ~example:"proc 10 0.9999999999999"
+
+let rules = [ r_underflow; r_absorption; r_failure_near_one ]
+
+(* ------------------------------------------------------------------ *)
+
+let valid_failure fp = Float.is_finite fp && fp >= 0.0 && fp < 1.0
+
+let check_underflow (s : Subject.t) out =
+  (* Worst case for linear-space evaluation: every processor replicated
+     on one interval, failure = prod fp_u over the fp > 0 processors. *)
+  let log_product = ref 0.0 in
+  let contributors = ref 0 in
+  Array.iter
+    (fun (p : Subject.proc) ->
+      if valid_failure p.failure && p.failure > 0.0 then begin
+        log_product := !log_product +. Float.log p.failure;
+        incr contributors
+      end)
+    s.Subject.procs;
+  if !contributors > 0 && !log_product < Float.log Float.min_float then
+    out
+      (Rule.diag r_underflow
+         "replicating all %d processors on one interval gives a failure \
+          product near exp(%.0f), below the smallest normal double: \
+          evaluate reliability in log space" !contributors !log_product)
+
+let extremes values =
+  (* (max, min positive, index of min positive) over finite positives. *)
+  let mx = ref Float.neg_infinity and mn = ref Float.infinity and mn_i = ref (-1) in
+  Array.iteri
+    (fun i v ->
+      if Float.is_finite v && v > 0.0 then begin
+        if v > !mx then mx := v;
+        if v < !mn then begin
+          mn := v;
+          mn_i := i
+        end
+      end)
+    values;
+  if !mn_i < 0 then None else Some (!mx, !mn, !mn_i)
+
+let two_pow_53 = 9007199254740992.0
+
+let check_absorption (s : Subject.t) out =
+  let stages = s.Subject.stages in
+  (match extremes (Array.map (fun (st : Subject.stage) -> st.Subject.work) stages) with
+  | Some (mx, mn, i) when mx /. mn > two_pow_53 ->
+      out
+        (Rule.diag r_absorption
+           ?span:(stages.(i)).Subject.span
+           "stage works span a %.1e ratio: naive summation absorbs stage \
+            %d's work (%g) entirely; use compensated summation (Util.Kahan)"
+           (mx /. mn) (i + 1) mn)
+  | _ -> ());
+  let volumes =
+    Array.append
+      (match s.Subject.input with Some (v, _) -> [| v |] | None -> [||])
+      (Array.map (fun (st : Subject.stage) -> st.Subject.output) stages)
+  in
+  match extremes volumes with
+  | Some (mx, mn, _) when mx /. mn > two_pow_53 ->
+      out
+        (Rule.diag r_absorption
+           "data volumes span a %.1e ratio: naive summation of \
+            communication terms absorbs the smallest transfers; use \
+            compensated summation (Util.Kahan)"
+           (mx /. mn))
+  | _ -> ()
+
+let check_near_one (s : Subject.t) out =
+  Array.iteri
+    (fun u (p : Subject.proc) ->
+      if valid_failure p.failure && 1.0 -. p.failure < 1e-12 then
+        out
+          (Rule.diag r_failure_near_one ?span:p.span
+             "processor %d: failure probability %.17g is within 1e-12 of 1; \
+              its survival factor has almost no significant digits" u
+             p.failure))
+    s.Subject.procs
+
+let run (s : Subject.t) =
+  let acc = ref [] in
+  let out d = acc := d :: !acc in
+  check_underflow s out;
+  check_absorption s out;
+  check_near_one s out;
+  List.rev !acc

@@ -1,0 +1,12 @@
+(** The numeric pass: floating-point hazard detection (rules [RP-N001]
+    .. [RP-N003]).
+
+    These rules never fire on domain errors (the instance pass owns
+    those); they flag inputs whose *valid* values stress double
+    precision: reliability products that underflow in linear space, and
+    latency sums whose term magnitudes differ enough that naive
+    accumulation silently drops contributions. *)
+
+val rules : Rule.t list
+
+val run : Subject.t -> Diagnostic.t list

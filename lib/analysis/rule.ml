@@ -1,0 +1,31 @@
+type pass = Instance_pass | Mapping_pass | Numeric_pass
+
+type t = {
+  id : string;
+  severity : Severity.t;
+  pass : pass;
+  title : string;
+  rationale : string;
+  example : string;
+}
+
+let pass_name = function
+  | Instance_pass -> "instance"
+  | Mapping_pass -> "mapping"
+  | Numeric_pass -> "numeric"
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let register rule =
+  if Hashtbl.mem registry rule.id then
+    invalid_arg (Printf.sprintf "Rule.register: duplicate rule ID %s" rule.id);
+  Hashtbl.add registry rule.id rule
+
+let find id = Hashtbl.find_opt registry id
+
+let all () =
+  Hashtbl.fold (fun _ r acc -> r :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.id b.id)
+
+let diag rule ?span fmt =
+  Diagnostic.make ~rule:rule.id ~severity:rule.severity ?span fmt

@@ -1,0 +1,38 @@
+(** The rule registry.
+
+    Every lint rule carries stable metadata (ID, default severity, the
+    pass it belongs to, a one-line title, a rationale, and a minimal
+    triggering example).  Passes register their rules at load time; the
+    registry backs [relpipe lint --rules] and keeps IDs unique.
+
+    The registry is pluggable: downstream code can {!register} additional
+    rules and emit {!Diagnostic.t} values for them from its own passes. *)
+
+type pass = Instance_pass | Mapping_pass | Numeric_pass
+
+type t = {
+  id : string;  (** stable, e.g. ["RP-I001"] *)
+  severity : Severity.t;  (** default severity of findings *)
+  pass : pass;
+  title : string;  (** one line, imperative-free *)
+  rationale : string;  (** why this matters for the paper's model *)
+  example : string;  (** a minimal input fragment that triggers it *)
+}
+
+val pass_name : pass -> string
+(** ["instance" | "mapping" | "numeric"]. *)
+
+val register : t -> unit
+(** @raise Invalid_argument on a duplicate ID. *)
+
+val find : string -> t option
+
+val all : unit -> t list
+(** Every registered rule, sorted by ID. *)
+
+val diag :
+  t ->
+  ?span:Relpipe_util.Loc.span ->
+  ('a, Format.formatter, unit, Diagnostic.t) format4 ->
+  'a
+(** Build a finding for a rule at its default severity. *)

@@ -1,0 +1,26 @@
+type t = Hint | Warning | Error
+
+let rank = function Hint -> 0 | Warning -> 1 | Error -> 2
+
+let compare a b = Int.compare (rank a) (rank b)
+
+let max a b = if compare a b >= 0 then a else b
+
+let to_string = function
+  | Hint -> "hint"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let of_string = function
+  | "hint" -> Some Hint
+  | "warning" -> Some Warning
+  | "error" -> Some Error
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let exit_code (worst : t option) =
+  match worst with
+  | Some Error -> 2
+  | Some Warning -> 1
+  | Some Hint | None -> 0

@@ -1,0 +1,26 @@
+(** The severity lattice for lint findings.
+
+    [Error] marks inputs that violate the model's domain (a solver run
+    would crash or produce meaningless numbers), [Warning] marks
+    suspicious modeling choices and numeric hazards, [Hint] marks
+    optimization opportunities and degenerate-but-legal structure. *)
+
+type t = Hint | Warning | Error
+
+val rank : t -> int
+(** [Hint -> 0], [Warning -> 1], [Error -> 2]. *)
+
+val compare : t -> t -> int
+
+val max : t -> t -> t
+
+val to_string : t -> string
+(** Lowercase: ["hint" | "warning" | "error"]. *)
+
+val of_string : string -> t option
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t option -> int
+(** CLI exit status for a worst finding: [Error -> 2], [Warning -> 1],
+    [Hint] or no findings [-> 0]. *)

@@ -1,0 +1,137 @@
+open Relpipe_model
+module Loc = Relpipe_util.Loc
+
+type origin = From_text | From_value
+
+type stage = { work : float; output : float; span : Loc.span option }
+
+type proc = { speed : float; failure : float; span : Loc.span option }
+
+type link = {
+  a : Textio.raw_endpoint;
+  b : Textio.raw_endpoint;
+  bw : float;
+  span : Loc.span option;
+}
+
+type t = {
+  origin : origin;
+  input : (float * Loc.span option) option;
+  stages : stage array;
+  procs : proc array;
+  default_bw : (float * Loc.span option) option;
+  links : link list;
+  bandwidth : int -> int -> float option;
+}
+
+let num_procs t = Array.length t.procs
+
+let num_stages t = Array.length t.stages
+
+let endpoint_index ~m = function
+  | Textio.Rin -> Some 0
+  | Textio.Rout -> Some (m + 1)
+  | Textio.Rproc u -> if u >= 0 && u < m then Some (u + 1) else None
+
+let endpoint_name ~m i =
+  if i = 0 then "in" else if i = m + 1 then "out" else Printf.sprintf "P%d" (i - 1)
+
+let of_raw (raw : Textio.raw) =
+  let procs =
+    Array.of_list
+      (List.map
+         (fun p ->
+           {
+             speed = p.Textio.proc_speed;
+             failure = p.Textio.proc_failure;
+             span = Some p.Textio.proc_span;
+           })
+         raw.Textio.raw_procs)
+  in
+  let m = Array.length procs in
+  let stages =
+    Array.of_list
+      (List.map
+         (fun s ->
+           {
+             work = s.Textio.stage_work;
+             output = s.Textio.stage_output;
+             span = Some s.Textio.stage_span;
+           })
+         raw.Textio.raw_stages)
+  in
+  let links =
+    List.map
+      (fun l ->
+        {
+          a = l.Textio.link_a;
+          b = l.Textio.link_b;
+          bw = l.Textio.link_bw;
+          span = Some l.Textio.link_span;
+        })
+      raw.Textio.raw_links
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      match endpoint_index ~m l.a, endpoint_index ~m l.b with
+      | Some i, Some j when i <> j ->
+          Hashtbl.replace tbl (i, j) l.bw;
+          Hashtbl.replace tbl (j, i) l.bw
+      | _ -> ())
+    links;
+  let default = Option.map fst raw.Textio.raw_default_bw in
+  let bandwidth i j =
+    if i = j then None
+    else
+      match Hashtbl.find_opt tbl (i, j) with
+      | Some _ as v -> v
+      | None -> default
+  in
+  {
+    origin = From_text;
+    input = Option.map (fun (v, s) -> (v, Some s)) raw.Textio.raw_input;
+    stages;
+    procs;
+    default_bw = Option.map (fun (v, s) -> (v, Some s)) raw.Textio.raw_default_bw;
+    links;
+    bandwidth;
+  }
+
+let of_instance (instance : Instance.t) =
+  let pipeline = instance.Instance.pipeline in
+  let platform = instance.Instance.platform in
+  let m = Platform.size platform in
+  let stages =
+    Array.of_list
+      (List.map
+         (fun s -> { work = s.Pipeline.work; output = s.Pipeline.output; span = None })
+         (Pipeline.stages pipeline))
+  in
+  let procs =
+    Array.init m (fun u ->
+        {
+          speed = Platform.speed platform u;
+          failure = Platform.failure platform u;
+          span = None;
+        })
+  in
+  let endpoint_of_index i =
+    if i = 0 then Platform.Pin
+    else if i = m + 1 then Platform.Pout
+    else Platform.Proc (i - 1)
+  in
+  let bandwidth i j =
+    if i = j || i < 0 || j < 0 || i > m + 1 || j > m + 1 then None
+    else
+      Some (Platform.bandwidth platform (endpoint_of_index i) (endpoint_of_index j))
+  in
+  {
+    origin = From_value;
+    input = Some (Pipeline.delta pipeline 0, None);
+    stages;
+    procs;
+    default_bw = None;
+    links = [];
+    bandwidth;
+  }

@@ -1,0 +1,50 @@
+(** The normalized view the instance-level passes analyse.
+
+    Two inputs feed the same rules: the raw, span-carrying form produced
+    by {!Relpipe_model.Textio.parse_raw} (which can hold values that the
+    smart constructors would reject), and an already-constructed
+    {!Relpipe_model.Instance.t} (whose findings carry no spans). *)
+
+open Relpipe_model
+
+type origin =
+  | From_text  (** parsed from the instance file format *)
+  | From_value  (** wrapped from a constructed [Instance.t] *)
+
+type stage = { work : float; output : float; span : Relpipe_util.Loc.span option }
+
+type proc = { speed : float; failure : float; span : Relpipe_util.Loc.span option }
+
+type link = {
+  a : Textio.raw_endpoint;
+  b : Textio.raw_endpoint;
+  bw : float;
+  span : Relpipe_util.Loc.span option;
+}
+
+type t = {
+  origin : origin;
+  input : (float * Relpipe_util.Loc.span option) option;
+  stages : stage array;
+  procs : proc array;
+  default_bw : (float * Relpipe_util.Loc.span option) option;
+  links : link list;  (** declarations, in source order (raw only) *)
+  bandwidth : int -> int -> float option;
+      (** effective symmetric bandwidth over endpoint indices
+          [0 = Pin], [1..m] = processors, [m+1] = Pout; [None] when the
+          pair is undeclared and there is no default *)
+}
+
+val num_procs : t -> int
+
+val num_stages : t -> int
+
+val endpoint_index : m:int -> Textio.raw_endpoint -> int option
+(** [None] when a processor reference is out of [0..m-1]. *)
+
+val endpoint_name : m:int -> int -> string
+(** ["in"], ["out"] or ["P<u>"] for an endpoint index. *)
+
+val of_raw : Textio.raw -> t
+
+val of_instance : Instance.t -> t

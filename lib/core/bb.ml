@@ -68,7 +68,7 @@ let pending_bound ctx (first, last, procs) =
 
 let endpoints_of procs = B.fold (fun u acc -> Platform.Proc u :: acc) procs []
 
-let rec branch ctx ~next_stage ~used ~closed ~pending ~latency_closed
+let rec branch (ctx : ctx) ~next_stage ~used ~closed ~pending ~latency_closed
     ~log_survival =
   (* [closed]: reversed list of finalized intervals (term already added to
      latency_closed).  [pending]: the last chosen interval, whose outgoing

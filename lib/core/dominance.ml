@@ -13,7 +13,7 @@ let undominated platform =
   let procs = Platform.procs platform in
   let keep u = not (List.exists (fun v -> v <> u && dominates platform v u) procs) in
   List.sort
-    (fun a b -> compare (Platform.speed platform b) (Platform.speed platform a))
+    (fun a b -> Float.compare (Platform.speed platform b) (Platform.speed platform a))
     (List.filter keep procs)
 
 let normalize instance mapping =
@@ -32,7 +32,7 @@ let normalize instance mapping =
         (Platform.procs platform)
     in
     let better a b =
-      let c = compare (Platform.speed platform b) (Platform.speed platform a) in
+      let c = Float.compare (Platform.speed platform b) (Platform.speed platform a) in
       if c <> 0 then c < 0
       else Platform.failure platform a < Platform.failure platform b
     in

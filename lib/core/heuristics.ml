@@ -1,5 +1,4 @@
 open Relpipe_model
-module F = Relpipe_util.Float_cmp
 module Rng = Relpipe_util.Rng
 
 type name =
@@ -111,7 +110,7 @@ let balanced_composition pipeline p =
     end
   in
   force (n - 1);
-  let bounds = List.sort compare !cuts in
+  let bounds = List.sort Int.compare !cuts in
   let rec build first = function
     | [] -> [ (first, n) ]
     | c :: tl -> (first, c) :: build (c + 1) tl
@@ -130,7 +129,7 @@ let split_replicate instance objective =
       let order_by_work =
         List.sort
           (fun i j ->
-            compare
+            Float.compare
               (Pipeline.work_sum pipeline ~first:(fst intervals.(j)) ~last:(snd intervals.(j)))
               (Pipeline.work_sum pipeline ~first:(fst intervals.(i)) ~last:(snd intervals.(i))))
           (List.init p Fun.id)
@@ -144,7 +143,7 @@ let split_replicate instance objective =
         Mapping.make ~n ~m
           (List.init p (fun j ->
                { Mapping.first = fst intervals.(j); last = snd intervals.(j);
-                 procs = List.sort compare sets.(j) }))
+                 procs = List.sort Int.compare sets.(j) }))
       in
       let current = ref (Solution.of_mapping instance (build ())) in
       best := keep_best objective !best !current;
@@ -216,7 +215,7 @@ let mapping_of_state ~n ~m st =
          {
            Mapping.first = fst st.bounds.(j);
            last = snd st.bounds.(j);
-           procs = List.sort compare st.sets.(j);
+           procs = List.sort Int.compare st.sets.(j);
          }))
 
 let unused_procs ~m st =

@@ -10,8 +10,8 @@ let fastest_proc platform =
 let sorted_procs platform key =
   List.sort
     (fun u v ->
-      let c = compare (key u) (key v) in
-      if c <> 0 then c else compare u v)
+      let c = Float.compare (key u) (key v) in
+      if c <> 0 then c else Int.compare u v)
     (Platform.procs platform)
 
 let most_reliable_procs platform =

@@ -34,13 +34,13 @@ let front ~solve ~thresholds =
         match solve (Instance.Min_failure { max_latency = threshold }) with
         | Some solution -> Some { threshold; solution }
         | None -> None)
-      (List.sort_uniq compare thresholds)
+      (List.sort_uniq Float.compare thresholds)
   in
   (* Keep non-dominated points, sorted by latency. *)
   let sorted =
     List.sort
       (fun a b ->
-        compare
+        Float.compare
           a.solution.Solution.evaluation.Instance.latency
           b.solution.Solution.evaluation.Instance.latency)
       points
@@ -81,12 +81,12 @@ let front_by_failure ~solve ~thresholds =
         match solve (Instance.Min_latency { max_failure = threshold }) with
         | Some solution -> Some { threshold; solution }
         | None -> None)
-      (List.sort_uniq compare thresholds)
+      (List.sort_uniq Float.compare thresholds)
   in
   let sorted =
     List.sort
       (fun a b ->
-        compare
+        Float.compare
           a.solution.Solution.evaluation.Instance.latency
           b.solution.Solution.evaluation.Instance.latency)
       points

@@ -33,7 +33,7 @@ let make ~n ~m specs =
   in
   check 1 specs;
   List.map
-    (fun s -> { s with groups = List.map (List.sort compare) s.groups })
+    (fun s -> { s with groups = List.map (List.sort Int.compare) s.groups })
     specs
 
 let of_mapping mapping =
@@ -57,7 +57,7 @@ let partition_groups mapping ~q =
            {
              first = iv.Mapping.first;
              last = iv.Mapping.last;
-             groups = Array.to_list (Array.map (List.sort compare) buckets);
+             groups = Array.to_list (Array.map (List.sort Int.compare) buckets);
            })
          ivs)
 

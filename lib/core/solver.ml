@@ -1,4 +1,6 @@
 open Relpipe_model
+module Analysis = Relpipe_analysis.Analysis
+module Diagnostic = Relpipe_analysis.Diagnostic
 
 type method_ =
   | Auto
@@ -6,6 +8,36 @@ type method_ =
   | Polynomial
   | Heuristic of Heuristics.name
   | Portfolio
+
+type error =
+  | Invalid_instance of Diagnostic.t list
+  | Invalid_objective of string
+  | Not_applicable of string
+  | Too_large of string
+
+let pp_error ppf = function
+  | Invalid_instance ds ->
+      Format.fprintf ppf "invalid instance:";
+      List.iter (fun d -> Format.fprintf ppf "@ %s" (Diagnostic.to_string d)) ds
+  | Invalid_objective msg -> Format.fprintf ppf "invalid objective: %s" msg
+  | Not_applicable msg | Too_large msg -> Format.pp_print_string ppf msg
+
+let error_to_string e = Format.asprintf "@[<h>%a@]" pp_error e
+
+let check_instance instance =
+  match Analysis.instance_errors instance with
+  | [] -> Ok ()
+  | ds -> Error (Invalid_instance ds)
+
+let check_objective objective =
+  let finite name x =
+    if Float.is_nan x then
+      Error (Invalid_objective (Printf.sprintf "%s threshold is NaN" name))
+    else Ok ()
+  in
+  match objective with
+  | Instance.Min_latency { max_failure } -> finite "failure-probability" max_failure
+  | Instance.Min_failure { max_latency } -> finite "latency" max_latency
 
 let polynomial instance objective =
   if Fully_homog.applicable instance then Fully_homog.solve instance objective
@@ -37,13 +69,33 @@ let auto ~exact_budget instance objective =
     else portfolio
   end
 
-let solve ?(method_ = Auto) ?(exact_budget = 200_000) instance objective =
+let dispatch ~method_ ~exact_budget instance objective =
   match method_ with
   | Auto -> auto ~exact_budget instance objective
   | Exact_enum -> Exact.solve instance objective
   | Polynomial -> polynomial instance objective
   | Heuristic name -> Heuristics.run name instance objective
   | Portfolio -> Heuristics.best_of instance objective
+
+let run ?(method_ = Auto) ?(exact_budget = 200_000) instance objective =
+  match check_instance instance with
+  | Error _ as e -> e
+  | Ok () -> (
+      match check_objective objective with
+      | Error _ as e -> e
+      | Ok () -> (
+          match dispatch ~method_ ~exact_budget instance objective with
+          | s -> Ok s
+          | exception Invalid_argument msg -> Error (Not_applicable msg)
+          | exception Exact.Too_large msg -> Error (Too_large msg)))
+
+let solve ?method_ ?exact_budget instance objective =
+  match run ?method_ ?exact_budget instance objective with
+  | Ok s -> s
+  | Error (Too_large msg) -> raise (Exact.Too_large msg)
+  | Error ((Invalid_instance _ | Invalid_objective _) as e) ->
+      invalid_arg ("Solver: " ^ error_to_string e)
+  | Error (Not_applicable msg) -> invalid_arg msg
 
 let describe instance =
   let platform = instance.Instance.platform in

@@ -61,7 +61,7 @@ let balanced_composition pipeline p =
     end
   in
   force (n - 1);
-  let bounds = List.sort compare !cuts in
+  let bounds = List.sort Int.compare !cuts in
   let rec build first = function
     | [] -> [ (first, n) ]
     | c :: tl -> (first, c) :: build (c + 1) tl
@@ -87,7 +87,7 @@ let greedy_min_failure instance constraints =
       let order_by_work =
         List.sort
           (fun i j ->
-            compare
+            Float.compare
               (Pipeline.work_sum pipeline ~first:(fst intervals.(j))
                  ~last:(snd intervals.(j)))
               (Pipeline.work_sum pipeline ~first:(fst intervals.(i))
@@ -105,7 +105,7 @@ let greedy_min_failure instance constraints =
                {
                  Mapping.first = fst intervals.(j);
                  last = snd intervals.(j);
-                 procs = List.sort compare sets.(j);
+                 procs = List.sort Int.compare sets.(j);
                }))
       in
       keep (build ());

@@ -9,6 +9,7 @@ type report = {
   feasible : bool;
   optimality : optimality;
   messages : string list;
+  diagnostics : Relpipe_analysis.Diagnostic.t list;
 }
 
 let certify ?(certify_budget = 36) instance objective (s : Solution.t) =
@@ -87,12 +88,28 @@ let check ?certify_budget instance objective s =
       | Unknown -> Unknown
     end
   in
+  (* Fold the static-analysis findings in: instance-level numeric hazards
+     plus the mapping-pass view of the solution (one-port serialization,
+     ...).  Warnings and errors join [messages]; everything, hints
+     included, is kept in [diagnostics]. *)
+  let diagnostics =
+    Relpipe_analysis.Analysis.lint_solution instance s.Solution.mapping
+  in
+  List.iter
+    (fun d ->
+      if
+        Relpipe_analysis.Severity.compare
+          d.Relpipe_analysis.Diagnostic.severity Relpipe_analysis.Severity.Warning
+        >= 0
+      then say "%s" (Relpipe_analysis.Diagnostic.to_string d))
+    diagnostics;
   {
     structurally_valid;
     evaluation_consistent;
     feasible;
     optimality;
     messages = List.rev !messages;
+    diagnostics;
   }
 
 let ok r = r.structurally_valid && r.evaluation_consistent && r.feasible

@@ -20,6 +20,10 @@ type report = {
   feasible : bool;  (** threshold of the objective holds *)
   optimality : optimality;
   messages : string list;  (** human-readable findings, worst first *)
+  diagnostics : Relpipe_analysis.Diagnostic.t list;
+      (** static-analysis findings for the instance and mapping (all
+          severities, worst first); [Warning]+ are also rendered into
+          [messages] *)
 }
 
 val check :

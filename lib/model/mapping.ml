@@ -20,7 +20,7 @@ let validate ~n ~m intervals =
       let rec go seen = function
         | [] -> Ok ()
         | iv :: tl ->
-            let sorted = List.sort_uniq compare iv.procs in
+            let sorted = List.sort_uniq Int.compare iv.procs in
             if iv.procs = [] then err "interval [%d,%d] has no processor" iv.first iv.last
             else if List.length sorted <> List.length iv.procs then
               err "interval [%d,%d] lists a processor twice" iv.first iv.last
@@ -40,7 +40,7 @@ let validate ~n ~m intervals =
         | Ok () ->
             Ok
               (List.map
-                 (fun iv -> { iv with procs = List.sort compare iv.procs })
+                 (fun iv -> { iv with procs = List.sort Int.compare iv.procs })
                  intervals))
   end
 
@@ -72,7 +72,7 @@ let interval_of_stage t k =
   | Some iv -> iv
   | None -> invalid_arg "Mapping.interval_of_stage: stage out of range"
 
-let used_procs t = List.sort compare (List.concat_map (fun iv -> iv.procs) t)
+let used_procs t = List.sort Int.compare (List.concat_map (fun iv -> iv.procs) t)
 
 let equal a b =
   List.length a = List.length b

@@ -6,12 +6,34 @@
     paper's Fig. 5 split mapping on 11 processors:
     {v 1:0; 2:1,2,3,4,5,6,7,8,9,10 v}
 
-    Used by the CLI's [eval] subcommand so a user can price an arbitrary
-    mapping without writing OCaml. *)
+    Used by the CLI's [eval] and [lint] subcommands so a user can price
+    or statically check an arbitrary mapping without writing OCaml.
+
+    Like {!Textio}, parsing is layered: {!parse_raw} keeps source spans
+    and performs only syntactic checks, so the [Relpipe_analysis] mapping
+    pass can report structural defects (gaps, overlaps, out-of-range
+    processors) with precise locations; {!parse} adds
+    {!Mapping.validate}. *)
+
+type raw_interval = {
+  r_first : int;
+  r_last : int;
+  r_procs : (int * Relpipe_util.Loc.span) list;
+      (** each processor with the span of its token *)
+  r_span : Relpipe_util.Loc.span;  (** the whole interval chunk *)
+}
+
+type error = { message : string; span : Relpipe_util.Loc.span option }
+
+val parse_raw : string -> (raw_interval list, error) result
+(** Syntactic parse; no structural validation beyond token shape. *)
+
+val format_error : error -> string
+(** ["line:col: message"], or just the message for spanless errors. *)
 
 val parse : n:int -> m:int -> string -> (Mapping.t, string) result
 (** Parse and validate against a pipeline of [n] stages and [m]
-    processors. *)
+    processors.  Syntax errors carry the source position. *)
 
 val to_string : Mapping.t -> string
 (** Canonical rendering; round-trips through {!parse}. *)

@@ -1,108 +1,218 @@
+module Loc = Relpipe_util.Loc
+
+type raw_endpoint = Rin | Rout | Rproc of int
+
+type raw_stage = {
+  stage_work : float;
+  stage_output : float;
+  stage_span : Loc.span;
+}
+
+type raw_proc = {
+  proc_speed : float;
+  proc_failure : float;
+  proc_span : Loc.span;
+}
+
+type raw_link = {
+  link_a : raw_endpoint;
+  link_b : raw_endpoint;
+  link_bw : float;
+  link_span : Loc.span;
+}
+
+type raw = {
+  raw_input : (float * Loc.span) option;
+  raw_stages : raw_stage list;
+  raw_procs : raw_proc list;
+  raw_default_bw : (float * Loc.span) option;
+  raw_links : raw_link list;
+}
+
+type error = { message : string; span : Loc.span option }
+
+let err ?span fmt = Format.kasprintf (fun message -> Error { message; span }) fmt
+
+let format_error e =
+  match e.span with
+  | None -> e.message
+  | Some span -> Format.asprintf "%a: %s" Loc.pp_span span e.message
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizing                                                          *)
+(* ------------------------------------------------------------------ *)
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some i -> String.sub line 0 i
   | None -> line
 
+let is_blank c = c = ' ' || c = '\t' || c = '\r'
+
+(* Tokens of one line, each with its 1-based starting column. *)
 let tokens_of_line line =
-  String.split_on_char ' ' (strip_comment line)
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun s -> s <> "")
+  let line = strip_comment line in
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if is_blank line.[i] then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (is_blank line.[!j]) do
+        incr j
+      done;
+      go !j ((String.sub line i (!j - i), i + 1) :: acc)
+    end
+  in
+  go 0 []
 
-let parse_endpoint m = function
-  | "in" -> Ok Platform.Pin
-  | "out" -> Ok Platform.Pout
-  | s -> (
-      match int_of_string_opt s with
-      | Some u when u >= 0 && (m < 0 || u < m) -> Ok (Platform.Proc u)
-      | Some _ -> Error (Printf.sprintf "processor index %s out of range" s)
-      | None -> Error (Printf.sprintf "bad endpoint %S" s))
+let token_span ~line (tok, col) =
+  Loc.span_of_cols ~line ~start_col:col ~stop_col:(col + String.length tok)
 
-let float_of tok =
+(* Span of a whole directive: first token start to last token end. *)
+let directive_span ~line toks =
+  match toks with
+  | [] -> Loc.span_of_cols ~line ~start_col:1 ~stop_col:1
+  | first :: _ ->
+      let last = List.nth toks (List.length toks - 1) in
+      Loc.union (token_span ~line first) (token_span ~line last)
+
+(* ------------------------------------------------------------------ *)
+(* Raw parsing                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let float_of ~line (tok, col) =
   match float_of_string_opt tok with
   | Some x -> Ok x
-  | None -> Error (Printf.sprintf "bad number %S" tok)
+  | None -> err ~span:(token_span ~line (tok, col)) "bad number %S" tok
+
+let endpoint_of ~line (tok, col) =
+  match tok with
+  | "in" -> Ok Rin
+  | "out" -> Ok Rout
+  | _ -> (
+      match int_of_string_opt tok with
+      | Some u when u >= 0 -> Ok (Rproc u)
+      | Some _ | None ->
+          err ~span:(token_span ~line (tok, col))
+            "bad endpoint %S (expected \"in\", \"out\" or a processor index)"
+            tok)
 
 type builder = {
-  mutable input : float option;
-  mutable stages : Pipeline.stage list;  (* reversed *)
-  mutable procs : (float * float) list;  (* reversed *)
-  mutable default_bw : float option;
-  mutable links : (string * string * float) list;  (* raw endpoints *)
+  mutable input : (float * Loc.span) option;
+  mutable stages : raw_stage list;  (* reversed *)
+  mutable procs : raw_proc list;  (* reversed *)
+  mutable default_bw : (float * Loc.span) option;
+  mutable links : raw_link list;  (* reversed *)
 }
 
-let endpoint_key = function
-  | Platform.Pin -> "in"
-  | Platform.Pout -> "out"
-  | Platform.Proc u -> string_of_int u
-
-let parse text =
+let parse_raw text =
   let b =
     { input = None; stages = []; procs = []; default_bw = None; links = [] }
   in
   let ( let* ) = Result.bind in
-  let parse_line lineno line =
-    match tokens_of_line line with
+  let parse_line line toks =
+    let span = directive_span ~line toks in
+    match toks with
     | [] -> Ok ()
-    | [ "input"; x ] ->
-        let* v = float_of x in
-        b.input <- Some v;
+    | [ ("input", _); x ] ->
+        let* v = float_of ~line x in
+        b.input <- Some (v, span);
         Ok ()
-    | [ "stage"; w; d ] ->
-        let* work = float_of w in
-        let* output = float_of d in
-        b.stages <- { Pipeline.work; output } :: b.stages;
+    | [ ("stage", _); w; d ] ->
+        let* stage_work = float_of ~line w in
+        let* stage_output = float_of ~line d in
+        b.stages <- { stage_work; stage_output; stage_span = span } :: b.stages;
         Ok ()
-    | [ "proc"; s; f ] ->
-        let* speed = float_of s in
-        let* fp = float_of f in
-        b.procs <- (speed, fp) :: b.procs;
+    | [ ("proc", _); s; f ] ->
+        let* proc_speed = float_of ~line s in
+        let* proc_failure = float_of ~line f in
+        b.procs <- { proc_speed; proc_failure; proc_span = span } :: b.procs;
         Ok ()
-    | [ "link"; "default"; bw ] ->
-        let* v = float_of bw in
-        b.default_bw <- Some v;
+    | [ ("link", _); ("default", _); bw ] ->
+        let* v = float_of ~line bw in
+        b.default_bw <- Some (v, span);
         Ok ()
-    | [ "link"; a; bb; bw ] ->
-        let* v = float_of bw in
-        (* Endpoint validity is checked later, once m is known. *)
-        b.links <- (a, bb, v) :: b.links;
+    | [ ("link", _); a; bb; bw ] ->
+        let* link_a = endpoint_of ~line a in
+        let* link_b = endpoint_of ~line bb in
+        let* link_bw = float_of ~line bw in
+        b.links <- { link_a; link_b; link_bw; link_span = span } :: b.links;
         Ok ()
-    | tok :: _ -> Error (Printf.sprintf "line %d: unknown directive %S" lineno tok)
+    | ((("input" | "stage" | "proc" | "link") as directive), _) :: _ ->
+        err ~span "wrong number of arguments for %S" directive
+    | (tok, col) :: _ ->
+        err ~span:(token_span ~line (tok, col)) "unknown directive %S" tok
   in
   let lines = String.split_on_char '\n' text in
   let rec parse_all lineno = function
     | [] -> Ok ()
     | line :: tl -> (
-        match parse_line lineno line with
+        match parse_line lineno (tokens_of_line line) with
         | Ok () -> parse_all (lineno + 1) tl
-        | Error e -> Error e)
+        | Error _ as e -> e)
   in
   let* () = parse_all 1 lines in
+  Ok
+    {
+      raw_input = b.input;
+      raw_stages = List.rev b.stages;
+      raw_procs = List.rev b.procs;
+      raw_default_bw = b.default_bw;
+      raw_links = List.rev b.links;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Building                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let endpoint_of_raw ~m = function
+  | Rin -> Ok Platform.Pin
+  | Rout -> Ok Platform.Pout
+  | Rproc u ->
+      if u >= 0 && u < m then Ok (Platform.Proc u)
+      else Error (Printf.sprintf "processor index %d out of range 0..%d" u (m - 1))
+
+let endpoint_key = function
+  | Platform.Pin -> -1
+  | Platform.Pout -> -2
+  | Platform.Proc u -> u
+
+let build raw =
+  let ( let* ) = Result.bind in
   let* input =
-    match b.input with Some v -> Ok v | None -> Error "missing `input` directive"
+    match raw.raw_input with
+    | Some (v, _) -> Ok v
+    | None -> err "missing `input` directive"
   in
-  let* () = if b.stages = [] then Error "no `stage` directives" else Ok () in
-  let* () = if b.procs = [] then Error "no `proc` directives" else Ok () in
-  let procs = Array.of_list (List.rev b.procs) in
+  let* () = if raw.raw_stages = [] then err "no `stage` directives" else Ok () in
+  let* () = if raw.raw_procs = [] then err "no `proc` directives" else Ok () in
+  let procs = Array.of_list raw.raw_procs in
   let m = Array.length procs in
   let tbl = Hashtbl.create 16 in
   let* () =
     List.fold_left
-      (fun acc (a, bb, v) ->
+      (fun acc l ->
         let* () = acc in
-        let* ea = parse_endpoint m a in
-        let* eb = parse_endpoint m bb in
-        Hashtbl.replace tbl (endpoint_key ea, endpoint_key eb) v;
-        Hashtbl.replace tbl (endpoint_key eb, endpoint_key ea) v;
+        let check e =
+          match endpoint_of_raw ~m e with
+          | Ok e -> Ok e
+          | Error msg -> err ~span:l.link_span "%s" msg
+        in
+        let* ea = check l.link_a in
+        let* eb = check l.link_b in
+        Hashtbl.replace tbl (endpoint_key ea, endpoint_key eb) l.link_bw;
+        Hashtbl.replace tbl (endpoint_key eb, endpoint_key ea) l.link_bw;
         Ok ())
-      (Ok ()) b.links
+      (Ok ()) raw.raw_links
   in
   let missing = ref None in
   let bandwidth a bb =
     match Hashtbl.find_opt tbl (endpoint_key a, endpoint_key bb) with
     | Some v -> v
     | None -> (
-        match b.default_bw with
-        | Some v -> v
+        match raw.raw_default_bw with
+        | Some (v, _) -> v
         | None ->
             if !missing = None then
               missing :=
@@ -114,24 +224,41 @@ let parse text =
   let* platform =
     match
       Platform.make
-        ~speeds:(Array.map fst procs)
-        ~failures:(Array.map snd procs)
+        ~speeds:(Array.map (fun p -> p.proc_speed) procs)
+        ~failures:(Array.map (fun p -> p.proc_failure) procs)
         ~bandwidth
     with
-    | p -> ( match !missing with None -> Ok p | Some msg -> Error msg)
-    | exception Invalid_argument msg -> Error msg
+    | p -> ( match !missing with None -> Ok p | Some msg -> err "%s" msg)
+    | exception Invalid_argument msg -> err "%s" msg
   in
   let* pipeline =
-    match Pipeline.make ~input (List.rev b.stages) with
+    match
+      Pipeline.make ~input
+        (List.map
+           (fun s -> { Pipeline.work = s.stage_work; output = s.stage_output })
+           raw.raw_stages)
+    with
     | p -> Ok p
-    | exception Invalid_argument msg -> Error msg
+    | exception Invalid_argument msg -> err "%s" msg
   in
   Ok (Instance.make pipeline platform)
+
+let parse text =
+  match parse_raw text with
+  | Error e -> Error (format_error e)
+  | Ok raw -> (
+      match build raw with
+      | Error e -> Error (format_error e)
+      | Ok instance -> Ok instance)
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | text -> parse text
   | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
 
 let to_string (instance : Instance.t) =
   let buf = Buffer.create 256 in

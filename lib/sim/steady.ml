@@ -52,7 +52,11 @@ let run ?trace instance mapping ~datasets =
         let keyed =
           Array.map (fun u -> (eq2_term pipeline platform intervals j u, u)) procs
         in
-        Array.sort compare keyed;
+        let by_term (ka, ua) (kb, ub) =
+          let c = Float.compare ka kb in
+          if c <> 0 then c else Int.compare ua ub
+        in
+        Array.sort by_term keyed;
         Array.map snd keyed)
   in
   let forwarder = Array.map (fun o -> o.(Array.length o - 1)) order in

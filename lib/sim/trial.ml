@@ -6,7 +6,6 @@ type outcome = Completed of float | Failed of int
 
 (* Per-interval mutable simulation state. *)
 type interval_state = {
-  iv : Mapping.interval;
   order : int array;  (* replicas in send order (worst served last) *)
   alive_total : int;
   mutable alive_finished : int;
@@ -37,7 +36,11 @@ let send_order instance intervals j =
      matching the adversarial ordering behind Eq. (1)/(2). *)
   let procs = Array.of_list intervals.(j).Mapping.procs in
   let keyed = Array.map (fun u -> (eq2_term instance intervals j u, u)) procs in
-  Array.sort compare keyed;
+  let by_term (ka, ua) (kb, ub) =
+    let c = Float.compare ka kb in
+    if c <> 0 then c else Int.compare ua ub
+  in
+  Array.sort by_term keyed;
   Array.map snd keyed
 
 let run instance mapping ~alive ~policy =
@@ -72,7 +75,6 @@ let run instance mapping ~alive ~policy =
         Array.init p (fun j ->
             let iv = intervals.(j) in
             {
-              iv;
               order = send_order instance intervals j;
               alive_total =
                 List.length (List.filter (fun u -> alive.(u)) iv.Mapping.procs);

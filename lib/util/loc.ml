@@ -1,0 +1,50 @@
+type pos = { line : int; col : int }
+
+type span = { start : pos; stop : pos }
+
+let pos ~line ~col = { line; col }
+
+let span start stop = { start; stop }
+
+let span_of_cols ~line ~start_col ~stop_col =
+  { start = { line; col = start_col }; stop = { line; col = stop_col } }
+
+let dummy = span_of_cols ~line:1 ~start_col:1 ~stop_col:1
+
+let compare_pos a b =
+  let c = Int.compare a.line b.line in
+  if c <> 0 then c else Int.compare a.col b.col
+
+let compare_span a b =
+  let c = compare_pos a.start b.start in
+  if c <> 0 then c else compare_pos a.stop b.stop
+
+let union a b =
+  {
+    start = (if compare_pos a.start b.start <= 0 then a.start else b.start);
+    stop = (if compare_pos a.stop b.stop >= 0 then a.stop else b.stop);
+  }
+
+let of_offset text i =
+  let i = Int.min (Int.max i 0) (String.length text) in
+  let line = ref 1 and bol = ref 0 in
+  for j = 0 to i - 1 do
+    if text.[j] = '\n' then begin
+      incr line;
+      bol := j + 1
+    end
+  done;
+  { line = !line; col = i - !bol + 1 }
+
+let span_of_offsets text start stop =
+  { start = of_offset text start; stop = of_offset text stop }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+let pp_span ppf s =
+  if s.start.line = s.stop.line then
+    if s.stop.col <= s.start.col + 1 then pp_pos ppf s.start
+    else Format.fprintf ppf "%d:%d-%d" s.start.line s.start.col (s.stop.col - 1)
+  else Format.fprintf ppf "%a-%a" pp_pos s.start pp_pos s.stop
+
+let to_string s = Format.asprintf "%a" pp_span s

@@ -1,0 +1,43 @@
+(** Source positions and spans for the textual input formats.
+
+    Lines and columns are 1-based; a span covers columns
+    [[start.col, stop.col)] (stop column exclusive), possibly across
+    lines.  Used by the instance/mapping parsers to report where a
+    directive or token came from, and by the static-analysis engine to
+    anchor diagnostics. *)
+
+type pos = { line : int; col : int }
+
+type span = { start : pos; stop : pos }
+
+val pos : line:int -> col:int -> pos
+
+val span : pos -> pos -> span
+
+val span_of_cols : line:int -> start_col:int -> stop_col:int -> span
+(** Single-line span covering [[start_col, stop_col)]. *)
+
+val dummy : span
+(** The whole-input placeholder (line 1, column 1, empty). *)
+
+val union : span -> span -> span
+(** Smallest span covering both arguments. *)
+
+val of_offset : string -> int -> pos
+(** [of_offset text i] is the position of byte offset [i] in [text]
+    (clamped to the text's end). *)
+
+val span_of_offsets : string -> int -> int -> span
+(** [span_of_offsets text start stop] spans byte offsets
+    [[start, stop)]. *)
+
+val compare_pos : pos -> pos -> int
+val compare_span : span -> span -> int
+
+val pp_pos : Format.formatter -> pos -> unit
+(** ["line:col"]. *)
+
+val pp_span : Format.formatter -> span -> unit
+(** ["line:col-col"] on one line, ["line:col-line:col"] otherwise. *)
+
+val to_string : span -> string

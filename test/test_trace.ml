@@ -4,7 +4,6 @@
 open Relpipe_model
 open Relpipe_sim
 module Rng = Relpipe_util.Rng
-module F = Relpipe_util.Float_cmp
 
 let test = Helpers.test
 

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Tier-1 gate: build, tests, grep-lint, and static analysis of every
+# shipped instance (examples/instances/*.relpipe plus the built-in
+# catalog presets and paper scenarios).  Lint warnings are tolerated
+# (exit 1); errors (exit 2) fail the gate.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build (dev profile: warnings are errors) =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== tools/forbid.sh =="
+tools/forbid.sh
+
+relpipe=_build/default/bin/relpipe_cli.exe
+
+lint() {
+  # Accept exit 0 (clean) and 1 (warnings); 2+ (errors) fails.
+  "$@" && rc=0 || rc=$?
+  if [ "$rc" -ge 2 ]; then
+    echo "check.sh: lint reported errors: $*" >&2
+    exit 1
+  fi
+}
+
+echo "== relpipe lint: shipped instances =="
+for f in examples/instances/*.relpipe; do
+  lint "$relpipe" lint "$f"
+done
+
+echo "== relpipe lint: built-in catalog and scenarios =="
+lint "$relpipe" lint --builtin
+
+echo "check.sh: all gates passed"
