@@ -141,15 +141,20 @@ let benchmarks () =
              { Tri.max_latency = 1e6; max_period = 1e6 }));
   ]
 
+(* One record per kernel, for both the table and the machine-readable
+   [--json] report. *)
+type kernel_result = { k_name : string; k_ns : float option; k_r2 : float option }
+
 let run_benchmarks () =
   let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
-  let table = Relpipe_util.Table.create [ "benchmark"; "ns/run" ] in
+  let table = Relpipe_util.Table.create [ "benchmark"; "ns/run"; "r^2" ] in
+  let records = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
@@ -158,21 +163,122 @@ let run_benchmarks () =
         (fun name ols_result ->
           let ns =
             match Analyze.OLS.estimates ols_result with
-            | Some (x :: _) -> Printf.sprintf "%.1f" x
-            | _ -> "-"
+            | Some (x :: _) -> Some x
+            | _ -> None
           in
+          let r2 = Analyze.OLS.r_square ols_result in
           (* Strip the synthetic group prefix. *)
           let name =
             match String.index_opt name '/' with
             | Some i -> String.sub name (i + 1) (String.length name - i - 1)
             | None -> name
           in
-          Relpipe_util.Table.add_row table [ name; ns ])
+          records := { k_name = name; k_ns = ns; k_r2 = r2 } :: !records;
+          Relpipe_util.Table.add_row table
+            [
+              name;
+              (match ns with Some x -> Printf.sprintf "%.1f" x | None -> "-");
+              (match r2 with Some x -> Printf.sprintf "%.4f" x | None -> "-");
+            ])
         analyzed)
     (benchmarks ());
   print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
   print_endline "============================================";
-  Relpipe_util.Table.print table
+  Relpipe_util.Table.print table;
+  List.rev !records
+
+(* Batch-engine throughput: the same 200-request fully-heterogeneous sweep
+   through a fresh engine at 1 worker and at [par] workers (oversubscribed
+   past the CPU count so the pool is exercised even on small machines;
+   wall-clock speedup needs real cores). *)
+type throughput = {
+  t_requests : int;
+  t_workers_par : int;
+  t_sec_seq : float;
+  t_sec_par : float;
+}
+
+let batch_throughput () =
+  let module Engine = Relpipe_service.Engine in
+  let module Protocol = Relpipe_service.Protocol in
+  let requests =
+    Array.init 200 (fun k ->
+        let inst = make_fully_hetero (1000 + k) ~n:8 ~m:5 in
+        Protocol.request
+          ~id:(Printf.sprintf "bench-%03d" k)
+          ~instance:(Protocol.Inline (Textio.to_string inst))
+          (Instance.Min_failure { max_latency = 50.0 }))
+  in
+  let time_run workers =
+    let engine = Engine.create ~workers ~cap_to_cpus:false () in
+    let t0 = Unix.gettimeofday () in
+    let responses = Engine.run_requests engine requests in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    (elapsed, responses)
+  in
+  let par = max 4 (Relpipe_service.Pool.cpu_count ()) in
+  let sec_seq, r_seq = time_run 1 in
+  let sec_par, r_par = time_run par in
+  let identical =
+    Array.for_all2
+      (fun a b ->
+        String.equal (Protocol.encode_response a) (Protocol.encode_response b))
+      r_seq r_par
+  in
+  print_endline "Batch-engine throughput (200-request sweep, n=8 m=5)";
+  print_endline "====================================================";
+  Printf.printf "  1 worker : %6.2f s  (%7.1f req/s)\n" sec_seq
+    (200.0 /. sec_seq);
+  Printf.printf "  %d workers: %6.2f s  (%7.1f req/s)  speedup %.2fx on %d cpus\n"
+    par sec_par (200.0 /. sec_par) (sec_seq /. sec_par)
+    (Relpipe_service.Pool.cpu_count ());
+  Printf.printf "  responses byte-identical across worker counts: %b\n\n"
+    identical;
+  if not identical then failwith "batch engine nondeterminism detected";
+  { t_requests = 200; t_workers_par = par; t_sec_seq = sec_seq; t_sec_par = sec_par }
+
+let write_json path kernels throughput =
+  let module J = Relpipe_service.Json in
+  let date =
+    let tm = Unix.gmtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+  in
+  let opt_float = function Some x -> J.float x | None -> J.Null in
+  let kernel_json k =
+    J.Obj
+      [
+        ("name", J.Str k.k_name);
+        ("ns_per_run", opt_float k.k_ns);
+        ("r_square", opt_float k.k_r2);
+      ]
+  in
+  let tp = throughput in
+  let json =
+    J.Obj
+      [
+        ("version", J.Int 1);
+        ("date", J.Str date);
+        ("cpus", J.Int (Relpipe_service.Pool.cpu_count ()));
+        ("benchmarks", J.List (List.map kernel_json kernels));
+        ( "batch_throughput",
+          J.Obj
+            [
+              ("requests", J.Int tp.t_requests);
+              ("workers", J.Int tp.t_workers_par);
+              ("sec_1_worker", J.float tp.t_sec_seq);
+              ("sec_n_workers", J.float tp.t_sec_par);
+              ("req_per_sec_1_worker", J.float (float_of_int tp.t_requests /. tp.t_sec_seq));
+              ("req_per_sec_n_workers", J.float (float_of_int tp.t_requests /. tp.t_sec_par));
+              ("speedup", J.float (tp.t_sec_seq /. tp.t_sec_par));
+            ] );
+      ]
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (J.to_string json);
+      Out_channel.output_char oc '\n');
+  Printf.printf "wrote %s\n" path
 
 (* Theorem 4 runtime scaling — the performance "figure" of the polynomial
    result: graph shortest path vs the direct DP across instance sizes. *)
@@ -213,10 +319,33 @@ let scaling_table () =
   print_newline ()
 
 let () =
+  (* Flags: [--json FILE] writes a machine-readable report; [--kernels-only]
+     skips the slow experiment tables (useful when only the JSON matters). *)
+  let json_path = ref None and kernels_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | "--kernels-only" :: rest ->
+        kernels_only := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: %s [--json FILE] [--kernels-only]\n  unknown argument %S\n"
+          Sys.argv.(0) arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   print_endline "relpipe benchmark harness";
   print_endline "Paper: Benoit, Rehn-Sonigo, Robert — Optimizing Latency and";
   print_endline "Reliability of Pipeline Workflow Applications (RR-6345, 2008)";
   print_newline ();
-  Relpipe_experiments.Experiments.print_all ();
-  scaling_table ();
-  run_benchmarks ()
+  if not !kernels_only then begin
+    Relpipe_experiments.Experiments.print_all ();
+    scaling_table ()
+  end;
+  let kernels = run_benchmarks () in
+  let throughput = batch_throughput () in
+  match !json_path with
+  | None -> ()
+  | Some path -> write_json path kernels throughput

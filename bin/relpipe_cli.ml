@@ -5,17 +5,20 @@
      solve        solve a bi-criteria mapping problem from an instance file
      simulate     Monte-Carlo-validate a solved mapping
      pareto       print the latency/reliability trade-off front
+     batch        answer a JSONL stream of solve requests (cached, parallel)
+     sweep        generate synthetic scenarios and batch-solve them
      experiments  regenerate every paper experiment (E1-E14)
      demo         write a sample instance file (the paper's Fig. 5) *)
 
 open Cmdliner
 open Relpipe_model
 open Relpipe_core
+module Service = Relpipe_service
 
-let load_instance path =
-  match Textio.parse_file path with
-  | Ok inst -> Ok inst
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+(* Every file-loading subcommand shares this helper; parse failures are
+   rendered through the Relpipe_analysis spans ("path:line:col:
+   error[RP-P001]: ..."), exactly like `relpipe lint`. *)
+let load_instance path = Relpipe_analysis.Analysis.load_instance_file path
 
 let instance_arg =
   let doc = "Instance description file (see `relpipe demo` for the format)." in
@@ -39,19 +42,7 @@ let objective_arg =
   Term.(term_result' (const combine $ max_latency $ max_failure))
 
 let method_arg =
-  let methods =
-    [
-      ("auto", Solver.Auto);
-      ("exact", Solver.Exact_enum);
-      ("polynomial", Solver.Polynomial);
-      ("portfolio", Solver.Portfolio);
-      ("single-greedy", Solver.Heuristic Heuristics.Single_greedy);
-      ("split-replicate", Solver.Heuristic Heuristics.Split_replicate);
-      ("local-search", Solver.Heuristic Heuristics.Local_search);
-      ("annealing", Solver.Heuristic Heuristics.Annealing);
-      ("iterated-ls", Solver.Heuristic Heuristics.Iterated);
-    ]
-  in
+  let methods = Service.Protocol.method_names in
   let doc =
     Printf.sprintf "Solving method: %s."
       (String.concat ", " (List.map fst methods))
@@ -558,6 +549,248 @@ let lint_cmd =
         (const run $ file_arg $ format_arg $ mapping_arg $ rules_flag
        $ builtin_flag))
 
+(* ------------------------------------------------------------------ *)
+(* Batch service                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let workers_arg =
+  let doc =
+    "Worker domains for the solve phase (0 = all CPUs).  Clamped to the \
+     detected CPU count unless $(b,--exact-workers) is set."
+  in
+  Arg.(value & opt int 0 & info [ "w"; "workers" ] ~doc)
+
+let exact_workers_arg =
+  let doc =
+    "Spawn exactly the requested number of domains, even beyond the CPU \
+     count (oversubscription; used by tests to exercise scheduling on \
+     small machines).  Output is byte-identical either way."
+  in
+  Arg.(value & flag & info [ "exact-workers" ] ~doc)
+
+let cache_size_arg =
+  let doc = "Result-cache capacity (canonical instances; 0 disables)." in
+  Arg.(value & opt int 1024 & info [ "cache-size" ] ~doc)
+
+let stats_flag =
+  let doc = "Print engine and cache counters to stderr after the batch." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let output_arg =
+  let doc = "Write JSONL responses here ($(b,-) = stdout)." in
+  Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc)
+
+let make_engine ~workers ~exact_workers ~cache_size =
+  let workers =
+    if workers <= 0 then Service.Pool.cpu_count () else workers
+  in
+  Service.Engine.create ~workers ~cap_to_cpus:(not exact_workers)
+    ~cache_capacity:cache_size ()
+
+let with_output path f =
+  match path with
+  | "-" -> f stdout
+  | path -> Out_channel.with_open_text path f
+
+let finish_batch engine stats =
+  if stats then
+    Format.eprintf "%a@." Service.Engine.pp_stats (Service.Engine.stats engine)
+
+let batch_cmd =
+  let input_arg =
+    let doc = "JSONL request file ($(b,-) = stdin), one request per line." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"REQUESTS" ~doc)
+  in
+  let run input output workers exact_workers cache_size stats =
+    match
+      match input with
+      | "-" -> In_channel.input_lines stdin
+      | path -> In_channel.with_open_text path In_channel.input_lines
+    with
+    | exception Sys_error msg -> `Error (false, msg)
+    | lines ->
+        let engine = make_engine ~workers ~exact_workers ~cache_size in
+        let responses = Service.Engine.run_lines engine lines in
+        with_output output (fun oc ->
+            List.iter
+              (fun line ->
+                Out_channel.output_string oc line;
+                Out_channel.output_char oc '\n')
+              responses);
+        finish_batch engine stats;
+        `Ok ()
+  in
+  let doc = "Batch-solve a JSON-lines request stream." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Reads one JSON request per line, answers through the \
+         $(b,relpipe.service) engine (canonicalization, LRU result cache, \
+         Domain worker pool) and writes one JSON response per line, in \
+         request order.  Output is deterministic: byte-identical for every \
+         worker count.";
+      `P
+        "Request: {\"v\":1, \"id\":..., \"instance\":TEXT | \
+         \"instance_file\":PATH, \"objective\":{\"minimize\":\"failure\", \
+         \"max_latency\":L} | {\"minimize\":\"latency\",\"max_failure\":F}, \
+         \"method\":NAME, \"budget\":N}.";
+      `P
+        "Response: {\"v\":1, \"index\":I, \"id\":..., \
+         \"cache\":\"hit\"|\"miss\", \"status\":\"ok\"|\"infeasible\"|\
+         \"error\", ...}.  Malformed lines yield per-line error responses, \
+         never a failed batch.";
+    ]
+  in
+  Cmd.v (Cmd.info "batch" ~doc ~man)
+    Term.(
+      ret
+        (const run $ input_arg $ output_arg $ workers_arg $ exact_workers_arg
+       $ cache_size_arg $ stats_flag))
+
+let sweep_cmd =
+  let count_arg =
+    let doc = "Number of scenarios to generate." in
+    Arg.(value & opt int 50 & info [ "n"; "count" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Random seed for the generators." in
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc)
+  in
+  let class_arg =
+    let classes =
+      [
+        ("fully-hetero", `Fully_hetero);
+        ("comm-homog", `Comm_homog);
+        ("fully-homog", `Fully_homog);
+        ("speed-correlated", `Speed_correlated);
+        ("clustered", `Clustered);
+        ("two-tier", `Two_tier);
+      ]
+    in
+    let doc =
+      Printf.sprintf "Platform class to sample: %s."
+        (String.concat ", " (List.map fst classes))
+    in
+    Arg.(value & opt (enum classes) `Fully_hetero & info [ "class" ] ~doc)
+  in
+  let stages_arg =
+    let doc = "Pipeline length of each scenario." in
+    Arg.(value & opt int 8 & info [ "stages" ] ~doc)
+  in
+  let procs_arg =
+    let doc = "Platform size of each scenario." in
+    Arg.(value & opt int 6 & info [ "procs" ] ~doc)
+  in
+  let emit_arg =
+    let doc = "Also write the generated requests as JSONL to this file." in
+    Arg.(value & opt (some string) None & info [ "emit-requests" ] ~doc)
+  in
+  let dry_run_arg =
+    let doc = "Generate (and $(b,--emit-requests)) only; skip solving." in
+    Arg.(value & flag & info [ "dry-run" ] ~doc)
+  in
+  let gen_platform rng class_ ~m =
+    let module P = Relpipe_workload.Plat_gen in
+    let module Rng = Relpipe_util.Rng in
+    match class_ with
+    | `Fully_hetero ->
+        P.random_fully_heterogeneous rng ~m ~speed:(1.0, 10.0)
+          ~failure:(0.05, 0.6) ~bandwidth:(0.5, 10.0)
+    | `Comm_homog ->
+        P.random_comm_homogeneous rng ~m ~speed:(1.0, 10.0)
+          ~failure:(0.05, 0.6) ~bandwidth:4.0
+    | `Fully_homog ->
+        P.fully_homogeneous ~m
+          ~speed:(Rng.float_range rng 1.0 10.0)
+          ~failure:(Rng.float_range rng 0.05 0.6)
+          ~bandwidth:(Rng.float_range rng 1.0 10.0)
+    | `Speed_correlated ->
+        P.speed_correlated_failures rng ~m ~speed:(1.0, 10.0)
+          ~failure:(0.05, 0.8) ~bandwidth:4.0
+    | `Clustered ->
+        P.clustered rng ~clusters:(max 1 (m / 4)) ~cluster_size:4
+          ~speed:(1.0, 10.0) ~failure:(0.05, 0.6) ~intra_bandwidth:10.0
+          ~inter_bandwidth:1.0 ~io_bandwidth:2.0
+    | `Two_tier ->
+        P.two_tier ~m_slow:1 ~m_fast:(max 1 (m - 1)) ~slow_speed:1.0
+          ~fast_speed:100.0 ~slow_failure:0.1 ~fast_failure:0.8 ~bandwidth:1.0
+  in
+  let run count seed class_ n m objective method_ output workers exact_workers
+      cache_size stats emit dry_run =
+    if count <= 0 then `Error (false, "--count must be positive")
+    else begin
+      let rng = Relpipe_util.Rng.create seed in
+      let requests =
+        Array.init count (fun k ->
+            let pipeline =
+              Relpipe_workload.App_gen.random rng
+                {
+                  Relpipe_workload.App_gen.n;
+                  work = (1.0, 20.0);
+                  data = (0.5, 10.0);
+                }
+            in
+            let platform = gen_platform rng class_ ~m in
+            let inst = Instance.make pipeline platform in
+            Service.Protocol.request
+              ~id:(Printf.sprintf "sweep-%03d" k)
+              ~method_
+              ~instance:(Service.Protocol.Inline (Textio.to_string inst))
+              objective)
+      in
+      (match emit with
+      | None -> ()
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Array.iter
+                (fun r ->
+                  Out_channel.output_string oc
+                    (Service.Protocol.encode_request r);
+                  Out_channel.output_char oc '\n')
+                requests);
+          Format.eprintf "wrote %d requests to %s@." count path);
+      if dry_run then `Ok ()
+      else begin
+        let engine = make_engine ~workers ~exact_workers ~cache_size in
+        let responses = Service.Engine.run_requests engine requests in
+        with_output output (fun oc ->
+            Array.iter
+              (fun r ->
+                Out_channel.output_string oc
+                  (Service.Protocol.encode_response r);
+                Out_channel.output_char oc '\n')
+              responses);
+        finish_batch engine stats;
+        `Ok ()
+      end
+    end
+  in
+  let doc =
+    "Generate synthetic scenarios and push them through the batch engine."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Samples $(b,--count) instances from the $(b,Relpipe_workload) \
+         generators (platform class selected with $(b,--class), shape with \
+         $(b,--stages)/$(b,--procs)) and batch-solves them with the same \
+         cached parallel engine as $(b,relpipe batch), replacing ad-hoc \
+         sequential experiment loops.  With $(b,--emit-requests) the \
+         generated batch is also written as JSONL, so it can be replayed, \
+         diffed across worker counts, or turned into a regression \
+         fixture.";
+    ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc ~man)
+    Term.(
+      ret
+        (const run $ count_arg $ seed_arg $ class_arg $ stages_arg $ procs_arg
+       $ objective_arg $ method_arg $ output_arg $ workers_arg
+       $ exact_workers_arg $ cache_size_arg $ stats_flag $ emit_arg
+       $ dry_run_arg))
+
 let demo_cmd =
   let out_arg =
     let doc = "Where to write the sample instance." in
@@ -589,5 +822,5 @@ let () =
           [
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
-            demo_cmd;
+            batch_cmd; sweep_cmd; demo_cmd;
           ]))

@@ -51,6 +51,27 @@ let lint_instance_text text =
 
 let lint_instance instance = run_instance_subject (Subject.of_instance instance)
 
+let parse_instance_text text =
+  match Textio.parse_raw text with
+  | Error { Textio.message; span } ->
+      Error [ Rule.diag r_instance_syntax ?span "%s" message ]
+  | Ok raw -> (
+      match Textio.build raw with
+      | Error { Textio.message; span } ->
+          Error [ Rule.diag r_instance_syntax ?span "%s" message ]
+      | Ok instance -> Ok instance)
+
+let load_instance_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match parse_instance_text text with
+      | Ok instance -> Ok instance
+      | Error ds ->
+          Error
+            (String.concat "\n"
+               (List.map (fun d -> Diagnostic.to_string ~file:path d) ds)))
+
 let instance_errors instance = Diagnostic.errors (lint_instance instance)
 
 let lint_mapping_text ~n ~m text =

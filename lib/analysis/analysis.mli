@@ -17,6 +17,17 @@ val lint_instance_text : string -> Diagnostic.t list
     syntax error is reported as the single finding [RP-P001] with the
     parser's span. *)
 
+val parse_instance_text : string -> (Instance.t, Diagnostic.t list) result
+(** Parse and build an instance; both syntax and construction failures
+    come back as the [RP-P001] finding carrying the parser's span, so
+    callers (the CLI, the batch engine) report positions exactly like
+    [relpipe lint]. *)
+
+val load_instance_file : string -> (Instance.t, string) result
+(** Read and {!parse_instance_text} a file.  Failures are rendered
+    ["path:LINE:COL-COL: error[RP-P001]: message"] (IO errors keep the
+    system message). *)
+
 val lint_instance : Instance.t -> Diagnostic.t list
 (** Instance and numeric passes over a constructed instance (findings
     carry no spans). *)

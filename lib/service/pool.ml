@@ -1,0 +1,84 @@
+let cpu_count () = max 1 (Domain.recommended_domain_count ())
+
+let effective_workers ?(cap = true) requested =
+  let w = max 1 requested in
+  if cap then min w (cpu_count ()) else w
+
+(* ------------------------------------------------------------------ *)
+(* Job queue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A closable FIFO: workers block in [pop] until a job arrives or the
+   queue is closed.  The batch engine pushes every job before spawning
+   workers, so [close] races nothing; the queue still supports the
+   general push/close order for future streaming use. *)
+module Jobq = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { q = Queue.create (); mu = Mutex.create (); nonempty = Condition.create (); closed = false }
+
+  let push t x =
+    Mutex.lock t.mu;
+    Queue.push x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu
+
+  let close t =
+    Mutex.lock t.mu;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu
+
+  let pop t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.nonempty t.mu
+    done;
+    let item = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.mu;
+    item
+end
+
+type stats = { workers : int; jobs : int }
+
+let map ~workers f jobs =
+  let n = Array.length jobs in
+  let w = max 1 (min workers (max 1 n)) in
+  if w = 1 then (Array.map f jobs, { workers = 1; jobs = n })
+  else begin
+    let queue = Jobq.create () in
+    Array.iteri (fun i job -> Jobq.push queue (i, job)) jobs;
+    Jobq.close queue;
+    (* Each slot is written by exactly one worker and read only after the
+       joins below, which establish the happens-before edge. *)
+    let results = Array.make n None in
+    let worker () =
+      let rec loop () =
+        match Jobq.pop queue with
+        | None -> ()
+        | Some (i, job) ->
+            let r = match f job with v -> Ok v | exception e -> Error e in
+            results.(i) <- Some r;
+            loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init (w - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    let out =
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false (* every index was queued *))
+        results
+    in
+    (out, { workers = w; jobs = n })
+  end

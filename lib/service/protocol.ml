@@ -1,0 +1,234 @@
+open Relpipe_model
+open Relpipe_core
+
+let version = 1
+
+type instance_src = Inline of string | File of string
+
+type request = {
+  id : string option;
+  instance : instance_src;
+  objective : Instance.objective;
+  method_ : Solver.method_;
+  budget : int option;
+}
+
+let request ?id ?budget ?(method_ = Solver.Auto) ~instance objective =
+  { id; instance; objective; method_; budget }
+
+let method_names =
+  [
+    ("auto", Solver.Auto);
+    ("exact", Solver.Exact_enum);
+    ("polynomial", Solver.Polynomial);
+    ("portfolio", Solver.Portfolio);
+    ("single-greedy", Solver.Heuristic Heuristics.Single_greedy);
+    ("split-replicate", Solver.Heuristic Heuristics.Split_replicate);
+    ("local-search", Solver.Heuristic Heuristics.Local_search);
+    ("annealing", Solver.Heuristic Heuristics.Annealing);
+    ("iterated-ls", Solver.Heuristic Heuristics.Iterated);
+  ]
+
+let method_to_string m =
+  match m with
+  | Solver.Auto -> "auto"
+  | Solver.Exact_enum -> "exact"
+  | Solver.Polynomial -> "polynomial"
+  | Solver.Portfolio -> "portfolio"
+  | Solver.Heuristic h -> (
+      match h with
+      | Heuristics.Single_greedy -> "single-greedy"
+      | Heuristics.Split_replicate -> "split-replicate"
+      | Heuristics.Local_search -> "local-search"
+      | Heuristics.Annealing -> "annealing"
+      | Heuristics.Iterated -> "iterated-ls")
+
+let method_of_string s =
+  match List.assoc_opt s method_names with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown method %S (expected one of %s)" s
+           (String.concat ", " (List.map fst method_names)))
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let objective_to_json = function
+  | Instance.Min_failure { max_latency } ->
+      Json.Obj
+        [ ("minimize", Json.Str "failure"); ("max_latency", Json.float max_latency) ]
+  | Instance.Min_latency { max_failure } ->
+      Json.Obj
+        [ ("minimize", Json.Str "latency"); ("max_failure", Json.float max_failure) ]
+
+let encode_request r =
+  let fields = [ ("v", Json.Int version) ] in
+  let fields =
+    fields @ (match r.id with Some id -> [ ("id", Json.Str id) ] | None -> [])
+  in
+  let fields =
+    fields
+    @ (match r.instance with
+      | Inline text -> [ ("instance", Json.Str text) ]
+      | File path -> [ ("instance_file", Json.Str path) ])
+    @ [
+        ("objective", objective_to_json r.objective);
+        ("method", Json.Str (method_to_string r.method_));
+      ]
+    @ (match r.budget with Some b -> [ ("budget", Json.Int b) ] | None -> [])
+  in
+  Json.to_string (Json.Obj fields)
+
+let ( let* ) = Result.bind
+
+let check_version j =
+  match Json.member "v" j with
+  | None -> Error "missing \"v\" (protocol version)"
+  | Some v -> (
+      match Json.to_int v with
+      | Some n when n = version -> Ok ()
+      | Some n -> Error (Printf.sprintf "unsupported protocol version %d" n)
+      | None -> Error "\"v\" must be an integer")
+
+let decode_objective j =
+  match Json.member "objective" j with
+  | None -> Error "missing \"objective\""
+  | Some o -> (
+      let threshold name =
+        match Option.bind (Json.member name o) Json.to_float with
+        | Some x -> Ok x
+        | None -> Error (Printf.sprintf "objective: missing number %S" name)
+      in
+      match Option.bind (Json.member "minimize" o) Json.to_str with
+      | Some "failure" ->
+          let* max_latency = threshold "max_latency" in
+          Ok (Instance.Min_failure { max_latency })
+      | Some "latency" ->
+          let* max_failure = threshold "max_failure" in
+          Ok (Instance.Min_latency { max_failure })
+      | Some other ->
+          Error
+            (Printf.sprintf
+               "objective: \"minimize\" must be \"failure\" or \"latency\", \
+                got %S"
+               other)
+      | None -> Error "objective: missing string \"minimize\"")
+
+let decode_request line =
+  let* j =
+    match Json.parse line with
+    | Ok j -> Ok j
+    | Error msg -> Error ("malformed JSON: " ^ msg)
+  in
+  let* () = check_version j in
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let* instance =
+    match (str "instance", str "instance_file") with
+    | Some text, None -> Ok (Inline text)
+    | None, Some path -> Ok (File path)
+    | Some _, Some _ -> Error "pass \"instance\" or \"instance_file\", not both"
+    | None, None -> Error "missing \"instance\" or \"instance_file\""
+  in
+  let* objective = decode_objective j in
+  let* method_ =
+    match str "method" with
+    | None -> Ok Solver.Auto
+    | Some name -> method_of_string name
+  in
+  let* budget =
+    match Json.member "budget" j with
+    | None -> Ok None
+    | Some b -> (
+        match Json.to_int b with
+        | Some n when n > 0 -> Ok (Some n)
+        | _ -> Error "\"budget\" must be a positive integer")
+  in
+  Ok { id = str "id"; instance; objective; method_; budget }
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type outcome =
+  | Solved of { mapping : string; latency : float; failure : float }
+  | Infeasible
+  | Failed of string
+
+type cache_origin = Hit | Miss
+
+type response = {
+  r_id : string option;
+  r_index : int;
+  r_cache : cache_origin;
+  r_outcome : outcome;
+}
+
+let mapping_to_syntax mapping =
+  String.concat "; "
+    (List.map
+       (fun iv ->
+         let range =
+           if iv.Mapping.first = iv.Mapping.last then
+             string_of_int iv.Mapping.first
+           else Printf.sprintf "%d-%d" iv.Mapping.first iv.Mapping.last
+         in
+         range ^ ":" ^ String.concat "," (List.map string_of_int iv.Mapping.procs))
+       (Mapping.intervals mapping))
+
+let encode_response r =
+  let fields =
+    [ ("v", Json.Int version); ("index", Json.Int r.r_index) ]
+    @ (match r.r_id with Some id -> [ ("id", Json.Str id) ] | None -> [])
+    @ [ ("cache", Json.Str (match r.r_cache with Hit -> "hit" | Miss -> "miss")) ]
+    @ (match r.r_outcome with
+      | Solved { mapping; latency; failure } ->
+          [
+            ("status", Json.Str "ok");
+            ("mapping", Json.Str mapping);
+            ("latency", Json.float latency);
+            ("failure", Json.float failure);
+          ]
+      | Infeasible -> [ ("status", Json.Str "infeasible") ]
+      | Failed msg -> [ ("status", Json.Str "error"); ("error", Json.Str msg) ])
+  in
+  Json.to_string (Json.Obj fields)
+
+let decode_response line =
+  let* j =
+    match Json.parse line with
+    | Ok j -> Ok j
+    | Error msg -> Error ("malformed JSON: " ^ msg)
+  in
+  let* () = check_version j in
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let* r_index =
+    match Option.bind (Json.member "index" j) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error "missing integer \"index\""
+  in
+  let* r_cache =
+    match str "cache" with
+    | Some "hit" -> Ok Hit
+    | Some "miss" -> Ok Miss
+    | Some other -> Error (Printf.sprintf "invalid \"cache\" value %S" other)
+    | None -> Error "missing \"cache\""
+  in
+  let* r_outcome =
+    match str "status" with
+    | Some "ok" -> (
+        let num name = Option.bind (Json.member name j) Json.to_float in
+        match (str "mapping", num "latency", num "failure") with
+        | Some mapping, Some latency, Some failure ->
+            Ok (Solved { mapping; latency; failure })
+        | _ -> Error "status \"ok\" requires mapping, latency and failure")
+    | Some "infeasible" -> Ok Infeasible
+    | Some "error" -> (
+        match str "error" with
+        | Some msg -> Ok (Failed msg)
+        | None -> Error "status \"error\" requires an \"error\" message")
+    | Some other -> Error (Printf.sprintf "invalid \"status\" value %S" other)
+    | None -> Error "missing \"status\""
+  in
+  Ok { r_id = str "id"; r_index; r_cache; r_outcome }

@@ -1,0 +1,94 @@
+(** JSON-lines request/response codec of the batch-solving service.
+
+    One request or response per line, versioned ([{"v":1,...}]).
+
+    {b Request} fields:
+    - ["v"] (required int) — protocol version, currently [1];
+    - ["id"] (optional string) — opaque tag echoed in the response;
+    - ["instance"] (string) — instance text inline (the {!Relpipe_model.Textio}
+      grammar, newlines escaped), {e or}
+    - ["instance_file"] (string) — path to an instance file, resolved by
+      the engine when the batch runs;
+    - ["objective"] (required object) — [{"minimize":"failure",
+      "max_latency":L}] or [{"minimize":"latency","max_failure":F}];
+    - ["method"] (optional string, default ["auto"]) — one of
+      {!method_names};
+    - ["budget"] (optional int) — exact-enumeration budget override.
+
+    {b Response} fields: ["v"], ["index"] (position of the request in the
+    batch), ["id"] (echoed when present), ["cache"] (["hit"]/["miss"]),
+    ["status"] and then per status:
+    - ["ok"] — ["mapping"] (in the {!Relpipe_model.Mapping_syntax} grammar,
+      so responses can be fed back to [relpipe eval]), ["latency"],
+      ["failure"];
+    - ["infeasible"] — no extra fields (no mapping satisfies the
+      objective);
+    - ["error"] — ["error"], a human-readable message (parse failure,
+      inapplicable method, exceeded budget, ...). *)
+
+open Relpipe_model
+open Relpipe_core
+
+val version : int
+
+(** {1 Requests} *)
+
+type instance_src =
+  | Inline of string  (** instance text *)
+  | File of string  (** path, read by the engine *)
+
+type request = {
+  id : string option;
+  instance : instance_src;
+  objective : Instance.objective;
+  method_ : Solver.method_;
+  budget : int option;
+}
+
+val request :
+  ?id:string ->
+  ?budget:int ->
+  ?method_:Solver.method_ ->
+  instance:instance_src ->
+  Instance.objective ->
+  request
+(** [method_] defaults to [Solver.Auto]. *)
+
+val method_names : (string * Solver.method_) list
+(** The CLI's method vocabulary (["auto"], ["exact"], ["polynomial"],
+    ["portfolio"], and the heuristic names). *)
+
+val method_to_string : Solver.method_ -> string
+
+val method_of_string : string -> (Solver.method_, string) result
+
+val encode_request : request -> string
+(** One JSON line (no trailing newline). *)
+
+val decode_request : string -> (request, string) result
+(** Inverse of {!encode_request}; rejects missing/foreign versions,
+    malformed JSON and unknown methods with a message (never raises). *)
+
+(** {1 Responses} *)
+
+type outcome =
+  | Solved of { mapping : string; latency : float; failure : float }
+      (** [mapping] in {!Relpipe_model.Mapping_syntax} concrete syntax *)
+  | Infeasible
+  | Failed of string
+
+type cache_origin = Hit | Miss
+
+type response = {
+  r_id : string option;
+  r_index : int;
+  r_cache : cache_origin;
+  r_outcome : outcome;
+}
+
+val mapping_to_syntax : Mapping.t -> string
+(** ["1-2:0,1; 3:2"] — parses back with {!Relpipe_model.Mapping_syntax}. *)
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result

@@ -1,0 +1,94 @@
+(* Classic hash-table + doubly-linked-list LRU.  The list is ordered from
+   most recent (head) to least recent (tail); every hit or insertion moves
+   the node to the head, and overflow pops the tail. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards the head (more recent) *)
+  mutable next : 'v node option;  (* towards the tail (less recent) *)
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+type 'v t = {
+  cap : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_evictions : int;
+}
+
+let create ~capacity =
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 (min capacity 4096));
+    head = None;
+    tail = None;
+    n_hits = 0;
+    n_misses = 0;
+    n_evictions = 0;
+  }
+
+let capacity t = t.cap
+
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some nx -> nx.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      t.n_hits <- t.n_hits + 1;
+      unlink t node;
+      push_front t node;
+      Some node.value
+  | None ->
+      t.n_misses <- t.n_misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.n_evictions <- t.n_evictions + 1
+
+let add t key value =
+  if t.cap > 0 then
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+        node.value <- value;
+        unlink t node;
+        push_front t node
+    | None ->
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node;
+        if Hashtbl.length t.table > t.cap then evict_tail t
+
+let stats t = { hits = t.n_hits; misses = t.n_misses; evictions = t.n_evictions }
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,41 @@
+(** Size-bounded LRU cache with string keys.
+
+    The service layer keys its result cache on canonical-form digests
+    (strings), so the cache is monomorphic in the key and polymorphic in
+    the value: no polymorphic hashing or comparison is involved beyond
+    [String] equality.  Counters record hits, misses and evictions so a
+    long-running engine can report its effectiveness. *)
+
+type 'v t
+
+type stats = {
+  hits : int;  (** [find] calls that returned a value *)
+  misses : int;  (** [find] calls that returned [None] *)
+  evictions : int;  (** entries dropped to respect the capacity *)
+}
+
+val create : capacity:int -> 'v t
+(** [create ~capacity] holds at most [capacity] entries; [capacity <= 0]
+    disables storage entirely (every [add] is a no-op and every [find]
+    a miss). *)
+
+val capacity : 'v t -> int
+
+val length : 'v t -> int
+(** Number of live entries, [<= capacity]. *)
+
+val find : 'v t -> string -> 'v option
+(** Look up a key; a hit refreshes its recency and bumps [hits], a miss
+    bumps [misses]. *)
+
+val mem : 'v t -> string -> bool
+(** Presence test; does {e not} touch recency or counters. *)
+
+val add : 'v t -> string -> 'v -> unit
+(** Insert or replace a binding as the most recent entry, evicting the
+    least recently used entry when the capacity is exceeded. *)
+
+val stats : 'v t -> stats
+
+val clear : 'v t -> unit
+(** Drop every entry; counters are preserved. *)

@@ -35,4 +35,28 @@ done
 echo "== relpipe lint: built-in catalog and scenarios =="
 lint "$relpipe" lint --builtin
 
+echo "== relpipe batch: determinism smoke test =="
+# A 20-request sweep solved at 4 (oversubscribed) workers and at 1 worker
+# must produce byte-identical response streams, and the shipped example
+# batches must run without crashing (per-line errors are responses).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+"$relpipe" sweep --count 20 --seed 7 --class fully-hetero --stages 8 \
+  --procs 6 -L 50 --emit-requests "$tmp/sweep.jsonl" --dry-run 2>/dev/null
+"$relpipe" batch "$tmp/sweep.jsonl" --workers 4 --exact-workers \
+  -o "$tmp/w4.jsonl"
+"$relpipe" batch "$tmp/sweep.jsonl" --workers 1 -o "$tmp/w1.jsonl"
+if ! diff -q "$tmp/w4.jsonl" "$tmp/w1.jsonl" >/dev/null; then
+  echo "check.sh: batch responses differ between --workers 4 and 1" >&2
+  diff "$tmp/w4.jsonl" "$tmp/w1.jsonl" >&2 || true
+  exit 1
+fi
+[ "$(wc -l < "$tmp/w4.jsonl")" -eq 20 ] || {
+  echo "check.sh: expected 20 response lines" >&2; exit 1; }
+
+echo "== relpipe batch: shipped example batches =="
+for f in examples/requests/*.jsonl; do
+  "$relpipe" batch "$f" -o /dev/null
+done
+
 echo "check.sh: all gates passed"
