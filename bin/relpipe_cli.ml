@@ -791,6 +791,174 @@ let sweep_cmd =
        $ exact_workers_arg $ cache_size_arg $ stats_flag $ emit_arg
        $ dry_run_arg))
 
+let fuzz_cmd =
+  let module Fuzz = Relpipe_fuzz in
+  let seed_arg =
+    let doc = "Master seed; the whole campaign is a pure function of it." in
+    Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc)
+  in
+  let count_arg =
+    let doc = "Number of random cases to generate." in
+    Arg.(value & opt int 100 & info [ "n"; "count" ] ~doc)
+  in
+  let oracle_arg =
+    let doc =
+      "Run only this oracle (repeatable; see $(b,--list-oracles))."
+    in
+    Arg.(value & opt_all string [] & info [ "oracle" ] ~docv:"NAME" ~doc)
+  in
+  let all_flag =
+    let doc =
+      "Run every registered oracle (explicit form of the default when no \
+       $(b,--oracle) is given; overrides $(b,--oracle))."
+    in
+    Arg.(value & flag & info [ "all-oracles" ] ~doc)
+  in
+  let list_flag =
+    let doc = "Print the oracle registry and exit." in
+    Arg.(value & flag & info [ "list-oracles" ] ~doc)
+  in
+  let max_stages_arg =
+    let doc = "Largest pipeline length to generate." in
+    Arg.(
+      value
+      & opt int Fuzz.Gen.default_shape.Fuzz.Gen.max_stages
+      & info [ "max-stages" ] ~doc)
+  in
+  let max_procs_arg =
+    let doc = "Largest platform size to generate." in
+    Arg.(
+      value
+      & opt int Fuzz.Gen.default_shape.Fuzz.Gen.max_procs
+      & info [ "max-procs" ] ~doc)
+  in
+  let out_dir_arg =
+    let doc =
+      "Write each minimized counterexample here as a replayable \
+       $(b,.relpipe) file."
+    in
+    Arg.(value & opt (some string) None & info [ "out-dir" ] ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a repro file written by a failing campaign (repeatable); \
+       skips generation."
+    in
+    Arg.(value & opt_all file [] & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let perturb_arg =
+    let doc =
+      "Harness self-test: inject a relative fault of this size into the \
+       interval-DP latency, so the $(b,interval-dp) oracle must fail and \
+       produce a minimized repro."
+    in
+    Arg.(value & opt float 0.0 & info [ "perturb" ] ~doc)
+  in
+  let run seed count oracle_names all_oracles list max_stages max_procs workers
+      exact_workers out_dir replays perturb =
+    if list then begin
+      print_string (Fuzz.Runner.list_oracles_text ());
+      `Ok ()
+    end
+    else if replays <> [] then begin
+      let ctx = { Fuzz.Oracle.perturb } in
+      let failed = ref false in
+      List.iter
+        (fun path ->
+          match Fuzz.Corpus.replay_file ~ctx path with
+          | Error msg ->
+              failed := true;
+              Printf.printf "%s: error: %s\n" path msg
+          | Ok outcome ->
+              if Fuzz.Oracle.is_fail outcome then failed := true;
+              Printf.printf "%s: %s\n" path
+                (Fuzz.Oracle.outcome_to_string outcome))
+        replays;
+      if !failed then begin
+        Stdlib.flush Stdlib.stdout;
+        Stdlib.exit 1
+      end;
+      `Ok ()
+    end
+    else begin
+      let oracles =
+        if all_oracles || oracle_names = [] then Ok (Fuzz.Oracles.all ())
+        else
+          List.fold_left
+            (fun acc name ->
+              match acc with
+              | Error _ -> acc
+              | Ok os -> (
+                  match Fuzz.Oracles.find name with
+                  | Some o -> Ok (os @ [ o ])
+                  | None ->
+                      Error
+                        (Printf.sprintf
+                           "unknown oracle %S (try --list-oracles)" name)))
+            (Ok []) oracle_names
+      in
+      match oracles with
+      | Error msg -> `Error (false, msg)
+      | Ok _ when count < 0 -> `Error (false, "--count must be non-negative")
+      | Ok _ when max_stages < 1 || max_procs < 1 ->
+          `Error (false, "--max-stages and --max-procs must be positive")
+      | Ok oracles ->
+          let workers =
+            Service.Pool.effective_workers ~cap:(not exact_workers)
+              (if workers <= 0 then Service.Pool.cpu_count () else workers)
+          in
+          let report =
+            Fuzz.Runner.run
+              {
+                Fuzz.Runner.seed;
+                count;
+                oracles;
+                max_stages;
+                max_procs;
+                workers;
+                perturb;
+                out_dir;
+              }
+          in
+          print_string (Fuzz.Runner.render report);
+          if report.Fuzz.Runner.r_failures <> [] then begin
+            Stdlib.flush Stdlib.stdout;
+            Stdlib.exit 1
+          end;
+          `Ok ()
+    end
+  in
+  let doc =
+    "Differential fuzzing: random instances, cross-checking oracles, \
+     delta-shrinking."
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates seeded random instances across the paper's three \
+         platform classes and checks a registry of invariants: exact-DP \
+         vs brute-force agreement, shortest-path bounds, heuristic Pareto \
+         dominance, validator/lint acceptance, canonicalization symmetry \
+         and print/parse round-trips ($(b,--list-oracles) for the full \
+         list).";
+      `P
+        "Campaigns are byte-deterministic: the report depends only on the \
+         configuration, never on the worker count.  On failure the \
+         offending instance is delta-shrunk (stages and processors \
+         dropped, costs rounded) to a minimal repro, printed inline and, \
+         with $(b,--out-dir), written as a $(b,.relpipe) file that \
+         $(b,--replay) re-checks.";
+      `P "Exit status is 1 when any oracle failed, 0 otherwise.";
+    ]
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc ~man)
+    Term.(
+      ret
+        (const run $ seed_arg $ count_arg $ oracle_arg $ all_flag $ list_flag
+       $ max_stages_arg $ max_procs_arg $ workers_arg $ exact_workers_arg
+       $ out_dir_arg $ replay_arg $ perturb_arg))
+
 let demo_cmd =
   let out_arg =
     let doc = "Where to write the sample instance." in
@@ -822,5 +990,5 @@ let () =
           [
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
-            batch_cmd; sweep_cmd; demo_cmd;
+            batch_cmd; sweep_cmd; fuzz_cmd; demo_cmd;
           ]))

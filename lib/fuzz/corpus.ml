@@ -1,0 +1,92 @@
+open Relpipe_model
+
+type repro = {
+  oracle : string;
+  seed : int;
+  instance : Instance.t;
+  objective : Instance.objective;
+}
+
+let objective_to_string = function
+  | Instance.Min_failure { max_latency } ->
+      Printf.sprintf "min-failure max-latency %.17g" max_latency
+  | Instance.Min_latency { max_failure } ->
+      Printf.sprintf "min-latency max-failure %.17g" max_failure
+
+let objective_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "min-failure"; "max-latency"; v ] -> (
+      match float_of_string_opt v with
+      | Some f -> Ok (Instance.Min_failure { max_latency = f })
+      | None -> Error (Printf.sprintf "objective header: bad float %S" v))
+  | [ "min-latency"; "max-failure"; v ] -> (
+      match float_of_string_opt v with
+      | Some f -> Ok (Instance.Min_latency { max_failure = f })
+      | None -> Error (Printf.sprintf "objective header: bad float %S" v))
+  | _ -> Error (Printf.sprintf "objective header: cannot parse %S" s)
+
+let to_string ~oracle (case : Gen.case) =
+  String.concat "\n"
+    [
+      "# relpipe fuzz repro";
+      "# oracle: " ^ oracle;
+      Printf.sprintf "# seed: %d" case.Gen.seed;
+      "# objective: " ^ objective_to_string case.Gen.objective;
+      "# replay: relpipe fuzz --replay <this file>";
+      Textio.to_string case.Gen.instance;
+    ]
+
+let write ~path ~oracle case =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ~oracle case))
+
+(* "# key: value" -> Some (key, value) *)
+let header_of_line line =
+  let line = String.trim line in
+  if String.length line = 0 || line.[0] <> '#' then None
+  else
+    let body = String.trim (String.sub line 1 (String.length line - 1)) in
+    match String.index_opt body ':' with
+    | None -> None
+    | Some i ->
+        Some
+          ( String.trim (String.sub body 0 i),
+            String.trim (String.sub body (i + 1) (String.length body - i - 1))
+          )
+
+let of_string text =
+  let headers = List.filter_map header_of_line (String.split_on_char '\n' text) in
+  let field key =
+    Option.map snd (List.find_opt (fun (k, _) -> String.equal k key) headers)
+  in
+  match (field "oracle", field "seed", field "objective") with
+  | None, _, _ -> Error "missing '# oracle:' header"
+  | _, None, _ -> Error "missing '# seed:' header"
+  | _, _, None -> Error "missing '# objective:' header"
+  | Some oracle, Some seed_s, Some obj_s -> (
+      match int_of_string_opt seed_s with
+      | None -> Error (Printf.sprintf "seed header: bad integer %S" seed_s)
+      | Some seed -> (
+          match objective_of_string obj_s with
+          | Error msg -> Error msg
+          | Ok objective -> (
+              (* '#' lines are comments in the Textio grammar, so the
+                 whole repro text is the instance body. *)
+              match Textio.parse text with
+              | Error msg -> Error msg
+              | Ok instance -> Ok { oracle; seed; instance; objective })))
+
+let read path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let replay ?(ctx = Oracle.default_ctx) r =
+  match Oracles.find r.oracle with
+  | None -> Error (Printf.sprintf "unknown oracle %S" r.oracle)
+  | Some o ->
+      let case = Gen.of_instance ~seed:r.seed r.instance r.objective in
+      Ok (o.Oracle.check ctx case)
+
+let replay_file ?ctx path =
+  match read path with Error msg -> Error msg | Ok r -> replay ?ctx r

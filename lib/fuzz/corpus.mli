@@ -1,0 +1,42 @@
+(** Replayable counterexample files.
+
+    A repro is a plain [.relpipe] instance file (the
+    {!Relpipe_model.Textio} grammar) whose leading comment lines carry
+    the replay metadata, so every corpus entry is simultaneously a valid
+    instance for the rest of the toolchain:
+
+    {v
+    # relpipe fuzz repro
+    # oracle: interval-dp
+    # seed: 123456789
+    # objective: min-failure max-latency 4.5
+    # replay: relpipe fuzz --replay <this file>
+    input 1
+    ...
+    v}
+
+    Floats in the [objective] header are printed with ["%.17g"], so a
+    repro replays the exact case that failed. *)
+
+type repro = {
+  oracle : string;
+  seed : int;
+  instance : Relpipe_model.Instance.t;
+  objective : Relpipe_model.Instance.objective;
+}
+
+val to_string : oracle:string -> Gen.case -> string
+
+val write : path:string -> oracle:string -> Gen.case -> unit
+
+val of_string : string -> (repro, string) result
+(** Parse repro text: the metadata headers plus the instance body. *)
+
+val read : string -> (repro, string) result
+(** [of_string] on a file's contents; IO failures are [Error]. *)
+
+val replay : ?ctx:Oracle.ctx -> repro -> (Oracle.outcome, string) result
+(** Re-run the named oracle on the reconstructed case ([Error] when the
+    oracle name is not registered). *)
+
+val replay_file : ?ctx:Oracle.ctx -> string -> (Oracle.outcome, string) result

@@ -1,0 +1,129 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+module Core = Relpipe_core
+
+type cls = Fully_homog | Comm_homog | Fully_hetero
+
+let cls_to_string = function
+  | Fully_homog -> "fully-homog"
+  | Comm_homog -> "comm-homog"
+  | Fully_hetero -> "fully-hetero"
+
+let cls_of_platform platform =
+  match Classify.comm_class platform with
+  | Classify.Fully_homogeneous -> Fully_homog
+  | Classify.Comm_homogeneous -> Comm_homog
+  | Classify.Fully_heterogeneous -> Fully_hetero
+
+type case = {
+  id : int;
+  seed : int;
+  cls : cls;
+  instance : Instance.t;
+  objective : Instance.objective;
+}
+
+type shape = { max_stages : int; max_procs : int }
+
+let default_shape = { max_stages = 6; max_procs = 5 }
+
+(* Per-case seeds come from the master stream's raw 64-bit draws, folded
+   into a non-negative int so they survive the textual corpus format. *)
+let case_seed ~master = Int64.to_int (Rng.int64 master) land max_int
+
+let random_platform rng cls ~m =
+  let module P = Relpipe_workload.Plat_gen in
+  match cls with
+  | Fully_homog ->
+      P.random_fully_homogeneous rng ~m ~speed:(1.0, 10.0)
+        ~failure:(0.05, 0.6) ~bandwidth:(1.0, 10.0)
+  | Comm_homog ->
+      P.random_comm_homogeneous rng ~m ~speed:(1.0, 10.0) ~failure:(0.05, 0.6)
+        ~bandwidth:(Rng.float_range rng 1.0 10.0)
+  | Fully_hetero ->
+      P.random_fully_heterogeneous rng ~m ~speed:(1.0, 10.0)
+        ~failure:(0.05, 0.6) ~bandwidth:(0.5, 10.0)
+
+(* Thresholds are drawn from the instance's own Pareto threshold ranges,
+   then occasionally scaled so that clearly-infeasible and trivially-loose
+   regimes are exercised too. *)
+let random_objective rng instance =
+  let pick_scale () = Rng.pick rng [| 0.5; 1.0; 1.0; 1.0; 2.0 |] in
+  if Rng.bool rng then begin
+    let thresholds = Core.Pareto.latency_thresholds instance ~count:5 in
+    let t = List.nth thresholds (Rng.int rng (List.length thresholds)) in
+    Instance.Min_failure { max_latency = t *. pick_scale () }
+  end
+  else begin
+    let thresholds = Core.Pareto.failure_thresholds instance ~count:5 in
+    let t = List.nth thresholds (Rng.int rng (List.length thresholds)) in
+    let max_failure = Relpipe_util.Float_cmp.clamp ~lo:0.0 ~hi:1.0 (t *. pick_scale ()) in
+    Instance.Min_latency { max_failure }
+  end
+
+let generate ~id ~seed shape =
+  let rng = Rng.create seed in
+  let cls = Rng.pick rng [| Fully_homog; Comm_homog; Fully_hetero |] in
+  let n = 1 + Rng.int rng shape.max_stages in
+  let m = 1 + Rng.int rng shape.max_procs in
+  let pipeline = Relpipe_workload.App_gen.random_sized rng ~n in
+  let platform = random_platform rng cls ~m in
+  let instance = Instance.make pipeline platform in
+  let objective = random_objective rng instance in
+  { id; seed; cls; instance; objective }
+
+let of_instance ?(id = 0) ~seed instance objective =
+  { id; seed; cls = cls_of_platform instance.Instance.platform; instance;
+    objective }
+
+(* ------------------------------------------------------------------ *)
+(* Random mappings (round-trip oracle)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let random_composition rng n =
+  let rec build first k acc =
+    if k > n then List.rev acc
+    else if k = n || Rng.bool rng then build (k + 1) (k + 1) ((first, k) :: acc)
+    else build first (k + 1) acc
+  in
+  build 1 1 []
+
+let random_mapping rng ~n ~m =
+  let rec pick_intervals () =
+    let ivs = random_composition rng n in
+    if List.length ivs <= m then ivs else pick_intervals ()
+  in
+  let intervals = pick_intervals () in
+  let p = List.length intervals in
+  let perm = Array.to_list (Rng.permutation rng m) in
+  (* One seed processor per interval, then scatter a random subset of the
+     remainder as replicas. *)
+  let seeds, rest =
+    let rec split k = function
+      | xs when k = 0 -> ([], xs)
+      | [] -> ([], [])
+      | x :: tl ->
+          let a, b = split (k - 1) tl in
+          (x :: a, b)
+    in
+    split p perm
+  in
+  let sets = Array.of_list (List.map (fun u -> [ u ]) seeds) in
+  List.iter
+    (fun u ->
+      if Rng.bool rng then begin
+        let j = Rng.int rng p in
+        sets.(j) <- u :: sets.(j)
+      end)
+    rest;
+  Mapping.make ~n ~m
+    (List.mapi
+       (fun j (first, last) -> { Mapping.first; last; procs = sets.(j) })
+       intervals)
+
+let pp ppf c =
+  Format.fprintf ppf "case %d (seed %d, %s, n=%d, m=%d, %a)" c.id c.seed
+    (cls_to_string c.cls)
+    (Pipeline.length c.instance.Instance.pipeline)
+    (Platform.size c.instance.Instance.platform)
+    Instance.pp_objective c.objective

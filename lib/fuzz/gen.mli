@@ -1,0 +1,53 @@
+(** Seeded random test-case generation over the paper's three platform
+    classes.
+
+    Every case carries its own integer seed: the instance, the objective
+    and every random draw an oracle later makes are pure functions of
+    that seed, so a case can be re-generated (and a failure re-checked
+    during shrinking or replay) without re-running the whole campaign. *)
+
+open Relpipe_model
+
+type cls = Fully_homog | Comm_homog | Fully_hetero
+
+val cls_to_string : cls -> string
+(** ["fully-homog" | "comm-homog" | "fully-hetero"]. *)
+
+val cls_of_platform : Platform.t -> cls
+(** Classification of an arbitrary platform (used when replaying corpus
+    files, whose class is not recorded). *)
+
+type case = {
+  id : int;  (** position in the campaign, [0 .. count-1] *)
+  seed : int;  (** per-case seed; oracle RNGs derive from it *)
+  cls : cls;
+  instance : Instance.t;
+  objective : Instance.objective;
+}
+
+type shape = { max_stages : int; max_procs : int }
+
+val default_shape : shape
+(** [max_stages = 6], [max_procs = 5] — small enough that the exhaustive
+    reference oracles stay cheap. *)
+
+val case_seed : master:Relpipe_util.Rng.t -> int
+(** Draw the next per-case seed from the campaign's master stream. *)
+
+val generate : id:int -> seed:int -> shape -> case
+(** Deterministically build case [id] from its seed: platform class,
+    pipeline shape, platform parameters and a bi-criteria objective whose
+    threshold is drawn from the instance's own Pareto threshold range
+    (occasionally scaled to exercise infeasible regimes). *)
+
+val of_instance : ?id:int -> seed:int -> Instance.t -> Instance.objective -> case
+(** Wrap an existing instance (shrink candidates, corpus replays) as a
+    case with the given oracle seed. *)
+
+val random_mapping : Relpipe_util.Rng.t -> n:int -> m:int -> Mapping.t
+(** Uniform-ish random valid interval mapping with replication: a random
+    interval partition with at most [m] parts and a random disjoint
+    processor assignment (used by the round-trip oracle). *)
+
+val pp : Format.formatter -> case -> unit
+(** One-line summary: id, seed, class, n, m, objective. *)

@@ -1,0 +1,26 @@
+type outcome = Pass | Skip of string | Fail of string
+
+type ctx = { perturb : float }
+
+let default_ctx = { perturb = 0.0 }
+
+type t = {
+  name : string;
+  doc : string;
+  salt : int;
+  check : ctx -> Gen.case -> outcome;
+}
+
+(* A fixed odd multiplier decorrelates the per-oracle streams; the
+   combination stays a pure function of (case seed, oracle salt). *)
+let derive ~salt ~seed =
+  Relpipe_util.Rng.create ((seed lxor (salt * 0x9E3779B9)) land max_int)
+
+let rng t (case : Gen.case) = derive ~salt:t.salt ~seed:case.Gen.seed
+
+let is_fail = function Fail _ -> true | Pass | Skip _ -> false
+
+let outcome_to_string = function
+  | Pass -> "pass"
+  | Skip msg -> "skip: " ^ msg
+  | Fail msg -> "FAIL: " ^ msg

@@ -1,0 +1,44 @@
+(** The oracle abstraction of the differential fuzzer.
+
+    An oracle is a named, documented invariant checked against one
+    generated {!Gen.case}.  Oracles are pure: given the same context and
+    case they return the same outcome, which is what makes campaign
+    output byte-deterministic across runs and worker counts, and what
+    lets the shrinker re-check candidate reductions. *)
+
+type outcome =
+  | Pass
+  | Skip of string  (** not applicable (platform class, size guard) *)
+  | Fail of string  (** invariant violated; the message is the evidence *)
+
+type ctx = {
+  perturb : float;
+      (** fault injection for harness self-tests: a relative perturbation
+          applied to the interval-DP latency inside the [interval-dp]
+          oracle.  [0.] (the default) means no fault. *)
+}
+
+val default_ctx : ctx
+
+type t = {
+  name : string;  (** stable CLI name, e.g. ["interval-dp"] *)
+  doc : string;  (** one-line description for [--list-oracles] *)
+  salt : int;
+      (** stable salt mixed into the per-case seed so each oracle owns an
+          independent random stream regardless of which oracles run *)
+  check : ctx -> Gen.case -> outcome;
+}
+
+val derive : salt:int -> seed:int -> Relpipe_util.Rng.t
+(** The private stream for salt/seed pair — what {!rng} computes from an
+    oracle record (exposed so oracle implementations and tests can derive
+    the same stream without a record in hand). *)
+
+val rng : t -> Gen.case -> Relpipe_util.Rng.t
+(** The oracle's private stream for this case: a pure function of
+    [case.seed] and [t.salt]. *)
+
+val is_fail : outcome -> bool
+
+val outcome_to_string : outcome -> string
+(** ["pass"], ["skip: ..."] or ["FAIL: ..."]. *)

@@ -1,0 +1,529 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+module F = Relpipe_util.Float_cmp
+module Lru = Relpipe_util.Lru
+module Core = Relpipe_core
+module Service = Relpipe_service
+module A = Relpipe_analysis
+
+(* Checks are written as imperative sequences; these exceptions keep the
+   nesting flat and are converted to outcomes by the [oracle] wrapper. *)
+exception Check_failed of string
+exception Check_skipped of string
+
+let failf fmt = Format.kasprintf (fun s -> raise (Check_failed s)) fmt
+let skipf fmt = Format.kasprintf (fun s -> raise (Check_skipped s)) fmt
+
+let oracle ~name ~doc ~salt f =
+  {
+    Oracle.name;
+    doc;
+    salt;
+    check =
+      (fun ctx case ->
+        match f ctx (Oracle.derive ~salt ~seed:case.Gen.seed) case with
+        | () -> Oracle.Pass
+        | exception Check_failed msg -> Oracle.Fail msg
+        | exception Check_skipped msg -> Oracle.Skip msg
+        | exception e ->
+            (* An unexpected exception from the code under test is a
+               finding, not a harness crash. *)
+            Oracle.Fail ("uncaught exception: " ^ Printexc.to_string e));
+  }
+
+let shape (case : Gen.case) =
+  ( Pipeline.length case.Gen.instance.Instance.pipeline,
+    Platform.size case.Gen.instance.Instance.platform )
+
+(* ------------------------------------------------------------------ *)
+(* 1. interval-dp: exact DP vs brute-force interval enumeration        *)
+(* ------------------------------------------------------------------ *)
+
+let check_interval_dp ctx _rng (case : Gen.case) =
+  let inst = case.Gen.instance in
+  let n, m = shape case in
+  if n > 8 || m > 6 then skipf "size guard: n=%d m=%d (needs n <= 8, m <= 6)" n m;
+  match
+    (Core.Interval_exact.min_latency inst, Core.Exact.min_latency_unreplicated inst)
+  with
+  | None, None -> ()
+  | Some _, None -> failf "interval DP found a mapping, brute force found none"
+  | None, Some _ -> failf "brute force found a mapping, interval DP found none"
+  | Some (dp, dp_map), Some (bf, _) ->
+      let claimed = dp *. (1.0 +. ctx.Oracle.perturb) in
+      if not (F.approx_eq claimed bf) then
+        failf "interval DP latency %.17g <> brute-force latency %.17g" claimed bf;
+      let ev = Instance.evaluate inst dp_map in
+      if not (F.approx_eq ev.Instance.latency dp) then
+        failf "DP mapping re-prices at %.17g, DP claimed %.17g"
+          ev.Instance.latency dp
+
+(* ------------------------------------------------------------------ *)
+(* 2. general-shortest-path: four solvers agree, bound the interval    *)
+(* ------------------------------------------------------------------ *)
+
+let check_general _ctx _rng (case : Gen.case) =
+  let inst = case.Gen.instance in
+  let n, m = shape case in
+  let dij, _ = Core.General_mapping.solve ~algo:Core.General_mapping.Dijkstra inst in
+  let bel, _ =
+    Core.General_mapping.solve ~algo:Core.General_mapping.Bellman_ford inst
+  in
+  let dag, _ = Core.General_mapping.solve ~algo:Core.General_mapping.Dag_sweep inst in
+  let dp, _ = Core.General_mapping.solve_dp inst in
+  List.iter
+    (fun (name, v) ->
+      if not (F.approx_eq dij v) then
+        failf "general-mapping %s latency %.17g <> Dijkstra %.17g" name v dij)
+    [ ("Bellman-Ford", bel); ("DAG sweep", dag); ("direct DP", dp) ];
+  if n <= 8 && m <= 6 then
+    match Core.Interval_exact.min_latency inst with
+    | None -> ()
+    | Some (interval, _) ->
+        if not (F.leq dij interval) then
+          failf "general optimum %.17g exceeds the interval optimum %.17g" dij
+            interval
+
+(* ------------------------------------------------------------------ *)
+(* 3. heuristics-pareto: dominated-or-equal by the exhaustive front    *)
+(* ------------------------------------------------------------------ *)
+
+let pareto_front evals =
+  let sorted =
+    List.sort
+      (fun (a : Instance.evaluation) (b : Instance.evaluation) ->
+        match Float.compare a.Instance.latency b.Instance.latency with
+        | 0 -> Float.compare a.Instance.failure b.Instance.failure
+        | c -> c)
+      evals
+  in
+  let rec sweep best = function
+    | [] -> []
+    | (e : Instance.evaluation) :: tl ->
+        if e.Instance.failure < best then e :: sweep e.Instance.failure tl
+        else sweep best tl
+  in
+  sweep infinity sorted
+
+let check_heuristics _ctx rng (case : Gen.case) =
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let n, m = shape case in
+  (* count_mappings counts by enumeration, so bound the shape before
+     asking for the count (same pre-guard as Solver.small_enough). *)
+  if n > 6 || m > 6 then skipf "size guard: n=%d m=%d (needs n <= 6, m <= 6)" n m;
+  let space = Core.Exact.count_mappings ~n ~m () in
+  if space > 5_000 then skipf "mapping space %d > 5000" space;
+  let evals = ref [] and best = ref None in
+  Core.Exact.iter_mappings ~n ~m (fun mapping ->
+      let ev = Instance.evaluate inst mapping in
+      evals := ev :: !evals;
+      if Instance.feasible obj ev then begin
+        let v = Instance.objective_value obj ev in
+        match !best with
+        | None -> best := Some v
+        | Some b -> if v < b then best := Some v
+      end);
+  let front = pareto_front !evals in
+  let seed = Rng.int rng 1_000_000 in
+  List.iter
+    (fun name ->
+      match Core.Heuristics.run ~seed name inst obj with
+      | None -> ()
+      | Some s ->
+          let hname = Core.Heuristics.name_to_string name in
+          let stored = s.Core.Solution.evaluation in
+          let ev = Instance.evaluate inst s.Core.Solution.mapping in
+          if
+            not
+              (F.approx_eq ev.Instance.latency stored.Instance.latency
+              && F.approx_eq ev.Instance.failure stored.Instance.failure)
+          then
+            failf "heuristic %s evaluation (%.17g, %.17g) re-prices as (%.17g, %.17g)"
+              hname stored.Instance.latency stored.Instance.failure
+              ev.Instance.latency ev.Instance.failure;
+          if not (Instance.feasible obj stored) then
+            failf "heuristic %s returned an infeasible solution" hname;
+          (match !best with
+          | None ->
+              failf
+                "heuristic %s found a feasible solution where exhaustive \
+                 enumeration found none"
+                hname
+          | Some b ->
+              let v = Instance.objective_value obj stored in
+              if not (F.geq v b) then
+                failf "heuristic %s objective %.17g beats the exhaustive optimum %.17g"
+                  hname v b);
+          if
+            not
+              (List.exists
+                 (fun (p : Instance.evaluation) ->
+                   F.leq p.Instance.latency ev.Instance.latency
+                   && F.leq p.Instance.failure ev.Instance.failure)
+                 front)
+          then
+            failf "heuristic %s evaluation is not dominated by the exhaustive \
+                   Pareto front"
+              hname)
+    Core.Heuristics.all_names
+
+(* ------------------------------------------------------------------ *)
+(* 4. validate-lint: solver outputs survive re-validation              *)
+(* ------------------------------------------------------------------ *)
+
+let check_validate _ctx _rng (case : Gen.case) =
+  match Core.Solver.run case.Gen.instance case.Gen.objective with
+  | Error e ->
+      failf "Solver.run failed on a generated instance: %s"
+        (Core.Solver.error_to_string e)
+  | Ok None -> ()
+  | Ok (Some sol) -> (
+      let report = Core.Validate.check case.Gen.instance case.Gen.objective sol in
+      if not (Core.Validate.ok report) then
+        failf "Validate.check rejects the solver output: %s"
+          (String.concat "; " report.Core.Validate.messages);
+      match
+        A.Diagnostic.errors
+          (A.Analysis.lint_solution case.Gen.instance sol.Core.Solution.mapping)
+      with
+      | [] -> ()
+      | d :: _ ->
+          failf "lint error on solver output: %s" (A.Diagnostic.to_string d))
+
+(* ------------------------------------------------------------------ *)
+(* 5. canon-invariance: renumbering symmetry through the engine        *)
+(* ------------------------------------------------------------------ *)
+
+let check_canon _ctx rng (case : Gen.case) =
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let platform = inst.Instance.platform in
+  if not (Classify.links_homogeneous platform) then
+    skipf "links heterogeneous: renumbering is not a platform symmetry";
+  let n, m = shape case in
+  let sigma = Rng.permutation rng m in
+  let inv = Array.make m 0 in
+  Array.iteri (fun i u -> inv.(u) <- i) sigma;
+  let speeds = Platform.speeds platform and failures = Platform.failures platform in
+  let bandwidth =
+    match Classify.common_bandwidth platform with Some b -> b | None -> 1.0
+  in
+  let platform' =
+    Platform.uniform_links
+      ~speeds:(Array.init m (fun i -> speeds.(sigma.(i))))
+      ~failures:(Array.init m (fun i -> failures.(sigma.(i))))
+      ~bandwidth
+  in
+  let inst' = Instance.make inst.Instance.pipeline platform' in
+  let engine = Service.Engine.create ~workers:1 ~cache_capacity:64 () in
+  let key i =
+    (Service.Engine.normalize engine i obj).Service.Canon.key
+  in
+  if not (String.equal (key inst) (key inst')) then
+    failf "renumbered instance canonicalizes to a different cache key";
+  let r1 = Service.Engine.solve_instance engine inst obj in
+  let r2 = Service.Engine.solve_instance engine inst' obj in
+  (match r1.Service.Protocol.r_cache with
+  | Service.Protocol.Miss -> ()
+  | Service.Protocol.Hit -> failf "first solve reported a cache hit on a fresh engine");
+  (match r2.Service.Protocol.r_cache with
+  | Service.Protocol.Hit -> ()
+  | Service.Protocol.Miss -> failf "renumbered instance missed the result cache");
+  match (r1.Service.Protocol.r_outcome, r2.Service.Protocol.r_outcome) with
+  | Service.Protocol.Infeasible, Service.Protocol.Infeasible -> ()
+  | Service.Protocol.Failed e1, Service.Protocol.Failed e2
+    when String.equal e1 e2 -> ()
+  | ( Service.Protocol.Solved { mapping = map1; latency = l1; failure = f1 },
+      Service.Protocol.Solved { mapping = map2; latency = l2; failure = f2 } ) -> (
+      if not (F.approx_eq l1 l2) then
+        failf "latency changed under renumbering: %.17g vs %.17g" l1 l2;
+      if not (F.approx_eq f1 f2) then
+        failf "failure probability changed under renumbering: %.17g vs %.17g" f1 f2;
+      match (Mapping_syntax.parse ~n ~m map1, Mapping_syntax.parse ~n ~m map2) with
+      | Error msg, _ | _, Error msg -> failf "response mapping does not parse: %s" msg
+      | Ok m1, Ok m2 ->
+          let ev2 = Instance.evaluate inst' m2 in
+          if
+            not
+              (F.approx_eq ev2.Instance.latency l2
+              && F.approx_eq ev2.Instance.failure f2)
+          then
+            failf "hit response metrics do not re-price on the renumbered \
+                   instance";
+          (* With pairwise-distinct (speed, failure) signatures the
+             canonical order is unambiguous, so the hit must be exactly
+             the permutation-translated representative mapping. *)
+          let distinct =
+            let q =
+              Array.init m (fun u ->
+                  ( Service.Canon.quantize speeds.(u),
+                    Service.Canon.quantize failures.(u) ))
+            in
+            let ok = ref true in
+            for i = 0 to m - 1 do
+              for j = i + 1 to m - 1 do
+                let si, fi = q.(i) and sj, fj = q.(j) in
+                if Float.equal si sj && Float.equal fi fj then ok := false
+              done
+            done;
+            !ok
+          in
+          if distinct then begin
+            let expected =
+              Mapping.make ~n ~m
+                (List.map
+                   (fun iv ->
+                     {
+                       iv with
+                       Mapping.procs =
+                         List.sort Int.compare
+                           (List.map (fun u -> inv.(u)) iv.Mapping.procs);
+                     })
+                   (Mapping.intervals m1))
+            in
+            if not (Mapping.equal expected m2) then
+              failf "hit mapping is not the permutation translation of the \
+                     representative"
+          end)
+  | _ -> failf "outcome kind changed under renumbering"
+
+(* ------------------------------------------------------------------ *)
+(* 6. text-roundtrip: Textio / Mapping_syntax / Protocol               *)
+(* ------------------------------------------------------------------ *)
+
+let check_roundtrip _ctx rng (case : Gen.case) =
+  let inst = case.Gen.instance in
+  let n, m = shape case in
+  let text = Textio.to_string inst in
+  (match Textio.parse text with
+  | Error msg -> failf "Textio.to_string output does not parse: %s" msg
+  | Ok inst2 ->
+      if not (String.equal text (Textio.to_string inst2)) then
+        failf "Textio print->parse->print is not byte-identical");
+  let mapping = Gen.random_mapping rng ~n ~m in
+  let mtext = Mapping_syntax.to_string mapping in
+  (match Mapping_syntax.parse ~n ~m mtext with
+  | Error msg -> failf "Mapping_syntax.to_string output does not parse: %s" msg
+  | Ok mapping2 ->
+      if not (Mapping.equal mapping mapping2) then
+        failf "Mapping_syntax round-trip changed the mapping");
+  let rq =
+    Service.Protocol.request ~id:"fuzz"
+      ~instance:(Service.Protocol.Inline text)
+      case.Gen.objective
+  in
+  let line = Service.Protocol.encode_request rq in
+  (match Service.Protocol.decode_request line with
+  | Error msg -> failf "encoded request does not decode: %s" msg
+  | Ok rq2 ->
+      if not (String.equal line (Service.Protocol.encode_request rq2)) then
+        failf "request encode->decode->encode is not byte-identical");
+  let ev = Instance.evaluate inst mapping in
+  let resp =
+    {
+      Service.Protocol.r_id = Some "fuzz";
+      r_index = 0;
+      r_cache = Service.Protocol.Miss;
+      r_outcome =
+        Service.Protocol.Solved
+          {
+            mapping = Service.Protocol.mapping_to_syntax mapping;
+            latency = ev.Instance.latency;
+            failure = ev.Instance.failure;
+          };
+    }
+  in
+  let rline = Service.Protocol.encode_response resp in
+  match Service.Protocol.decode_response rline with
+  | Error msg -> failf "encoded response does not decode: %s" msg
+  | Ok resp2 ->
+      if not (String.equal rline (Service.Protocol.encode_response resp2)) then
+        failf "response encode->decode->encode is not byte-identical"
+
+(* ------------------------------------------------------------------ *)
+(* 7. json-floats: bit-identical float round-trips                     *)
+(* ------------------------------------------------------------------ *)
+
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+let float_eq a b = same_bits a b || (Float.is_nan a && Float.is_nan b)
+
+let json_float_roundtrip v =
+  let s = Service.Json.to_string (Service.Json.float v) in
+  match Service.Json.parse s with
+  | Error msg -> Error (Printf.sprintf "%S does not parse back: %s" s msg)
+  | Ok j -> (
+      match Service.Json.to_float j with
+      | None -> Error (Printf.sprintf "%S decodes to a non-number" s)
+      | Some v' when not (float_eq v v') ->
+          Error
+            (Printf.sprintf "round-trip %.17g -> %S -> %.17g changes bits" v s v')
+      | Some _ -> (
+          (* Embedded in an object, the way the protocol carries it. *)
+          let os = Service.Json.to_string (Service.Json.Obj [ ("x", Service.Json.float v) ]) in
+          match Service.Json.parse os with
+          | Error msg -> Error (Printf.sprintf "%S does not parse back: %s" os msg)
+          | Ok o -> (
+              match Option.bind (Service.Json.member "x" o) Service.Json.to_float with
+              | Some w when float_eq v w -> Ok ()
+              | _ ->
+                  Error
+                    (Printf.sprintf "object-embedded %S does not round-trip" os))))
+
+let adversarial_floats =
+  [|
+    0.; -0.; 1.; -1.; 0.1; -0.1; 1. /. 3.;
+    Float.min_float; -.Float.min_float;
+    Float.max_float; -.Float.max_float;
+    1e308; -1e308; 1e-308; -1e-308;
+    Int64.float_of_bits 1L; Int64.float_of_bits 0x8000_0000_0000_0001L;
+    1.5e-310; -1.5e-310;
+    Float.epsilon; Float.pi;
+    (2. ** 53.) -. 1.; 2. ** 53.; (2. ** 53.) +. 2.;
+    infinity; neg_infinity; nan;
+  |]
+
+let check_json _ctx rng (_case : Gen.case) =
+  Array.iter
+    (fun v ->
+      match json_float_roundtrip v with Ok () -> () | Error msg -> failf "%s" msg)
+    adversarial_floats;
+  for _ = 1 to 16 do
+    let v = Int64.float_of_bits (Rng.int64 rng) in
+    match json_float_roundtrip v with Ok () -> () | Error msg -> failf "%s" msg
+  done
+
+(* ------------------------------------------------------------------ *)
+(* 8. lru: model-checked cache behaviour at edge capacities            *)
+(* ------------------------------------------------------------------ *)
+
+let lru_check rng ~capacity ~ops =
+  let t = Lru.create ~capacity in
+  (* Reference model: bindings most-recent-first. *)
+  let model = ref [] in
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  let keys = [| "k0"; "k1"; "k2"; "k3"; "k4"; "k5"; "k6"; "k7" |] in
+  let error = ref None in
+  let set_error msg = if Option.is_none !error then error := Some msg in
+  let rec take k = function
+    | [] -> []
+    | x :: tl -> if k = 0 then [] else x :: take (k - 1) tl
+  in
+  let drop_key key l = List.filter (fun (k, _) -> not (String.equal k key)) l in
+  let step () =
+    let key = Rng.pick rng keys in
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let v = Rng.int rng 1000 in
+        Lru.add t key v;
+        if capacity > 0 then begin
+          model := (key, v) :: drop_key key !model;
+          if List.length !model > capacity then begin
+            model := take capacity !model;
+            incr evictions
+          end
+        end
+    | 4 | 5 | 6 -> (
+        let got = Lru.find t key in
+        let want =
+          Option.map snd
+            (List.find_opt (fun (k, _) -> String.equal k key) !model)
+        in
+        match (got, want) with
+        | Some a, Some b when a = b ->
+            incr hits;
+            model := (key, b) :: drop_key key !model
+        | None, None -> incr misses
+        | Some a, Some b ->
+            set_error
+              (Printf.sprintf "find %S returned %d, model holds %d" key a b)
+        | Some a, None ->
+            set_error (Printf.sprintf "find %S returned %d, model has no binding" key a)
+        | None, Some b ->
+            set_error (Printf.sprintf "find %S missed, model holds %d" key b))
+    | 7 ->
+        let got = Lru.mem t key in
+        let want = List.exists (fun (k, _) -> String.equal k key) !model in
+        if not (Bool.equal got want) then
+          set_error (Printf.sprintf "mem %S: cache %b, model %b" key got want)
+    | 8 ->
+        if Lru.length t <> List.length !model then
+          set_error
+            (Printf.sprintf "length %d, model %d" (Lru.length t)
+               (List.length !model))
+    | _ ->
+        if Rng.int rng 8 = 0 then begin
+          Lru.clear t;
+          model := []
+        end
+  in
+  let i = ref 0 in
+  while !i < ops && Option.is_none !error do
+    step ();
+    incr i
+  done;
+  if Option.is_none !error then begin
+    let s = Lru.stats t in
+    if s.Lru.hits <> !hits then
+      set_error (Printf.sprintf "hits %d, model %d" s.Lru.hits !hits);
+    if s.Lru.misses <> !misses then
+      set_error (Printf.sprintf "misses %d, model %d" s.Lru.misses !misses);
+    if s.Lru.evictions <> !evictions then
+      set_error (Printf.sprintf "evictions %d, model %d" s.Lru.evictions !evictions);
+    if Lru.length t <> List.length !model then
+      set_error
+        (Printf.sprintf "final length %d, model %d" (Lru.length t)
+           (List.length !model));
+    if Lru.capacity t <> capacity then
+      set_error (Printf.sprintf "capacity %d, created with %d" (Lru.capacity t) capacity)
+  end;
+  match !error with None -> Ok () | Some msg -> Error msg
+
+let check_lru _ctx rng (_case : Gen.case) =
+  List.iter
+    (fun capacity ->
+      match lru_check rng ~capacity ~ops:100 with
+      | Ok () -> ()
+      | Error msg -> failf "capacity %d: %s" capacity msg)
+    [ 0; 1; 2 + Rng.int rng 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry =
+  [
+    oracle ~name:"interval-dp" ~salt:1
+      ~doc:
+        "exact interval DP matches brute-force interval enumeration (small n, m)"
+      check_interval_dp;
+    oracle ~name:"general-shortest-path" ~salt:2
+      ~doc:"general-mapping solvers agree and lower-bound the interval optimum"
+      check_general;
+    oracle ~name:"heuristics-pareto" ~salt:3
+      ~doc:
+        "heuristics are feasible, consistent and dominated by the exhaustive \
+         Pareto front"
+      check_heuristics;
+    oracle ~name:"validate-lint" ~salt:4
+      ~doc:"solver outputs pass Validate.check and lint with zero errors"
+      check_validate;
+    oracle ~name:"canon-invariance" ~salt:5
+      ~doc:
+        "processor renumbering: same cache key, engine cache hit, translated \
+         mapping"
+      check_canon;
+    oracle ~name:"text-roundtrip" ~salt:6
+      ~doc:
+        "Textio/Mapping_syntax/Protocol print->parse round-trips are \
+         byte-identical"
+      check_roundtrip;
+    oracle ~name:"json-floats" ~salt:7
+      ~doc:"JSON float round-trips are bit-identical on adversarial values"
+      check_json;
+    oracle ~name:"lru" ~salt:8
+      ~doc:"Util.Lru matches a reference model at capacities 0, 1 and k"
+      check_lru;
+  ]
+
+let all () = registry
+let names () = List.map (fun o -> o.Oracle.name) registry
+let find name = List.find_opt (fun o -> String.equal o.Oracle.name name) registry

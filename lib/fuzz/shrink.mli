@@ -1,0 +1,21 @@
+(** Greedy delta-shrinking of failing cases.
+
+    Given an oracle that fails on a case, repeatedly try
+    simplifications — drop a stage, drop a processor, replace a cost by
+    [1.0] (failure probabilities by [0.5], which stays lint-clean), round
+    a float to three significant digits, simplify the objective
+    threshold — and keep the first candidate that still fails, restarting
+    until no candidate fails or the re-check budget is exhausted.
+    Candidates are enumerated in a fixed order and the case seed is
+    preserved, so shrinking is deterministic. *)
+
+type result = {
+  case : Gen.case;  (** the minimized case (original if nothing shrank) *)
+  steps : int;  (** accepted simplifications *)
+  checks : int;  (** oracle re-checks spent *)
+}
+
+val max_checks : int
+(** Re-check budget per minimization (1000). *)
+
+val minimize : Oracle.t -> Oracle.ctx -> Gen.case -> result

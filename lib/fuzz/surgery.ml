@@ -1,0 +1,63 @@
+open Relpipe_model
+
+type flat = {
+  input : float;
+  stages : (float * float) array;
+  speeds : float array;
+  failures : float array;
+  bw : float array array;
+}
+
+(* Endpoint <-> matrix index: Pin = 0, Proc u = u + 1, Pout = m + 1. *)
+let endpoint_of_index ~m i =
+  if i = 0 then Platform.Pin
+  else if i = m + 1 then Platform.Pout
+  else Platform.Proc (i - 1)
+
+let flatten (inst : Instance.t) =
+  let p = inst.Instance.pipeline and plat = inst.Instance.platform in
+  let n = Pipeline.length p and m = Platform.size plat in
+  {
+    input = Pipeline.delta p 0;
+    stages = Array.init n (fun i -> (Pipeline.work p (i + 1), Pipeline.delta p (i + 1)));
+    speeds = Platform.speeds plat;
+    failures = Platform.failures plat;
+    bw =
+      Array.init (m + 2) (fun i ->
+          Array.init (m + 2) (fun j ->
+              if i = j then 1.0
+              else
+                Platform.bandwidth plat (endpoint_of_index ~m i)
+                  (endpoint_of_index ~m j)));
+  }
+
+let build f =
+  let m = Array.length f.speeds in
+  if Array.length f.stages = 0 || m = 0 then None
+  else
+    let index = function
+      | Platform.Pin -> 0
+      | Platform.Proc u -> u + 1
+      | Platform.Pout -> m + 1
+    in
+    match
+      Instance.make
+        (Pipeline.of_costs ~input:f.input (Array.to_list f.stages))
+        (Platform.make ~speeds:f.speeds ~failures:f.failures
+           ~bandwidth:(fun a b -> f.bw.(index a).(index b)))
+    with
+    | inst -> Some inst
+    | exception Invalid_argument _ -> None
+
+let drop_at a i = Array.init (Array.length a - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+let drop_stage f i = { f with stages = drop_at f.stages i }
+
+let drop_proc f u =
+  let drop_idx = u + 1 in
+  {
+    f with
+    speeds = drop_at f.speeds u;
+    failures = drop_at f.failures u;
+    bw = Array.map (fun row -> drop_at row drop_idx) (drop_at f.bw drop_idx);
+  }

@@ -1,0 +1,34 @@
+(** Flattened instances for delta-shrinking.
+
+    The shrinker needs to delete stages and processors and nudge
+    individual cost numbers; the immutable model types make that awkward,
+    so shrinking works on a flat array representation with explicit
+    index surgery, rebuilt into an {!Relpipe_model.Instance.t} (or
+    rejected) per candidate. *)
+
+type flat = {
+  input : float;  (** delta_0 *)
+  stages : (float * float) array;
+      (** (work, output) pairs; stage [k] at index [k-1] *)
+  speeds : float array;
+  failures : float array;
+  bw : float array array;
+      (** [(m+2) x (m+2)] symmetric bandwidth matrix with [Pin] at index
+          0, processor [u] at [u+1] and [Pout] at [m+1]; the diagonal is
+          unused. *)
+}
+
+val flatten : Relpipe_model.Instance.t -> flat
+
+val build : flat -> Relpipe_model.Instance.t option
+(** [None] when the flat data violates a model precondition (no stages or
+    processors left, non-positive cost, probability outside [0,1]); the
+    shrinker simply discards such candidates. *)
+
+val drop_stage : flat -> int -> flat
+(** Remove the stage at (0-based) index [i]; the preceding output feeds
+    the next stage directly. *)
+
+val drop_proc : flat -> int -> flat
+(** Remove processor [u] together with its matrix row and column;
+    higher-numbered processors shift down. *)

@@ -212,6 +212,10 @@ let run_lines t lines =
   let batch = Array.of_list (List.map Protocol.decode_request nonblank) in
   Array.to_list (Array.map Protocol.encode_response (run_batch t batch))
 
+let normalize t ?(method_ = Solver.Auto) ?budget inst objective =
+  let budget = match budget with Some b -> b | None -> t.exact_budget in
+  Canon.normalize ~budget ~method_ inst objective
+
 let solve_instance t ?method_ ?budget inst objective =
   let rq =
     Protocol.request ?budget ?method_

@@ -55,6 +55,18 @@ val run_lines : t -> string list -> string list
 (** Decode JSONL request lines (blank lines are dropped), run the batch,
     encode JSONL response lines in request order. *)
 
+val normalize :
+  t ->
+  ?method_:Relpipe_core.Solver.method_ ->
+  ?budget:int ->
+  Instance.t ->
+  Instance.objective ->
+  Canon.normalized
+(** The canonical form this engine would compute for a request ([budget]
+    defaults to the engine's [exact_budget], [method_] to [Auto]) — the
+    hook the fuzzer's cache-invariance oracle uses to compare keys
+    without running a solve. *)
+
 val solve_instance :
   t ->
   ?method_:Relpipe_core.Solver.method_ ->

@@ -208,6 +208,10 @@ let parse text =
       | None -> fail (Printf.sprintf "invalid number %S" s)
     else
       match int_of_string_opt s with
+      (* "-0" must keep its sign: Int cannot represent negative zero, so
+         the round-trip Float (-0.) -> "-0" -> parse stays bit-identical
+         only through the Float constructor. *)
+      | Some 0 when String.length s > 0 && s.[0] = '-' -> Float (-0.)
       | Some i -> Int i
       | None -> (
           match float_of_string_opt s with

@@ -20,7 +20,9 @@ type t =
 
 val parse : string -> (t, string) result
 (** Parse one JSON document; trailing non-whitespace is an error.
-    Errors read ["offset N: message"]. *)
+    Errors read ["offset N: message"].  The literal ["-0"] parses as
+    [Float (-0.)] (not [Int 0]) so negative zero survives a print→parse
+    round-trip bit-identically. *)
 
 val to_string : t -> string
 (** Compact single-line rendering (no newlines, no spaces), suitable for

@@ -20,6 +20,9 @@ let uniform ~n ~work ~data =
   if n <= 0 then invalid_arg "App_gen.uniform: n must be positive";
   Pipeline.make ~input:data (List.init n (fun _ -> { Pipeline.work; output = data }))
 
+let default_spec ~n = { n; work = (1.0, 20.0); data = (0.5, 10.0) }
+let random_sized rng ~n = random rng (default_spec ~n)
+
 let compute_bound rng ~n = random rng { n; work = (50.0, 200.0); data = (1.0, 5.0) }
 let data_bound rng ~n = random rng { n; work = (1.0, 5.0); data = (50.0, 200.0) }
 

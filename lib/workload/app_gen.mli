@@ -21,6 +21,14 @@ val uniform : n:int -> work:float -> data:float -> Pipeline.t
 (** All stages identical: w_k = [work], delta_k = [data] for all k
     (including delta_0). *)
 
+val default_spec : n:int -> spec
+(** The reference ranges used across experiments and the fuzzer: work in
+    [\[1, 20\]], data in [\[0.5, 10\]]. *)
+
+val random_sized : Relpipe_util.Rng.t -> n:int -> Pipeline.t
+(** [random rng (default_spec ~n)] — the seeded sub-generator shared by
+    test helpers and [relpipe fuzz]. *)
+
 val compute_bound : Relpipe_util.Rng.t -> n:int -> Pipeline.t
 (** Heavy computation, light data: work in [\[50, 200\]], data in
     [\[1, 5\]]. *)

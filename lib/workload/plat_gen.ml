@@ -8,6 +8,11 @@ let sample rng (lo, hi) =
 let fully_homogeneous ~m ~speed ~failure ~bandwidth =
   Platform.fully_homogeneous ~m ~speed ~failure ~bandwidth
 
+let random_fully_homogeneous rng ~m ~speed ~failure ~bandwidth =
+  if m <= 0 then invalid_arg "Plat_gen: m must be positive";
+  Platform.fully_homogeneous ~m ~speed:(sample rng speed)
+    ~failure:(sample rng failure) ~bandwidth:(sample rng bandwidth)
+
 let random_comm_homogeneous rng ~m ~speed ~failure ~bandwidth =
   if m <= 0 then invalid_arg "Plat_gen: m must be positive";
   let speeds = Array.init m (fun _ -> sample rng speed) in

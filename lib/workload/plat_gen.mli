@@ -11,6 +11,17 @@ val fully_homogeneous :
   m:int -> speed:float -> failure:float -> bandwidth:float -> Platform.t
 (** Re-export of {!Platform.fully_homogeneous} for symmetry. *)
 
+val random_fully_homogeneous :
+  Relpipe_util.Rng.t ->
+  m:int ->
+  speed:float * float ->
+  failure:float * float ->
+  bandwidth:float * float ->
+  Platform.t
+(** Fully Homogeneous platform whose one speed, one failure probability
+    and one bandwidth are each sampled uniformly — the seeded sub-generator
+    the fuzzer uses for the paper's first platform class. *)
+
 val random_comm_homogeneous :
   Relpipe_util.Rng.t ->
   m:int ->

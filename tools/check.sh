@@ -59,4 +59,9 @@ for f in examples/requests/*.jsonl; do
   "$relpipe" batch "$f" -o /dev/null
 done
 
+echo "== relpipe fuzz: smoke campaign =="
+# 200 seeded cases across every oracle; any failure (exit 1) fails the
+# gate and prints the minimized repro inline.
+"$relpipe" fuzz --count 200 --seed 42 --all-oracles
+
 echo "check.sh: all gates passed"
