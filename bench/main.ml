@@ -318,10 +318,109 @@ let scaling_table () =
   Relpipe_util.Table.print table;
   print_newline ()
 
+(* Observability cost guard: solver kernels with no ambient context vs an
+   ambient no-op sink.  The disabled path is a domain-local read plus
+   dead-counter lookups, so the two timings must agree; a regression here
+   means instrumentation leaked real work onto the hot path. *)
+let obs_guard ~threshold =
+  let module Obs = Relpipe_obs.Obs in
+  let big_general = make_fully_hetero 7 ~n:32 ~m:24 in
+  let inst_bb = make_fully_hetero 8 ~n:4 ~m:5 in
+  let inst_iv = make_fully_hetero 9 ~n:8 ~m:10 in
+  let kernels =
+    [
+      ( "thm4 direct DP (n=32, m=24)",
+        fun () -> ignore (Sys.opaque_identity (General_mapping.solve_dp big_general)) );
+      ( "branch&bound minFP|L (n=4, m=5)",
+        fun () ->
+          ignore
+            (Sys.opaque_identity
+               (Bb.solve inst_bb (Instance.Min_failure { max_latency = 1e6 }))) );
+      ( "bitmask-DP interval optimum (n=8, m=10)",
+        fun () -> ignore (Sys.opaque_identity (Interval_exact.min_latency inst_iv)) );
+    ]
+  in
+  (* Every kernel call takes hundreds of microseconds, so each call is
+     timed individually and the off/noop-sink variants are paired
+     call-by-call — one pair sits well inside a single CPU-frequency /
+     scheduler regime, unlike multi-millisecond blocks, which made the
+     guard flaky on noisy machines.  The per-pair ratio is therefore
+     tight, and the MEDIAN over all pairs discards the occasional call
+     that absorbed a GC slice or an interrupt on one side.  The lead
+     order alternates pair by pair to cancel any within-pair bias. *)
+  let noop = Obs.noop () in
+  let paired_ratio f =
+    let timed g =
+      let t0 = Unix.gettimeofday () in
+      g ();
+      Unix.gettimeofday () -. t0
+    in
+    let off () = timed f in
+    let with_noop () = Obs.with_ambient (Some noop) (fun () -> timed f) in
+    for _ = 1 to 3 do
+      ignore (off ());
+      ignore (with_noop ())
+    done;
+    let pairs = 301 in
+    let offs = Array.make pairs 0.0 in
+    let noops = Array.make pairs 0.0 in
+    let ratios = Array.make pairs 0.0 in
+    for i = 0 to pairs - 1 do
+      let a, b =
+        if i land 1 = 0 then
+          let a = off () in
+          let b = with_noop () in
+          (a, b)
+        else
+          let b = with_noop () in
+          let a = off () in
+          (a, b)
+      in
+      offs.(i) <- a;
+      noops.(i) <- b;
+      ratios.(i) <- b /. a
+    done;
+    Array.sort Float.compare offs;
+    Array.sort Float.compare noops;
+    Array.sort Float.compare ratios;
+    let mid = pairs / 2 in
+    (offs.(mid), noops.(mid), ratios.(mid))
+  in
+  let table =
+    Relpipe_util.Table.create
+      [ "kernel"; "off ns"; "noop-sink ns"; "overhead" ]
+  in
+  let worst = ref neg_infinity in
+  List.iter
+    (fun (name, f) ->
+      let t_off, t_noop, median_ratio = paired_ratio f in
+      let overhead = median_ratio -. 1.0 in
+      worst := Float.max !worst overhead;
+      Relpipe_util.Table.add_row table
+        [
+          name;
+          Printf.sprintf "%.1f" (1e9 *. t_off);
+          Printf.sprintf "%.1f" (1e9 *. t_noop);
+          Printf.sprintf "%+.2f%%" (100.0 *. overhead);
+        ])
+    kernels;
+  print_endline "Observability no-op-sink cost guard";
+  print_endline "===================================";
+  Relpipe_util.Table.print table;
+  if !worst > threshold then begin
+    Printf.eprintf "obs-guard: FAIL — worst overhead %+.2f%% exceeds %.0f%%\n"
+      (100.0 *. !worst) (100.0 *. threshold);
+    exit 1
+  end;
+  Printf.printf "obs-guard: OK — worst overhead %+.2f%% (threshold %.0f%%)\n"
+    (100.0 *. !worst) (100.0 *. threshold)
+
 let () =
   (* Flags: [--json FILE] writes a machine-readable report; [--kernels-only]
-     skips the slow experiment tables (useful when only the JSON matters). *)
+     skips the slow experiment tables (useful when only the JSON matters);
+     [--obs-guard] runs only the observability cost guard. *)
   let json_path = ref None and kernels_only = ref false in
+  let obs_guard_only = ref false in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -330,12 +429,21 @@ let () =
     | "--kernels-only" :: rest ->
         kernels_only := true;
         parse rest
+    | "--obs-guard" :: rest ->
+        obs_guard_only := true;
+        parse rest
     | arg :: _ ->
-        Printf.eprintf "usage: %s [--json FILE] [--kernels-only]\n  unknown argument %S\n"
+        Printf.eprintf
+          "usage: %s [--json FILE] [--kernels-only] [--obs-guard]\n\
+          \  unknown argument %S\n"
           Sys.argv.(0) arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !obs_guard_only then begin
+    obs_guard ~threshold:0.02;
+    exit 0
+  end;
   print_endline "relpipe benchmark harness";
   print_endline "Paper: Benoit, Rehn-Sonigo, Robert — Optimizing Latency and";
   print_endline "Reliability of Pipeline Workflow Applications (RR-6345, 2008)";

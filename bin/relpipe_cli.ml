@@ -580,11 +580,11 @@ let output_arg =
   let doc = "Write JSONL responses here ($(b,-) = stdout)." in
   Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc)
 
-let make_engine ~workers ~exact_workers ~cache_size =
+let make_engine ?obs ~workers ~exact_workers ~cache_size () =
   let workers =
     if workers <= 0 then Service.Pool.cpu_count () else workers
   in
-  Service.Engine.create ~workers ~cap_to_cpus:(not exact_workers)
+  Service.Engine.create ?obs ~workers ~cap_to_cpus:(not exact_workers)
     ~cache_capacity:cache_size ()
 
 let with_output path f =
@@ -596,29 +596,98 @@ let finish_batch engine stats =
   if stats then
     Format.eprintf "%a@." Service.Engine.pp_stats (Service.Engine.stats engine)
 
+let metrics_arg =
+  let doc = "Write a JSONL metric snapshot here after the batch." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc = "Write the JSONL span/event trace here after the batch." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let virtual_clock_flag =
+  let doc =
+    "Timestamp metrics and traces with a deterministic virtual clock \
+     (fixed tick per reading) instead of the monotonic clock, so the \
+     files are byte-identical across runs and worker counts."
+  in
+  Arg.(value & flag & info [ "virtual-clock" ] ~doc)
+
+let make_obs ~tracing ~virtual_clock =
+  let clock =
+    if virtual_clock then Relpipe_obs.Clock.virtual_ ()
+    else Relpipe_obs.Clock.monotonic ()
+  in
+  Relpipe_obs.Obs.create ~tracing ~clock ()
+
+(* Observability sinks are opened eagerly, before any solving, so a bad
+   path fails the command instead of discarding a finished batch. *)
+let open_sink = function
+  | None -> Ok None
+  | Some path -> (
+      match Out_channel.open_text path with
+      | oc -> Ok (Some oc)
+      | exception Sys_error msg -> Error msg)
+
+let close_sink = function
+  | None -> ()
+  | Some oc -> Out_channel.close oc
+
+let write_sink sink content =
+  match sink with
+  | None -> ()
+  | Some oc ->
+      Out_channel.output_string oc content;
+      Out_channel.close oc
+
 let batch_cmd =
   let input_arg =
     let doc = "JSONL request file ($(b,-) = stdin), one request per line." in
     Arg.(value & pos 0 string "-" & info [] ~docv:"REQUESTS" ~doc)
   in
-  let run input output workers exact_workers cache_size stats =
-    match
-      match input with
-      | "-" -> In_channel.input_lines stdin
-      | path -> In_channel.with_open_text path In_channel.input_lines
-    with
-    | exception Sys_error msg -> `Error (false, msg)
-    | lines ->
-        let engine = make_engine ~workers ~exact_workers ~cache_size in
-        let responses = Service.Engine.run_lines engine lines in
-        with_output output (fun oc ->
-            List.iter
-              (fun line ->
-                Out_channel.output_string oc line;
-                Out_channel.output_char oc '\n')
-              responses);
-        finish_batch engine stats;
-        `Ok ()
+  let run input output workers exact_workers cache_size stats metrics trace
+      virtual_clock =
+    match (open_sink metrics, open_sink trace) with
+    | Error msg, other ->
+        (match other with Ok s -> close_sink s | Error _ -> ());
+        `Error (false, msg)
+    | Ok metrics_sink, Error msg ->
+        close_sink metrics_sink;
+        `Error (false, msg)
+    | Ok metrics_sink, Ok trace_sink -> (
+        match
+          match input with
+          | "-" -> In_channel.input_lines stdin
+          | path -> In_channel.with_open_text path In_channel.input_lines
+        with
+        | exception Sys_error msg ->
+            close_sink metrics_sink;
+            close_sink trace_sink;
+            `Error (false, msg)
+        | lines ->
+            let obs =
+              match (metrics_sink, trace_sink) with
+              | None, None -> None
+              | _ ->
+                  Some
+                    (make_obs
+                       ~tracing:(Option.is_some trace_sink)
+                       ~virtual_clock)
+            in
+            let engine = make_engine ?obs ~workers ~exact_workers ~cache_size () in
+            let responses = Service.Engine.run_lines engine lines in
+            with_output output (fun oc ->
+                List.iter
+                  (fun line ->
+                    Out_channel.output_string oc line;
+                    Out_channel.output_char oc '\n')
+                  responses);
+            (match obs with
+            | None -> ()
+            | Some o ->
+                write_sink metrics_sink (Relpipe_obs.Obs.metrics_jsonl o);
+                write_sink trace_sink (Relpipe_obs.Obs.trace_jsonl o));
+            finish_batch engine stats;
+            `Ok ())
   in
   let doc = "Batch-solve a JSON-lines request stream." in
   let man =
@@ -640,13 +709,96 @@ let batch_cmd =
          \"cache\":\"hit\"|\"miss\", \"status\":\"ok\"|\"infeasible\"|\
          \"error\", ...}.  Malformed lines yield per-line error responses, \
          never a failed batch.";
+      `P
+        "$(b,--metrics) and $(b,--trace) record counters, phase spans and \
+         per-job timings without changing a single response byte; with \
+         $(b,--virtual-clock) the recorded files are themselves \
+         byte-deterministic for every worker count.";
     ]
   in
   Cmd.v (Cmd.info "batch" ~doc ~man)
     Term.(
       ret
         (const run $ input_arg $ output_arg $ workers_arg $ exact_workers_arg
-       $ cache_size_arg $ stats_flag))
+       $ cache_size_arg $ stats_flag $ metrics_arg $ trace_arg
+       $ virtual_clock_flag))
+
+let prof_cmd =
+  let run path objective method_ virtual_clock =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst ->
+        let obs = make_obs ~tracing:true ~virtual_clock in
+        let engine = Service.Engine.create ~obs ~workers:1 () in
+        let r = Service.Engine.solve_instance engine ~method_ inst objective in
+        (match r.Service.Protocol.r_outcome with
+        | Service.Protocol.Solved { mapping; latency; failure } ->
+            Format.printf "status:   solved@.";
+            Format.printf "mapping:  %s@." mapping;
+            Format.printf "latency:  %g@." latency;
+            Format.printf "failure:  %g@." failure
+        | Service.Protocol.Infeasible -> Format.printf "status:   infeasible@."
+        | Service.Protocol.Failed msg ->
+            Format.printf "status:   error (%s)@." msg);
+        let module T = Relpipe_util.Table in
+        print_newline ();
+        let phases = T.create [ "span"; "start_ns"; "dur_ns" ] in
+        (match obs.Relpipe_obs.Obs.trace with
+        | None -> ()
+        | Some tr ->
+            List.iter
+              (fun (ev : Relpipe_obs.Trace.event) ->
+                match ev.Relpipe_obs.Trace.dur with
+                | Some d
+                  when String.starts_with ~prefix:"engine." ev.Relpipe_obs.Trace.name
+                  ->
+                    T.add_row phases
+                      [
+                        ev.Relpipe_obs.Trace.name;
+                        string_of_int ev.Relpipe_obs.Trace.ts;
+                        string_of_int d;
+                      ]
+                | _ -> ())
+              (Relpipe_obs.Trace.events tr));
+        print_string (T.render phases);
+        print_newline ();
+        let metrics = T.create [ "metric"; "value" ] in
+        List.iter
+          (fun (name, view) ->
+            let value =
+              match view with
+              | Relpipe_obs.Metric.Counter_v v | Relpipe_obs.Metric.Gauge_v v ->
+                  string_of_int v
+              | Relpipe_obs.Metric.Histogram_v { count; sum } ->
+                  Printf.sprintf "n=%d sum=%s" count (T.fmt_float sum)
+            in
+            T.add_row metrics [ name; value ])
+          (Relpipe_obs.Metric.bindings obs.Relpipe_obs.Obs.metrics);
+        print_string (T.render metrics);
+        `Ok ()
+  in
+  let doc = "Profile one solve: per-phase spans and solver counters." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Solves one instance through the batch engine with tracing and \
+         metrics enabled, then prints the recorded $(b,engine.*) spans \
+         (start and duration in nanoseconds) and every counter, gauge and \
+         histogram the run touched — DP cell and relaxation counts, \
+         branch-and-bound node/prune totals, cache and pool activity.";
+      `P
+        "With $(b,--virtual-clock) timestamps come from a deterministic \
+         tick, so the report is byte-stable across runs and machines — the \
+         golden-snapshot tests and $(b,tools/check.sh) pin it \
+         byte-for-byte.";
+    ]
+  in
+  Cmd.v (Cmd.info "prof" ~doc ~man)
+    Term.(
+      ret
+        (const run $ instance_arg $ objective_arg $ method_arg
+       $ virtual_clock_flag))
 
 let sweep_cmd =
   let count_arg =
@@ -752,7 +904,7 @@ let sweep_cmd =
           Format.eprintf "wrote %d requests to %s@." count path);
       if dry_run then `Ok ()
       else begin
-        let engine = make_engine ~workers ~exact_workers ~cache_size in
+        let engine = make_engine ~workers ~exact_workers ~cache_size () in
         let responses = Service.Engine.run_requests engine requests in
         with_output output (fun oc ->
             Array.iter
@@ -918,6 +1070,7 @@ let fuzz_cmd =
                 workers;
                 perturb;
                 out_dir;
+                obs = None;
               }
           in
           print_string (Fuzz.Runner.render report);
@@ -990,5 +1143,5 @@ let () =
           [
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
-            batch_cmd; sweep_cmd; fuzz_cmd; demo_cmd;
+            batch_cmd; prof_cmd; sweep_cmd; fuzz_cmd; demo_cmd;
           ]))

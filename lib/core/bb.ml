@@ -1,8 +1,9 @@
 open Relpipe_model
 module B = Relpipe_util.Bitset
 module F = Relpipe_util.Float_cmp
+module Obs = Relpipe_obs.Obs
 
-type stats = { nodes : int; evaluated : int }
+type stats = { nodes : int; evaluated : int; pruned : int }
 
 (* Mutable search context. *)
 type ctx = {
@@ -14,6 +15,7 @@ type ctx = {
   mutable best : Solution.t option;
   mutable nodes : int;
   mutable evaluated : int;
+  mutable pruned : int;
 }
 
 let incumbent_objective ctx =
@@ -82,7 +84,7 @@ let rec branch (ctx : ctx) ~next_stage ~used ~closed ~pending ~latency_closed
     prune ctx
       ~partial_latency:(latency_closed +. pending_lb)
       ~partial_failure ~done_upto:(next_stage - 1)
-  then ()
+  then ctx.pruned <- ctx.pruned + 1
   else if next_stage > ctx.n then begin
     (* Close the final interval against Pout and record the solution. *)
     match pending with
@@ -163,10 +165,16 @@ let solve_with_stats instance objective =
       best = None;
       nodes = 0;
       evaluated = 0;
+      pruned = 0;
     }
   in
   branch ctx ~next_stage:1 ~used:B.empty ~closed:[] ~pending:None
     ~latency_closed:0.0 ~log_survival:0.0;
-  (ctx.best, { nodes = ctx.nodes; evaluated = ctx.evaluated })
+  let obs = Obs.ambient () in
+  Obs.incr obs "core.bb.solves";
+  Obs.add obs "core.bb.nodes" ctx.nodes;
+  Obs.add obs "core.bb.evaluated" ctx.evaluated;
+  Obs.add obs "core.bb.pruned" ctx.pruned;
+  (ctx.best, { nodes = ctx.nodes; evaluated = ctx.evaluated; pruned = ctx.pruned })
 
 let solve instance objective = fst (solve_with_stats instance objective)

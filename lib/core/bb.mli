@@ -18,9 +18,9 @@
 
 open Relpipe_model
 
-type stats = { nodes : int; evaluated : int }
-(** Search effort: decision nodes expanded and complete mappings
-    evaluated. *)
+type stats = { nodes : int; evaluated : int; pruned : int }
+(** Search effort: decision nodes expanded, complete mappings evaluated,
+    and subtrees cut by the admissible bounds. *)
 
 val solve : Instance.t -> Instance.objective -> Solution.t option
 (** Optimal interval mapping, or [None] when infeasible.  Agrees with

@@ -1,6 +1,7 @@
 open Relpipe_model
 module B = Relpipe_util.Bitset
 module C = Relpipe_util.Combin
+module Obs = Relpipe_obs.Obs
 
 exception Too_large of string
 
@@ -44,6 +45,9 @@ let solve ?max_intervals ?(budget = 5_000_000) instance objective =
       let s = Solution.of_mapping instance mapping in
       if Instance.feasible objective s.Solution.evaluation then
         best := Solution.best objective !best (Some s));
+  let obs = Obs.ambient () in
+  Obs.incr obs "core.exact.solves";
+  Obs.add obs "core.exact.mappings" !seen;
   !best
 
 let solve_single_interval instance objective =

@@ -1,5 +1,6 @@
 open Relpipe_model
 module G = Relpipe_graph
+module Obs = Relpipe_obs.Obs
 
 type algo = Dijkstra | Bellman_ford | Dag_sweep
 
@@ -55,6 +56,11 @@ let assignment_of_path ~m path =
 let solve ?(algo = Dijkstra) instance =
   let m = Platform.size instance.Instance.platform in
   let g, source, sink = graph instance in
+  let obs = Obs.ambient () in
+  Obs.incr obs "core.general_graph.runs";
+  (* n*m inner vertices: m source edges, m sink edges, (n-1)*m*m inner. *)
+  let n = Pipeline.length instance.Instance.pipeline in
+  Obs.add obs "core.general_graph.edges" ((2 * m) + ((n - 1) * m * m));
   let result =
     match algo with
     | Dijkstra -> G.Dijkstra.shortest_path g ~src:source ~dst:sink
@@ -71,6 +77,9 @@ let solve ?(algo = Dijkstra) instance =
 let solve_dp instance =
   let { Instance.pipeline; platform } = instance in
   let n = Pipeline.length pipeline and m = Platform.size platform in
+  let obs = Obs.ambient () in
+  Obs.incr obs "core.general_dp.runs";
+  let relaxations = ref 0 in
   (* best.(u): cheapest cost of a partial mapping of stages 1..i with stage
      i on processor u, including stage i's computation. *)
   let best = Array.make m 0.0 in
@@ -95,7 +104,8 @@ let solve_dp instance =
         let cand = best.(u) +. comm +. compute in
         if cand < next.(v) then begin
           next.(v) <- cand;
-          parent.(i).(v) <- u
+          parent.(i).(v) <- u;
+          incr relaxations
         end
       done
     done;
@@ -113,6 +123,7 @@ let solve_dp instance =
       final_u := u
     end
   done;
+  Obs.add obs "core.general_dp.relaxations" !relaxations;
   let procs = Array.make n 0 in
   let u = ref !final_u in
   for i = n downto 1 do

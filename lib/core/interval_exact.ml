@@ -1,4 +1,5 @@
 open Relpipe_model
+module Obs = Relpipe_obs.Obs
 
 let max_procs = 14
 
@@ -8,6 +9,12 @@ let min_latency instance =
   if m > max_procs then
     invalid_arg "Interval_exact.min_latency: too many processors (cap 14)";
   let masks = 1 lsl m in
+  let obs = Obs.ambient () in
+  Obs.incr obs "core.interval_dp.runs";
+  Obs.add obs "core.interval_dp.cells" ((n + 1) * m * masks);
+  (* Successful relaxations, counted locally and flushed once at the end
+     so the hot loop never touches an atomic. *)
+  let updates = ref 0 in
   (* dp.(e).(u).(mask): cheapest cost of stages 1..e split into intervals
      with distinct processors (set = mask), last interval on u; includes
      the input communication and all computations/communications up to
@@ -48,7 +55,8 @@ let min_latency instance =
                 in
                 if cand < dp.(e').(v).(nmask) then begin
                   dp.(e').(v).(nmask) <- cand;
-                  parent.(e').(v).(nmask) <- (e * m) + u
+                  parent.(e').(v).(nmask) <- (e * m) + u;
+                  incr updates
                 end
               done
             end
@@ -73,6 +81,7 @@ let min_latency instance =
       end
     done
   done;
+  Obs.add obs "core.interval_dp.states" !updates;
   if not (Float.is_finite !best) then None
   else begin
     (* Reconstruct the interval chain. *)

@@ -486,6 +486,61 @@ let check_lru _ctx rng (_case : Gen.case) =
     [ 0; 1; 2 + Rng.int rng 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* 9. metrics-invariance: recording sinks never change results         *)
+(* ------------------------------------------------------------------ *)
+
+let check_metrics_invariance _ctx _rng (case : Gen.case) =
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let encode engine =
+    Service.Protocol.encode_response
+      (Service.Engine.solve_instance engine inst obj)
+  in
+  let plain = encode (Service.Engine.create ~workers:1 ~cache_capacity:64 ()) in
+  let obs =
+    Relpipe_obs.Obs.create ~tracing:true
+      ~clock:(Relpipe_obs.Clock.virtual_ ())
+      ()
+  in
+  let instrumented =
+    encode (Service.Engine.create ~obs ~workers:1 ~cache_capacity:64 ())
+  in
+  if not (String.equal plain instrumented) then
+    failf "recording sink changed the engine response:\n  plain: %s\n  obs:   %s"
+      plain instrumented;
+  (* The solver must be equally indifferent to an ambient context. *)
+  let run () =
+    Core.Solver.run ~method_:Core.Solver.Auto ~exact_budget:200_000 inst obj
+  in
+  let direct = run () in
+  let ambient = Relpipe_obs.Obs.with_ambient (Some obs) run in
+  let bits x = Int64.bits_of_float x in
+  match (direct, ambient) with
+  | Ok None, Ok None -> ()
+  | Error e1, Error e2
+    when String.equal
+           (Core.Solver.error_to_string e1)
+           (Core.Solver.error_to_string e2) -> ()
+  | Ok (Some s1), Ok (Some s2) ->
+      let m1 = Service.Protocol.mapping_to_syntax s1.Core.Solution.mapping
+      and m2 = Service.Protocol.mapping_to_syntax s2.Core.Solution.mapping in
+      if not (String.equal m1 m2) then
+        failf "ambient sink changed the solver mapping: %s vs %s" m1 m2;
+      let e1 = s1.Core.Solution.evaluation and e2 = s2.Core.Solution.evaluation in
+      if
+        not
+          (Int64.equal (bits e1.Instance.latency) (bits e2.Instance.latency)
+          && Int64.equal (bits e1.Instance.failure) (bits e2.Instance.failure))
+      then
+        failf
+          "ambient sink perturbed solution metrics: (%.17g, %.17g) vs (%.17g, \
+           %.17g)"
+          e1.Instance.latency e1.Instance.failure e2.Instance.latency
+          e2.Instance.failure
+  | _ ->
+      failf "ambient sink changed the solver outcome class (solved vs \
+             infeasible vs error)"
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -522,6 +577,9 @@ let registry =
     oracle ~name:"lru" ~salt:8
       ~doc:"Util.Lru matches a reference model at capacities 0, 1 and k"
       check_lru;
+    oracle ~name:"metrics-invariance" ~salt:9
+      ~doc:"metrics and tracing sinks never change solver or engine responses"
+      check_metrics_invariance;
   ]
 
 let all () = registry

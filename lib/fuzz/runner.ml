@@ -1,5 +1,7 @@
 module Rng = Relpipe_util.Rng
 module Pool = Relpipe_service.Pool
+module Obs = Relpipe_obs.Obs
+module Clock = Relpipe_obs.Clock
 
 type config = {
   seed : int;
@@ -10,6 +12,7 @@ type config = {
   workers : int;
   perturb : float;
   out_dir : string option;
+  obs : Obs.t option;
 }
 
 let default_config =
@@ -22,6 +25,7 @@ let default_config =
     workers = 1;
     perturb = 0.0;
     out_dir = None;
+    obs = None;
   }
 
 type failure = {
@@ -57,12 +61,37 @@ let run config =
   let cases =
     Array.init config.count (fun id -> Gen.generate ~id ~seed:seeds.(id) shape)
   in
-  let outcomes, _stats =
-    Pool.map ~workers:(max 1 config.workers)
-      (fun case ->
-        List.map (fun o -> (o, o.Oracle.check ctx case)) config.oracles)
-      cases
+  (* Per-(case, oracle) durations, timed on a clock forked per case id and
+     observed in case order after the pool drains — so the histograms are
+     worker-count-independent (and fixed-tick under a virtual clock). *)
+  let durs = Array.make config.count [||] in
+  let check_case case =
+    match config.obs with
+    | None -> List.map (fun o -> (o, o.Oracle.check ctx case)) config.oracles
+    | Some ob ->
+        let clk = Clock.fork ob.Obs.clock case.Gen.id in
+        let timed =
+          List.map
+            (fun o ->
+              let t0 = Clock.now_ns clk in
+              let r = o.Oracle.check ctx case in
+              (o, r, Clock.now_ns clk - t0))
+            config.oracles
+        in
+        durs.(case.Gen.id) <-
+          Array.of_list (List.map (fun (o, _, d) -> (o.Oracle.name, d)) timed);
+        List.map (fun (o, r, _) -> (o, r)) timed
   in
+  let outcomes, _stats =
+    Pool.map ?obs:config.obs ~workers:(max 1 config.workers) check_case cases
+  in
+  Obs.add config.obs "fuzz.cases" config.count;
+  Array.iter
+    (Array.iter (fun (name, d) ->
+         Obs.observe config.obs
+           ("fuzz.oracle." ^ name ^ ".duration_ns")
+           (float_of_int d)))
+    durs;
   let tallies =
     List.map
       (fun o ->

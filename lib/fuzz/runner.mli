@@ -18,11 +18,15 @@ type config = {
   out_dir : string option;
       (** when set, minimized repros are written here as
           [fuzz-<oracle>-<seed>.relpipe] *)
+  obs : Relpipe_obs.Obs.t option;
+      (** when set, the campaign records the [fuzz.cases] counter and one
+          [fuzz.oracle.<name>.duration_ns] histogram per oracle (per-case
+          forked clocks, observed in case order — worker-independent) *)
 }
 
 val default_config : config
 (** seed 42, count 100, all oracles, {!Gen.default_shape}, 1 worker, no
-    perturbation, no output directory. *)
+    perturbation, no output directory, no observability. *)
 
 type failure = {
   f_oracle : string;

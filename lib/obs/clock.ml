@@ -1,0 +1,18 @@
+type t = Monotonic | Virtual of state
+and state = { mutable now : int; tick : int }
+
+let monotonic () = Monotonic
+let virtual_ ?(start = 0) ?(tick = 1000) () = Virtual { now = start; tick }
+let is_virtual = function Virtual _ -> true | Monotonic -> false
+
+let now_ns = function
+  | Monotonic -> int_of_float (Unix.gettimeofday () *. 1e9)
+  | Virtual s ->
+      let t = s.now in
+      s.now <- t + s.tick;
+      t
+
+let fork t i =
+  match t with
+  | Monotonic -> Monotonic
+  | Virtual s -> Virtual { now = (i + 1) * 1_000_000_000; tick = s.tick }

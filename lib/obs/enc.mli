@@ -1,0 +1,17 @@
+(** Minimal JSON encoding helpers shared by the metrics and trace
+    emitters.
+
+    The observability layer sits below [relpipe.service] (whose [Json]
+    module the rest of the system uses), so it carries its own tiny,
+    byte-deterministic encoder: fixed field order is the caller's job,
+    this module only renders scalars. *)
+
+val string : string -> string
+(** A JSON string literal, quotes included; escapes the quote and
+    backslash characters and all control characters. *)
+
+val number : float -> string
+(** A JSON number: integral values within the exactly-representable
+    range print without a fractional part ([5000]), everything else as
+    [%.17g] (round-trippable).  Non-finite values print as the JSON
+    strings [inf], [-inf] and [nan] so the output stays valid JSON. *)

@@ -1,0 +1,194 @@
+module Counter = struct
+  type t = { live : bool; v : int Atomic.t }
+
+  let make () = { live = true; v = Atomic.make 0 }
+  let noop = { live = false; v = Atomic.make 0 }
+  let add t k = if t.live then ignore (Atomic.fetch_and_add t.v k)
+  let incr t = add t 1
+  let value t = Atomic.get t.v
+end
+
+module Gauge = struct
+  type t = { live : bool; v : int Atomic.t }
+
+  let make () = { live = true; v = Atomic.make 0 }
+  let noop = { live = false; v = Atomic.make 0 }
+  let set t x = if t.live then Atomic.set t.v x
+
+  let record_max t x =
+    if t.live then begin
+      let rec go () =
+        let cur = Atomic.get t.v in
+        if x > cur && not (Atomic.compare_and_set t.v cur x) then go ()
+      in
+      go ()
+    end
+
+  let value t = Atomic.get t.v
+end
+
+module Histogram = struct
+  (* Buckets: 0 = underflow (v < 1, incl. 0, negatives, NaN); i in 1..40 =
+     [2^(i-1), 2^i); 41 = overflow (v >= 2^40, incl. infinity).  Sized for
+     nanosecond durations: 2^40 ns is ~18 minutes. *)
+  let num_buckets = 42
+  let overflow_edge = Float.ldexp 1.0 40
+
+  let bucket_index v =
+    if not (v >= 1.0) then 0
+    else if v >= overflow_edge then num_buckets - 1
+    else snd (Float.frexp v)
+
+  let bucket_lower i = if i = 0 then Float.neg_infinity else Float.ldexp 1.0 (i - 1)
+
+  type t = {
+    live : bool;
+    mu : Mutex.t;
+    buckets : int array;
+    mutable n : int;
+    mutable total : float;
+  }
+
+  let make () =
+    {
+      live = true;
+      mu = Mutex.create ();
+      buckets = Array.make num_buckets 0;
+      n = 0;
+      total = 0.0;
+    }
+
+  let noop =
+    {
+      live = false;
+      mu = Mutex.create ();
+      buckets = Array.make num_buckets 0;
+      n = 0;
+      total = 0.0;
+    }
+
+  let observe t v =
+    if t.live then begin
+      Mutex.lock t.mu;
+      let i = bucket_index v in
+      t.buckets.(i) <- t.buckets.(i) + 1;
+      t.n <- t.n + 1;
+      t.total <- t.total +. v;
+      Mutex.unlock t.mu
+    end
+
+  let count t = t.n
+  let sum t = t.total
+
+  let counts t =
+    Mutex.lock t.mu;
+    let c = Array.copy t.buckets in
+    Mutex.unlock t.mu;
+    c
+
+  let merge a b =
+    let t = make () in
+    Array.iteri (fun i c -> t.buckets.(i) <- c) (counts a);
+    Array.iteri (fun i c -> t.buckets.(i) <- t.buckets.(i) + c) (counts b);
+    t.n <- a.n + b.n;
+    t.total <- a.total +. b.total;
+    t
+end
+
+type instrument =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type t = { live : bool; mu : Mutex.t; tbl : (string, instrument) Hashtbl.t }
+
+let create () = { live = true; mu = Mutex.create (); tbl = Hashtbl.create 64 }
+let noop () = { live = false; mu = Mutex.create (); tbl = Hashtbl.create 1 }
+let is_live t = t.live
+
+let lookup t name make_i =
+  Mutex.lock t.mu;
+  let i =
+    match Hashtbl.find_opt t.tbl name with
+    | Some i -> i
+    | None ->
+        let i = make_i () in
+        Hashtbl.replace t.tbl name i;
+        i
+  in
+  Mutex.unlock t.mu;
+  i
+
+let kind_error name =
+  invalid_arg
+    (Printf.sprintf "Obs.Metric: %S is already bound to another instrument kind"
+       name)
+
+let counter t name =
+  if not t.live then Counter.noop
+  else
+    match lookup t name (fun () -> C (Counter.make ())) with
+    | C c -> c
+    | G _ | H _ -> kind_error name
+
+let gauge t name =
+  if not t.live then Gauge.noop
+  else
+    match lookup t name (fun () -> G (Gauge.make ())) with
+    | G g -> g
+    | C _ | H _ -> kind_error name
+
+let histogram t name =
+  if not t.live then Histogram.noop
+  else
+    match lookup t name (fun () -> H (Histogram.make ())) with
+    | H h -> h
+    | C _ | G _ -> kind_error name
+
+let render_line name = function
+  | C c ->
+      Printf.sprintf "{\"name\":%s,\"type\":\"counter\",\"value\":%d}"
+        (Enc.string name) (Counter.value c)
+  | G g ->
+      Printf.sprintf "{\"name\":%s,\"type\":\"gauge\",\"value\":%d}"
+        (Enc.string name) (Gauge.value g)
+  | H h ->
+      let pairs = ref [] in
+      let counts = Histogram.counts h in
+      for i = Histogram.num_buckets - 1 downto 0 do
+        if counts.(i) > 0 then
+          pairs := Printf.sprintf "[%d,%d]" i counts.(i) :: !pairs
+      done;
+      Printf.sprintf
+        "{\"name\":%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"buckets\":[%s]}"
+        (Enc.string name) (Histogram.count h)
+        (Enc.number (Histogram.sum h))
+        (String.concat "," !pairs)
+
+let sorted_bindings t =
+  Mutex.lock t.mu;
+  let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  Mutex.unlock t.mu;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) bindings
+
+type view =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { count : int; sum : float }
+
+let bindings t =
+  List.map
+    (fun (name, i) ->
+      ( name,
+        match i with
+        | C c -> Counter_v (Counter.value c)
+        | G g -> Gauge_v (Gauge.value g)
+        | H h -> Histogram_v { count = Histogram.count h; sum = Histogram.sum h }
+      ))
+    (sorted_bindings t)
+
+let render_jsonl t =
+  String.concat ""
+    (List.map
+       (fun (name, i) -> render_line name i ^ "\n")
+       (sorted_bindings t))

@@ -1,0 +1,117 @@
+(** The metrics registry: named counters, gauges and histograms.
+
+    {b Determinism.}  Counters and gauges hold integers behind [Atomic]
+    operations, and histogram bucket counts are integers, so their final
+    values are independent of the order in which concurrent domains
+    record — a batch instrumented at 8 workers snapshots the same bytes
+    as at 1 worker.  Histogram {e sums} are floats; they stay exact (and
+    therefore order-independent) as long as the recorded values are
+    integral and small enough to add exactly, which is the case for the
+    virtual-clock durations the test harness pins.
+
+    {b No-op sink.}  {!noop} builds a registry whose instruments discard
+    every record: instrumented code can keep a registry handle
+    unconditionally and still cost nothing when observability is off.
+    The bench harness guards this with [bench --obs-guard]. *)
+
+module Counter : sig
+  type t
+
+  val make : unit -> t
+  (** A standalone (unregistered) live counter. *)
+
+  val noop : t
+  (** The shared discard-everything counter. *)
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** Atomic: concurrent adds from multiple domains lose no updates. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val make : unit -> t
+  val noop : t
+  val set : t -> int -> unit
+
+  val record_max : t -> int -> unit
+  (** Monotone high-water mark (atomic compare-and-set loop). *)
+
+  val value : t -> int
+end
+
+module Histogram : sig
+  (** Fixed log-scale buckets: bucket [0] is the underflow bucket
+      (values [< 1.0], including zero, negatives and NaN), buckets
+      [1..40] hold values in [[2^(i-1), 2^i)], and the last bucket
+      collects everything [>= 2^40] (including [infinity]).  Every float
+      lands in exactly one bucket. *)
+
+  type t
+
+  val num_buckets : int
+  (** [42]. *)
+
+  val bucket_index : float -> int
+  (** Total function into [0 .. num_buckets - 1]. *)
+
+  val bucket_lower : int -> float
+  (** Inclusive lower edge of a bucket ([neg_infinity] for bucket 0). *)
+
+  val make : unit -> t
+  val noop : t
+
+  val observe : t -> float -> unit
+  (** Record one value (mutex-protected; safe from multiple domains). *)
+
+  val count : t -> int
+  val sum : t -> float
+
+  val counts : t -> int array
+  (** Per-bucket counts, length {!num_buckets} (a copy). *)
+
+  val merge : t -> t -> t
+  (** A fresh histogram holding both operands' samples: bucket counts and
+      totals add; the sum is [sum a +. sum b]. *)
+end
+
+type t
+(** A registry: a mutable name -> instrument table. *)
+
+val create : unit -> t
+
+val noop : unit -> t
+(** A registry whose instruments are all no-ops (nothing is stored and
+    {!render_jsonl} is empty). *)
+
+val is_live : t -> bool
+
+val counter : t -> string -> Counter.t
+(** Get or create.  @raise Invalid_argument if the name is already bound
+    to a different instrument kind. *)
+
+val gauge : t -> string -> Gauge.t
+val histogram : t -> string -> Histogram.t
+
+type view =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of { count : int; sum : float }
+      (** Snapshot of one instrument, for table renderers. *)
+
+val bindings : t -> (string * view) list
+(** Current instruments with their values, sorted by name. *)
+
+val render_jsonl : t -> string
+(** One JSON object per line, sorted by metric name (byte-deterministic
+    given deterministic instrument contents):
+    {v
+{"name":"engine.jobs","type":"counter","value":3}
+{"name":"pool.task.duration_ns","type":"histogram","count":2,"sum":2000,"buckets":[[11,2]]}
+    v}
+    Histogram [buckets] lists [[index, count]] pairs for non-empty
+    buckets only. *)

@@ -1,0 +1,42 @@
+(** Structured span/event tracer.
+
+    A tracer buffers {!event}s and renders them as JSONL.  Spans record
+    their start timestamp and duration (two clock reads); instants a
+    single timestamp.  Events are appended at {e completion} time, so a
+    buffer read back with {!events} lists spans in completion order —
+    which is deterministic for sequential code.
+
+    For parallel work, give each job its own tracer over a
+    {!Clock.fork}ed clock and {!append} the children back into the parent
+    {e in job order}: the merged buffer is then independent of worker
+    count and scheduling, which is what lets the snapshot tests pin
+    virtual-clock traces byte-for-byte. *)
+
+type event = {
+  ts : int;  (** start timestamp, ns *)
+  dur : int option;  (** [Some d] for spans, [None] for instants *)
+  name : string;
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : clock:Clock.t -> t
+val clock : t -> Clock.t
+
+val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Time [f]; the event is recorded when [f] returns (also on
+    exception). *)
+
+val instant : t -> ?attrs:(string * string) list -> string -> unit
+
+val events : t -> event list
+(** Completed events, in completion order. *)
+
+val append : into:t -> t -> unit
+(** Append [t]'s events (in order) to [into]'s buffer. *)
+
+val to_jsonl : t -> string
+(** One event per line:
+    [{"ts":0,"dur":1000,"name":"engine.phase.prepare","attrs":{"requests":"2"}}].
+    [dur] is omitted for instants, [attrs] when empty. *)

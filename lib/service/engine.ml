@@ -4,6 +4,7 @@ module Solution = Relpipe_core.Solution
 module Lru = Relpipe_util.Lru
 module Analysis = Relpipe_analysis.Analysis
 module Diagnostic = Relpipe_analysis.Diagnostic
+module Obs = Relpipe_obs.Obs
 
 (* A cache entry is the representative's full solve outcome plus the
    permutation that canonicalized its platform, so hits on symmetric
@@ -17,6 +18,7 @@ type t = {
   eff_workers : int;
   exact_budget : int;
   cache : entry Lru.t;
+  obs : Obs.t option;
   mutable n_requests : int;
   mutable n_solved : int;
   mutable n_infeasible : int;
@@ -25,13 +27,21 @@ type t = {
   mutable n_shared : int;
 }
 
-let create ?workers ?(cap_to_cpus = true) ?(cache_capacity = 1024)
+let create ?obs ?workers ?(cap_to_cpus = true) ?(cache_capacity = 1024)
     ?(exact_budget = 200_000) () =
   let requested = match workers with Some w -> w | None -> Pool.cpu_count () in
+  let cache =
+    match obs with
+    | Some o ->
+        Lru.create_in ~metrics:o.Obs.metrics ~name:"engine.cache"
+          ~capacity:cache_capacity
+    | None -> Lru.create ~capacity:cache_capacity
+  in
   {
     eff_workers = Pool.effective_workers ~cap:cap_to_cpus requested;
     exact_budget;
-    cache = Lru.create ~capacity:cache_capacity;
+    cache;
+    obs;
     n_requests = 0;
     n_solved = 0;
     n_infeasible = 0;
@@ -143,67 +153,133 @@ let outcome_of_entry (r : ready) entry =
       end
 
 let run_batch t reqs =
-  let prepared = Array.map (prepare t) reqs in
+  let n_reqs = Array.length reqs in
+  Obs.add t.obs "engine.requests" n_reqs;
+  let prepared =
+    Obs.span t.obs
+      ~attrs:[ ("requests", string_of_int n_reqs) ]
+      "engine.phase.prepare"
+      (fun () -> Array.map (prepare t) reqs)
+  in
   (* Plan phase: sequential, in submission order, so cache decisions are
      independent of how the solve phase is scheduled. *)
   let jobs = ref [] and num_jobs = ref 0 in
   let pending = Hashtbl.create 64 in
   let plan =
-    Array.map
-      (fun p ->
-        match p with
-        | Bad (id, msg) -> Answer_bad (id, msg)
-        | Ready r -> (
-            let key = r.norm.Canon.key in
-            match Lru.find t.cache key with
-            | Some entry -> From_cache (r, entry)
-            | None -> (
-                match Hashtbl.find_opt pending key with
-                | Some j ->
-                    t.n_shared <- t.n_shared + 1;
-                    Shared_job (r, j)
-                | None ->
-                    let j = !num_jobs in
-                    incr num_jobs;
-                    Hashtbl.replace pending key j;
-                    jobs := r :: !jobs;
-                    From_job (r, j))))
-      prepared
+    Obs.span t.obs "engine.phase.plan" (fun () ->
+        Array.map
+          (fun p ->
+            match p with
+            | Bad (id, msg) -> Answer_bad (id, msg)
+            | Ready r -> (
+                let key = r.norm.Canon.key in
+                match Lru.find t.cache key with
+                | Some entry -> From_cache (r, entry)
+                | None -> (
+                    match Hashtbl.find_opt pending key with
+                    | Some j ->
+                        t.n_shared <- t.n_shared + 1;
+                        Obs.incr t.obs "engine.shared";
+                        Shared_job (r, j)
+                    | None ->
+                        let j = !num_jobs in
+                        incr num_jobs;
+                        Hashtbl.replace pending key j;
+                        jobs := r :: !jobs;
+                        From_job (r, j))))
+          prepared)
   in
   let jobs = Array.of_list (List.rev !jobs) in
+  Obs.add t.obs "engine.jobs" (Array.length jobs);
   (* Solve phase: the only parallel part; each job is a pure function of
-     its own request. *)
-  let outcomes, _pool_stats = Pool.map ~workers:t.eff_workers solve_job jobs in
-  t.n_jobs <- t.n_jobs + Array.length jobs;
-  (* Populate the cache in job order (deterministic). *)
-  let entries =
-    Array.mapi
-      (fun j outcome ->
-        let entry = { e_outcome = outcome; e_perm = jobs.(j).norm.Canon.perm } in
-        Lru.add t.cache jobs.(j).norm.Canon.key entry;
-        entry)
-      outcomes
+     its own request — except for its observability context, which is a
+     per-job fork (shared atomic counters, private tracer on a forked
+     clock) merged back in job order below, so traces and metrics stay
+     identical across worker counts. *)
+  let children = Array.make (Array.length jobs) None in
+  let solve_one (j, r) =
+    match t.obs with
+    | None -> solve_job r
+    | Some o ->
+        let child = Obs.fork o j in
+        children.(j) <- Some child;
+        Obs.with_ambient (Some child) (fun () ->
+            Obs.span (Some child)
+              ~attrs:[ ("job", string_of_int j) ]
+              "engine.job"
+              (fun () -> solve_job r))
   in
-  (* Emit phase: responses in submission order. *)
-  Array.mapi
-    (fun i p ->
-      t.n_requests <- t.n_requests + 1;
-      let r_id, r_cache, r_outcome =
-        match p with
-        | Answer_bad (id, msg) -> (id, Protocol.Miss, Protocol.Failed msg)
-        | From_job (r, j) ->
-            (r.rq.Protocol.id, Protocol.Miss, outcome_of_entry r entries.(j))
-        | Shared_job (r, j) ->
-            (r.rq.Protocol.id, Protocol.Hit, outcome_of_entry r entries.(j))
-        | From_cache (r, entry) ->
-            (r.rq.Protocol.id, Protocol.Hit, outcome_of_entry r entry)
+  let outcomes =
+    Obs.span t.obs
+      ~attrs:[ ("jobs", string_of_int (Array.length jobs)) ]
+      "engine.phase.solve"
+      (fun () ->
+        let outcomes, _pool_stats =
+          Pool.map ?obs:t.obs ~workers:t.eff_workers solve_one
+            (Array.mapi (fun j r -> (j, r)) jobs)
+        in
+        (match t.obs with
+        | Some o ->
+            Array.iter
+              (function
+                | Some child -> Obs.merge_child ~into:o child | None -> ())
+              children
+        | None -> ());
+        outcomes)
+  in
+  t.n_jobs <- t.n_jobs + Array.length jobs;
+  Obs.span t.obs "engine.phase.emit" (fun () ->
+      (* Populate the cache in job order (deterministic). *)
+      let entries =
+        Array.mapi
+          (fun j outcome ->
+            let entry =
+              { e_outcome = outcome; e_perm = jobs.(j).norm.Canon.perm }
+            in
+            Lru.add t.cache jobs.(j).norm.Canon.key entry;
+            entry)
+          outcomes
       in
-      (match r_outcome with
-      | Protocol.Solved _ -> t.n_solved <- t.n_solved + 1
-      | Protocol.Infeasible -> t.n_infeasible <- t.n_infeasible + 1
-      | Protocol.Failed _ -> t.n_failed <- t.n_failed + 1);
-      { Protocol.r_id; r_index = i; r_cache; r_outcome })
-    plan
+      (* Emit phase: responses in submission order. *)
+      Array.mapi
+        (fun i p ->
+          t.n_requests <- t.n_requests + 1;
+          let r_id, r_cache, r_outcome =
+            match p with
+            | Answer_bad (id, msg) -> (id, Protocol.Miss, Protocol.Failed msg)
+            | From_job (r, j) ->
+                (r.rq.Protocol.id, Protocol.Miss, outcome_of_entry r entries.(j))
+            | Shared_job (r, j) ->
+                (r.rq.Protocol.id, Protocol.Hit, outcome_of_entry r entries.(j))
+            | From_cache (r, entry) ->
+                (r.rq.Protocol.id, Protocol.Hit, outcome_of_entry r entry)
+          in
+          (match r_outcome with
+          | Protocol.Solved _ ->
+              t.n_solved <- t.n_solved + 1;
+              Obs.incr t.obs "engine.solved"
+          | Protocol.Infeasible ->
+              t.n_infeasible <- t.n_infeasible + 1;
+              Obs.incr t.obs "engine.infeasible"
+          | Protocol.Failed _ ->
+              t.n_failed <- t.n_failed + 1;
+              Obs.incr t.obs "engine.failed");
+          Obs.instant t.obs "engine.request"
+            ~attrs:
+              [
+                ("index", string_of_int i);
+                ( "cache",
+                  match r_cache with
+                  | Protocol.Hit -> "hit"
+                  | Protocol.Miss -> "miss" );
+                ( "status",
+                  match r_outcome with
+                  | Protocol.Solved _ -> "solved"
+                  | Protocol.Infeasible -> "infeasible"
+                  | Protocol.Failed _ -> "failed" );
+              ];
+          { Protocol.r_id; r_index = i; r_cache; r_outcome })
+        plan)
 
 let run_requests t reqs = run_batch t (Array.map (fun r -> Ok r) reqs)
 

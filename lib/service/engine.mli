@@ -27,6 +27,7 @@ open Relpipe_model
 type t
 
 val create :
+  ?obs:Relpipe_obs.Obs.t ->
   ?workers:int ->
   ?cap_to_cpus:bool ->
   ?cache_capacity:int ->
@@ -37,7 +38,16 @@ val create :
     [min(requested, cpu_count)] unless [cap_to_cpus] is [false] (testing:
     oversubscribe a small machine).  [cache_capacity] (default [1024])
     bounds the LRU; [exact_budget] (default [200_000]) is used when a
-    request carries none. *)
+    request carries none.
+
+    With [obs], the engine records phase spans
+    ([engine.phase.prepare/plan/solve/emit]), one [engine.job] span per
+    solver run (on a per-job forked clock, merged back in job order), a
+    per-response [engine.request] instant, counters
+    [engine.requests/solved/infeasible/failed/jobs/shared] and the LRU's
+    [engine.cache.hits/misses/evictions].  Instrumentation never changes
+    responses, and under a virtual clock the recorded trace and metric
+    snapshots are byte-identical for every worker count. *)
 
 val workers : t -> int
 (** The effective worker count after clamping. *)

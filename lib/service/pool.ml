@@ -47,10 +47,40 @@ end
 
 type stats = { workers : int; jobs : int }
 
-let map ~workers f jobs =
+module Obs = Relpipe_obs.Obs
+module Clock = Relpipe_obs.Clock
+
+let map ?obs ~workers f jobs =
   let n = Array.length jobs in
   let w = max 1 (min workers (max 1 n)) in
-  if w = 1 then (Array.map f jobs, { workers = 1; jobs = n })
+  (* All n jobs are enqueued before any worker starts, so the queue's
+     peak depth is n for every worker count — recording it (and the job
+     count) keeps metric snapshots identical across [--workers]. *)
+  Obs.add obs "pool.jobs" n;
+  if n > 0 then Obs.gauge_max obs "pool.queue.peak_depth" n;
+  (* Per-slot durations, written by whichever domain runs the slot and
+     read only after the joins below; observed into the histogram in
+     submission order so the result is scheduling-independent.  Each
+     slot times itself on a clock forked from the context's clock, which
+     under a virtual clock makes every duration a fixed tick count. *)
+  let durs = Array.make (if Option.is_none obs then 0 else n) 0 in
+  let timed i job =
+    match obs with
+    | None -> f job
+    | Some o ->
+        let clk = Clock.fork o.Obs.clock i in
+        let t0 = Clock.now_ns clk in
+        let r = f job in
+        durs.(i) <- Clock.now_ns clk - t0;
+        r
+  in
+  let finish out =
+    Array.iter
+      (fun d -> Obs.observe obs "pool.task.duration_ns" (float_of_int d))
+      durs;
+    (out, { workers = w; jobs = n })
+  in
+  if w = 1 then finish (Array.mapi timed jobs)
   else begin
     let queue = Jobq.create () in
     Array.iteri (fun i job -> Jobq.push queue (i, job)) jobs;
@@ -63,7 +93,7 @@ let map ~workers f jobs =
         match Jobq.pop queue with
         | None -> ()
         | Some (i, job) ->
-            let r = match f job with v -> Ok v | exception e -> Error e in
+            let r = match timed i job with v -> Ok v | exception e -> Error e in
             results.(i) <- Some r;
             loop ()
       in
@@ -80,5 +110,5 @@ let map ~workers f jobs =
           | None -> assert false (* every index was queued *))
         results
     in
-    (out, { workers = w; jobs = n })
+    finish out
   end

@@ -22,8 +22,15 @@ val effective_workers : ?cap:bool -> int -> int
     [true]; with [~cap:false] only the lower bound applies, letting tests
     oversubscribe a small machine with more domains than cores). *)
 
-val map : workers:int -> ('a -> 'b) -> 'a array -> 'b array * stats
+val map :
+  ?obs:Relpipe_obs.Obs.t -> workers:int -> ('a -> 'b) -> 'a array -> 'b array * stats
 (** [map ~workers f jobs] spawns exactly [max 1 workers] workers (apply
     {!effective_workers} first for the [min(requested, cpus)] policy).
     If any [f job] raises, the first exception in submission order is
-    re-raised after all workers have drained. *)
+    re-raised after all workers have drained.
+
+    With [obs], the pool records the [pool.jobs] counter, the
+    [pool.queue.peak_depth] gauge and the [pool.task.duration_ns]
+    histogram (per-task durations on per-slot forked clocks, observed in
+    submission order).  No worker-count-dependent value is recorded, so
+    snapshots stay identical across [~workers] settings. *)

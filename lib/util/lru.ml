@@ -11,26 +11,39 @@ type 'v node = {
 
 type stats = { hits : int; misses : int; evictions : int }
 
+module Counter = Relpipe_obs.Metric.Counter
+
 type 'v t = {
   cap : int;
   table : (string, 'v node) Hashtbl.t;
   mutable head : 'v node option;
   mutable tail : 'v node option;
-  mutable n_hits : int;
-  mutable n_misses : int;
-  mutable n_evictions : int;
+  c_hits : Counter.t;
+  c_misses : Counter.t;
+  c_evictions : Counter.t;
 }
 
-let create ~capacity =
+let make_counters counter =
+  (counter "hits", counter "misses", counter "evictions")
+
+let create_with counter ~capacity =
+  let c_hits, c_misses, c_evictions = make_counters counter in
   {
     cap = capacity;
     table = Hashtbl.create (max 16 (min capacity 4096));
     head = None;
     tail = None;
-    n_hits = 0;
-    n_misses = 0;
-    n_evictions = 0;
+    c_hits;
+    c_misses;
+    c_evictions;
   }
+
+let create ~capacity = create_with (fun _ -> Counter.make ()) ~capacity
+
+let create_in ~metrics ~name ~capacity =
+  create_with
+    (fun suffix -> Relpipe_obs.Metric.counter metrics (name ^ "." ^ suffix))
+    ~capacity
 
 let capacity t = t.cap
 
@@ -55,12 +68,12 @@ let push_front t node =
 let find t key =
   match Hashtbl.find_opt t.table key with
   | Some node ->
-      t.n_hits <- t.n_hits + 1;
+      Counter.incr t.c_hits;
       unlink t node;
       push_front t node;
       Some node.value
   | None ->
-      t.n_misses <- t.n_misses + 1;
+      Counter.incr t.c_misses;
       None
 
 let mem t key = Hashtbl.mem t.table key
@@ -71,7 +84,7 @@ let evict_tail t =
   | Some node ->
       unlink t node;
       Hashtbl.remove t.table node.key;
-      t.n_evictions <- t.n_evictions + 1
+      Counter.incr t.c_evictions
 
 let add t key value =
   if t.cap > 0 then
@@ -86,7 +99,12 @@ let add t key value =
         push_front t node;
         if Hashtbl.length t.table > t.cap then evict_tail t
 
-let stats t = { hits = t.n_hits; misses = t.n_misses; evictions = t.n_evictions }
+let stats t =
+  {
+    hits = Counter.value t.c_hits;
+    misses = Counter.value t.c_misses;
+    evictions = Counter.value t.c_evictions;
+  }
 
 let clear t =
   Hashtbl.reset t.table;

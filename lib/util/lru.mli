@@ -4,7 +4,10 @@
     (strings), so the cache is monomorphic in the key and polymorphic in
     the value: no polymorphic hashing or comparison is involved beyond
     [String] equality.  Counters record hits, misses and evictions so a
-    long-running engine can report its effectiveness. *)
+    long-running engine can report its effectiveness; they live on a
+    {!Relpipe_obs.Metric.t} registry when one is supplied to {!create}
+    (as [<name>.hits] etc.), and on private instances otherwise — the
+    {!stats} view is identical either way. *)
 
 type 'v t
 
@@ -17,7 +20,15 @@ type stats = {
 val create : capacity:int -> 'v t
 (** [create ~capacity] holds at most [capacity] entries; [capacity <= 0]
     disables storage entirely (every [add] is a no-op and every [find]
-    a miss). *)
+    a miss).  Counters are private to the cache. *)
+
+val create_in :
+  metrics:Relpipe_obs.Metric.t -> name:string -> capacity:int -> 'v t
+(** Like {!create}, but the counters live on [metrics] under
+    [<name>.hits], [<name>.misses] and [<name>.evictions] — so cache
+    effectiveness shows up in metric snapshots alongside everything
+    else.  If [metrics] is a no-op registry the counters discard their
+    updates and {!stats} reports zeros. *)
 
 val capacity : 'v t -> int
 

@@ -6,6 +6,9 @@ open Relpipe_model
 module Rng = Relpipe_util.Rng
 module F = Relpipe_util.Float_cmp
 
+(* Golden-snapshot assertions (committed under test/snapshots/). *)
+module Snapshot = Snapshot
+
 let check_close ?(eps = 1e-9) name expected actual =
   if not (F.approx_eq ~eps expected actual) then
     Alcotest.failf "%s: expected %.17g, got %.17g" name expected actual

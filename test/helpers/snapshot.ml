@@ -1,0 +1,77 @@
+(* Golden-snapshot assertions.
+
+   A snapshot test renders some byte-deterministic artifact (a trace, a
+   metrics file, a CLI report) and compares it byte-for-byte against a
+   committed file under test/snapshots/.  On mismatch the first
+   differing line is reported; setting RELPIPE_SNAPSHOT_UPDATE=1
+   re-records the snapshot into the source tree instead of failing, so
+   intentional changes are a one-command refresh away. *)
+
+let update_requested () =
+  match Sys.getenv_opt "RELPIPE_SNAPSHOT_UPDATE" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+(* Tests execute in _build/default/test; dune copies committed snapshots
+   next to the test binaries, but updates must land in the source tree
+   to be committable. *)
+let build_dir = "snapshots"
+let source_dir = "../../../test/snapshots"
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let first_diff expected actual =
+  let e = String.split_on_char '\n' expected in
+  let a = String.split_on_char '\n' actual in
+  let rec go i pair =
+    match pair with
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<end of output>")
+    | [], y :: _ -> Some (i, "<end of snapshot>", y)
+    | x :: xs, y :: ys ->
+        if String.equal x y then go (i + 1) (xs, ys) else Some (i, x, y)
+  in
+  go 1 (e, a)
+
+let record name content =
+  (* Prefer the source tree (tests run under _build); fall back to the
+     local directory only when run from somewhere else entirely. *)
+  let dir =
+    if Sys.file_exists (Filename.dirname source_dir) then source_dir
+    else build_dir
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+      Out_channel.output_string oc content);
+  Printf.printf "snapshot %s recorded (%d bytes)\n%!" name
+    (String.length content)
+
+let check name content =
+  if update_requested () then record name content
+  else
+    let path = Filename.concat build_dir name in
+    if not (Sys.file_exists path) then
+      Alcotest.failf
+        "snapshot %s is missing; record it with RELPIPE_SNAPSHOT_UPDATE=1 \
+         dune runtest"
+        name
+    else
+      let expected = read_file path in
+      if not (String.equal expected content) then
+        match first_diff expected content with
+        | None ->
+            (* Same lines, different bytes: trailing-newline mismatch. *)
+            Alcotest.failf
+              "snapshot %s differs only in trailing bytes (%d vs %d); \
+               re-record with RELPIPE_SNAPSHOT_UPDATE=1 if intended"
+              name
+              (String.length expected)
+              (String.length content)
+        | Some (line, want, got) ->
+            Alcotest.failf
+              "snapshot %s differs at line %d:\n\
+              \  snapshot: %s\n\
+              \  output:   %s\n\
+               re-record with RELPIPE_SNAPSHOT_UPDATE=1 dune runtest if \
+               this change is intended"
+              name line want got

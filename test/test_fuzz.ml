@@ -30,7 +30,9 @@ let expected_listing =
    json-floats            JSON float round-trips are bit-identical on \
    adversarial values\n\
    lru                    Util.Lru matches a reference model at capacities \
-   0, 1 and k\n"
+   0, 1 and k\n\
+   metrics-invariance     metrics and tracing sinks never change solver or \
+   engine responses\n"
 
 let registry_tests =
   [

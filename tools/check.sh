@@ -64,4 +64,22 @@ echo "== relpipe fuzz: smoke campaign =="
 # gate and prints the minimized repro inline.
 "$relpipe" fuzz --count 200 --seed 42 --all-oracles
 
+echo "== relpipe prof: virtual-clock snapshot =="
+# Under --virtual-clock the profile is a pure function of the instance,
+# so it must match the committed golden snapshot byte-for-byte.
+"$relpipe" prof -i test/fixtures/clean_fully_hetero.relpipe \
+  --max-failure 0.5 --virtual-clock > "$tmp/prof.out"
+if ! diff -u test/snapshots/prof-clean-fully-hetero.snap "$tmp/prof.out"; then
+  echo "check.sh: relpipe prof output drifted from the committed snapshot" >&2
+  echo "check.sh: re-record with RELPIPE_SNAPSHOT_UPDATE=1 dune runtest" >&2
+  exit 1
+fi
+
+echo "== dune build @doc =="
+if command -v odoc >/dev/null 2>&1; then
+  dune build @doc
+else
+  echo "odoc not installed; skipping the doc build"
+fi
+
 echo "check.sh: all gates passed"
