@@ -187,6 +187,198 @@ let run_benchmarks () =
   Relpipe_util.Table.print table;
   List.rev !records
 
+(* ------------------------------------------------------------------ *)
+(* Twin harness: optimized kernels vs their frozen Reference twins.    *)
+(* ------------------------------------------------------------------ *)
+
+type twin_result = {
+  tw_kernel : string;
+  tw_shape : string;
+  tw_samples : int;
+  tw_reps : int;
+  tw_ns_opt : float;
+  tw_ci_opt : float * float;
+  tw_ns_ref : float;
+  tw_ci_ref : float * float;
+}
+
+(* Warmup, then min-of-N with a seeded bootstrap percentile CI.  The
+   point estimate is the minimum of [samples] timed blocks (the classic
+   low-noise estimator for deterministic kernels); the CI is the 2.5/97.5
+   percentile band of 200 bootstrap resamples of that minimum.  The time
+   source is injectable: under a virtual clock every block reads a fixed
+   tick, so the whole report is byte-stable (the determinism test relies
+   on this). *)
+let measure_kernel ~clock ~rng f =
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (f ()))
+  done;
+  let time_reps reps =
+    let t0 = Relpipe_obs.Clock.now_ns clock in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    let t1 = Relpipe_obs.Clock.now_ns clock in
+    float_of_int (t1 - t0)
+  in
+  let reps =
+    if Relpipe_obs.Clock.is_virtual clock then 1
+    else begin
+      (* Grow the block until one block costs >= 1 ms of real time. *)
+      let rec calibrate reps =
+        if time_reps reps >= 1e6 || reps >= 1 lsl 20 then reps
+        else calibrate (reps * 2)
+      in
+      calibrate 1
+    end
+  in
+  let samples = 25 in
+  let xs = Array.init samples (fun _ -> time_reps reps /. float_of_int reps) in
+  let point = Array.fold_left Float.min Float.infinity xs in
+  let b = 200 in
+  let mins =
+    Array.init b (fun _ ->
+        let acc = ref Float.infinity in
+        for _ = 1 to samples do
+          acc := Float.min !acc xs.(Rng.int rng samples)
+        done;
+        !acc)
+  in
+  Array.sort Float.compare mins;
+  (point, (mins.(5), mins.(194)), reps, samples)
+
+let twin_specs () =
+  let inst_iv = make_fully_hetero 9 ~n:8 ~m:10 in
+  let inst_dp = make_fully_hetero 7 ~n:32 ~m:24 in
+  let inst_bb = make_fully_hetero 8 ~n:4 ~m:5 in
+  let obj_bb = Instance.Min_failure { max_latency = 1e6 } in
+  [
+    ( "interval-dp",
+      "n=8 m=10 fully-hetero",
+      (fun () -> ignore (Sys.opaque_identity (Interval_exact.min_latency inst_iv))),
+      fun () ->
+        ignore
+          (Sys.opaque_identity
+             (Reference.interval_min_latency_reference inst_iv)) );
+    ( "general-dp",
+      "n=32 m=24 fully-hetero",
+      (fun () -> ignore (Sys.opaque_identity (General_mapping.solve_dp inst_dp))),
+      fun () ->
+        ignore (Sys.opaque_identity (Reference.general_dp_reference inst_dp)) );
+    ( "bb",
+      "n=4 m=5 fully-hetero minFP|L",
+      (fun () -> ignore (Sys.opaque_identity (Bb.solve inst_bb obj_bb))),
+      fun () ->
+        ignore (Sys.opaque_identity (Reference.bb_solve_reference inst_bb obj_bb))
+    );
+  ]
+
+let speedup_lo tw =
+  let _, opt_hi = tw.tw_ci_opt and ref_lo, _ = tw.tw_ci_ref in
+  ref_lo /. opt_hi
+
+let run_twins ~clock () =
+  (* One seeded stream for all bootstraps keeps the report deterministic
+     under the virtual clock. *)
+  let rng = Rng.create 77 in
+  let results =
+    List.map
+      (fun (kernel, shape, opt, reference) ->
+        let ns_ref, ci_ref, reps_ref, _ = measure_kernel ~clock ~rng reference in
+        let ns_opt, ci_opt, reps_opt, samples = measure_kernel ~clock ~rng opt in
+        ignore reps_ref;
+        {
+          tw_kernel = kernel;
+          tw_shape = shape;
+          tw_samples = samples;
+          tw_reps = reps_opt;
+          tw_ns_opt = ns_opt;
+          tw_ci_opt = ci_opt;
+          tw_ns_ref = ns_ref;
+          tw_ci_ref = ci_ref;
+        })
+      (twin_specs ())
+  in
+  let table =
+    Relpipe_util.Table.create
+      [ "kernel"; "shape"; "opt ns/run"; "ref ns/run"; "speedup"; "speedup lo" ]
+  in
+  List.iter
+    (fun tw ->
+      Relpipe_util.Table.add_row table
+        [
+          tw.tw_kernel;
+          tw.tw_shape;
+          Printf.sprintf "%.1f" tw.tw_ns_opt;
+          Printf.sprintf "%.1f" tw.tw_ns_ref;
+          Printf.sprintf "%.2fx" (tw.tw_ns_ref /. tw.tw_ns_opt);
+          Printf.sprintf "%.2fx" (speedup_lo tw);
+        ])
+    results;
+  print_endline "Optimized kernels vs frozen reference twins (min-of-N, bootstrap CI)";
+  print_endline "====================================================================";
+  Relpipe_util.Table.print table;
+  print_newline ();
+  results
+
+(* Regression gate: compare this run's optimized timings against a
+   baseline BENCH_*.json; >10% slower on any twin kernel is a failure. *)
+let check_against ~baseline twins =
+  let module J = Relpipe_service.Json in
+  let fail_usage msg =
+    Printf.eprintf "against: %s\n" msg;
+    exit 2
+  in
+  let text =
+    try In_channel.with_open_text baseline In_channel.input_all
+    with Sys_error msg -> fail_usage msg
+  in
+  let json =
+    match J.parse text with
+    | Ok j -> j
+    | Error msg -> fail_usage (Printf.sprintf "%s does not parse: %s" baseline msg)
+  in
+  let baseline_twins =
+    match Option.bind (J.member "twins" json) J.to_list with
+    | Some l -> l
+    | None -> fail_usage (Printf.sprintf "%s has no \"twins\" array" baseline)
+  in
+  let find kernel =
+    List.find_opt
+      (fun j ->
+        match Option.bind (J.member "kernel" j) J.to_str with
+        | Some s -> String.equal s kernel
+        | None -> false)
+      baseline_twins
+  in
+  let regressions = ref [] in
+  List.iter
+    (fun tw ->
+      match find tw.tw_kernel with
+      | None ->
+          Printf.printf "against: %-12s not in baseline, skipped\n" tw.tw_kernel
+      | Some j -> (
+          match Option.bind (J.member "ns_opt" j) J.to_float with
+          | None ->
+              fail_usage
+                (Printf.sprintf "baseline entry for %s has no ns_opt" tw.tw_kernel)
+          | Some base ->
+              let ratio = tw.tw_ns_opt /. base in
+              Printf.printf "against: %-12s %10.1f ns vs baseline %10.1f ns (%.2fx)\n"
+                tw.tw_kernel tw.tw_ns_opt base ratio;
+              if tw.tw_ns_opt > 1.10 *. base then
+                regressions := (tw.tw_kernel, ratio) :: !regressions))
+    twins;
+  match List.rev !regressions with
+  | [] -> Printf.printf "against: OK — no kernel regressed by more than 10%%\n"
+  | rs ->
+      List.iter
+        (fun (kernel, ratio) ->
+          Printf.eprintf "against: FAIL — %s regressed to %.2fx of baseline\n"
+            kernel ratio)
+        rs;
+      exit 1
+
 (* Batch-engine throughput: the same 200-request fully-heterogeneous sweep
    through a fresh engine at 1 worker and at [par] workers (oversubscribed
    past the CPU count so the pool is exercised even on small machines;
@@ -237,13 +429,17 @@ let batch_throughput () =
   if not identical then failwith "batch engine nondeterminism detected";
   { t_requests = 200; t_workers_par = par; t_sec_seq = sec_seq; t_sec_par = sec_par }
 
-let write_json path kernels throughput =
+let write_json path ~virtual_clock ~twins kernels throughput =
   let module J = Relpipe_service.Json in
   let date =
-    let tm = Unix.gmtime (Unix.time ()) in
-    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-      tm.Unix.tm_sec
+    (* The virtual-clock report must be byte-stable across runs, so it
+       pins the date to the epoch. *)
+    if virtual_clock then "1970-01-01T00:00:00Z"
+    else
+      let tm = Unix.gmtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+        tm.Unix.tm_sec
   in
   let opt_float = function Some x -> J.float x | None -> J.Null in
   let kernel_json k =
@@ -254,25 +450,49 @@ let write_json path kernels throughput =
         ("r_square", opt_float k.k_r2);
       ]
   in
-  let tp = throughput in
+  let twin_json tw =
+    let opt_lo, opt_hi = tw.tw_ci_opt and ref_lo, ref_hi = tw.tw_ci_ref in
+    J.Obj
+      [
+        ("kernel", J.Str tw.tw_kernel);
+        ("shape", J.Str tw.tw_shape);
+        ("samples", J.Int tw.tw_samples);
+        ("reps", J.Int tw.tw_reps);
+        ("ns_opt", J.float tw.tw_ns_opt);
+        ("ci_opt_lo", J.float opt_lo);
+        ("ci_opt_hi", J.float opt_hi);
+        ("ns_ref", J.float tw.tw_ns_ref);
+        ("ci_ref_lo", J.float ref_lo);
+        ("ci_ref_hi", J.float ref_hi);
+        ("speedup", J.float (tw.tw_ns_ref /. tw.tw_ns_opt));
+        ("speedup_lo", J.float (speedup_lo tw));
+      ]
+  in
+  let throughput_json =
+    match throughput with
+    | None -> J.Null
+    | Some tp ->
+        J.Obj
+          [
+            ("requests", J.Int tp.t_requests);
+            ("workers", J.Int tp.t_workers_par);
+            ("sec_1_worker", J.float tp.t_sec_seq);
+            ("sec_n_workers", J.float tp.t_sec_par);
+            ("req_per_sec_1_worker", J.float (float_of_int tp.t_requests /. tp.t_sec_seq));
+            ("req_per_sec_n_workers", J.float (float_of_int tp.t_requests /. tp.t_sec_par));
+            ("speedup", J.float (tp.t_sec_seq /. tp.t_sec_par));
+          ]
+  in
   let json =
     J.Obj
       [
-        ("version", J.Int 1);
+        ("version", J.Int 2);
         ("date", J.Str date);
         ("cpus", J.Int (Relpipe_service.Pool.cpu_count ()));
+        ("virtual_clock", J.Bool virtual_clock);
+        ("twins", J.List (List.map twin_json twins));
         ("benchmarks", J.List (List.map kernel_json kernels));
-        ( "batch_throughput",
-          J.Obj
-            [
-              ("requests", J.Int tp.t_requests);
-              ("workers", J.Int tp.t_workers_par);
-              ("sec_1_worker", J.float tp.t_sec_seq);
-              ("sec_n_workers", J.float tp.t_sec_par);
-              ("req_per_sec_1_worker", J.float (float_of_int tp.t_requests /. tp.t_sec_seq));
-              ("req_per_sec_n_workers", J.float (float_of_int tp.t_requests /. tp.t_sec_par));
-              ("speedup", J.float (tp.t_sec_seq /. tp.t_sec_par));
-            ] );
+        ("batch_throughput", throughput_json);
       ]
   in
   Out_channel.with_open_text path (fun oc ->
@@ -418,9 +638,13 @@ let obs_guard ~threshold =
 let () =
   (* Flags: [--json FILE] writes a machine-readable report; [--kernels-only]
      skips the slow experiment tables (useful when only the JSON matters);
-     [--obs-guard] runs only the observability cost guard. *)
+     [--obs-guard] runs only the observability cost guard; [--virtual-clock]
+     times the twin kernels on a deterministic clock (byte-stable report,
+     Bechamel and throughput skipped); [--against FILE] exits non-zero when
+     an optimized kernel is >10% slower than the baseline report. *)
   let json_path = ref None and kernels_only = ref false in
   let obs_guard_only = ref false in
+  let virtual_clock = ref false and against = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -432,9 +656,16 @@ let () =
     | "--obs-guard" :: rest ->
         obs_guard_only := true;
         parse rest
+    | "--virtual-clock" :: rest ->
+        virtual_clock := true;
+        parse rest
+    | "--against" :: path :: rest ->
+        against := Some path;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
-          "usage: %s [--json FILE] [--kernels-only] [--obs-guard]\n\
+          "usage: %s [--json FILE] [--kernels-only] [--obs-guard] \
+           [--virtual-clock] [--against FILE]\n\
           \  unknown argument %S\n"
           Sys.argv.(0) arg;
         exit 2
@@ -452,8 +683,19 @@ let () =
     Relpipe_experiments.Experiments.print_all ();
     scaling_table ()
   end;
-  let kernels = run_benchmarks () in
-  let throughput = batch_throughput () in
-  match !json_path with
+  let clock =
+    if !virtual_clock then Relpipe_obs.Clock.virtual_ ()
+    else Relpipe_obs.Clock.monotonic ()
+  in
+  let twins = run_twins ~clock () in
+  (* Bechamel and the batch throughput read real time internally, so they
+     only run on the real clock. *)
+  let kernels = if !virtual_clock then [] else run_benchmarks () in
+  let throughput = if !virtual_clock then None else Some (batch_throughput ()) in
+  (match !json_path with
   | None -> ()
-  | Some path -> write_json path kernels throughput
+  | Some path ->
+      write_json path ~virtual_clock:!virtual_clock ~twins kernels throughput);
+  match !against with
+  | None -> ()
+  | Some baseline -> check_against ~baseline twins

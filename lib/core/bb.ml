@@ -2,8 +2,25 @@ open Relpipe_model
 module B = Relpipe_util.Bitset
 module F = Relpipe_util.Float_cmp
 module Obs = Relpipe_obs.Obs
+module W = Relpipe_util.Workspace
 
 type stats = { nodes : int; evaluated : int; pruned : int }
+
+(* Per-mask memo tables, workspace-backed and NaN-reset at the start of
+   every solve (the reset is what keeps consecutive solves independent —
+   see the regression test in test/test_bb.ml).  Only allocated up to
+   [memo_max_procs]: beyond that 2^m tables would dwarf the search itself,
+   and the solver falls back to recomputing each term. *)
+let memo_max_procs = 16
+let ws_minspd = W.floats ()
+let ws_input = W.floats ()
+let ws_logsurv = W.floats ()
+
+type memo = {
+  minspd : float array;  (* slowest speed in the mask *)
+  input : float array;  (* cost of the Pin sends to every mask member *)
+  logsurv : float array;  (* log1p (-. interval failure) of the mask *)
+}
 
 (* Mutable search context. *)
 type ctx = {
@@ -11,7 +28,15 @@ type ctx = {
   objective : Instance.objective;
   n : int;
   m : int;
-  max_speed : float;
+  (* Flat snapshots of the instance, so the search never allocates
+     [Platform.Proc _] endpoints or re-derives interval work sums. *)
+  wp : float array;  (* work prefix sums, wp.(k) = w_1 + ... + w_k *)
+  deltas : float array;  (* deltas.(k) = delta_k *)
+  spd : float array;
+  bw_out : float array;  (* u -> Pout *)
+  bw_pp : float array;  (* u -> v at u*m+v, diagonal unused *)
+  rem : float array;  (* rem.(d): remaining-work bound after stage d *)
+  memo : memo option;
   mutable best : Solution.t option;
   mutable nodes : int;
   mutable evaluated : int;
@@ -23,17 +48,11 @@ let incumbent_objective ctx =
   | None -> Float.infinity
   | Some s -> Instance.objective_value ctx.objective s.Solution.evaluation
 
-(* Lower bound on the latency still to be paid for stages > done_upto:
-   remaining work at the fastest speed (communications >= 0). *)
-let remaining_bound ctx done_upto =
-  if done_upto >= ctx.n then 0.0
-  else
-    Pipeline.work_sum ctx.instance.Instance.pipeline ~first:(done_upto + 1)
-      ~last:ctx.n
-    /. ctx.max_speed
-
 let prune ctx ~partial_latency ~partial_failure ~done_upto =
-  let latency_lb = partial_latency +. remaining_bound ctx done_upto in
+  (* ctx.rem.(done_upto) is the lower bound on the latency still to be
+     paid for stages > done_upto: remaining work at the fastest speed
+     (communications >= 0). *)
+  let latency_lb = partial_latency +. ctx.rem.(done_upto) in
   let incumbent = incumbent_objective ctx in
   match ctx.objective with
   | Instance.Min_failure { max_latency } ->
@@ -41,34 +60,122 @@ let prune ctx ~partial_latency ~partial_failure ~done_upto =
   | Instance.Min_latency { max_failure } ->
       (not (F.leq partial_failure max_failure)) || latency_lb >= incumbent
 
-(* The Eq. 2 term of a closed interval, given the replication set of its
-   successor (or Pout). *)
-let interval_term ctx (first, last, procs) next_targets =
-  let { Instance.pipeline; platform } = ctx.instance in
-  let work = Pipeline.work_sum pipeline ~first ~last in
-  let out_size = Pipeline.delta pipeline last in
-  B.fold
-    (fun u acc ->
-      let compute = work /. Platform.speed platform u in
-      let comm =
-        List.fold_left
-          (fun sum v ->
-            sum +. (out_size /. Platform.bandwidth platform (Platform.Proc u) v))
-          0.0 next_targets
-      in
-      Float.max acc (compute +. comm))
-    procs Float.neg_infinity
+(* Slowest speed in [procs]; memoized per mask.  Ascending scan, matching
+   the reference's fold order. *)
+let min_speed ctx procs =
+  let mask = (procs : B.t :> int) in
+  let compute () =
+    let acc = ref Float.infinity in
+    for u = 0 to ctx.m - 1 do
+      if mask land (1 lsl u) <> 0 then acc := Float.min !acc ctx.spd.(u)
+    done;
+    !acc
+  in
+  match ctx.memo with
+  | None -> compute ()
+  | Some memo ->
+      let cached = memo.minspd.(mask) in
+      if Float.is_nan cached then begin
+        let value = compute () in
+        memo.minspd.(mask) <- value;
+        value
+      end
+      else cached
 
 (* Lower bound on a pending interval's eventual term: its computation on
-   its own slowest replica (outgoing communications >= 0). *)
+   its own slowest replica (outgoing communications >= 0).  Division by a
+   positive speed is antitone and rounding is monotone, so the reference's
+   max over [work /. speed u] is exactly [work /. min speed] — one
+   division against the memoized slowest speed. *)
 let pending_bound ctx (first, last, procs) =
-  let { Instance.pipeline; platform } = ctx.instance in
-  let work = Pipeline.work_sum pipeline ~first ~last in
-  B.fold
-    (fun u acc -> Float.max acc (work /. Platform.speed platform u))
-    procs Float.neg_infinity
+  let work = ctx.wp.(last) -. ctx.wp.(first - 1) in
+  work /. min_speed ctx procs
 
-let endpoints_of procs = B.fold (fun u acc -> Platform.Proc u :: acc) procs []
+(* The Eq. 2 term of a closed interval, given the replication set of its
+   successor.  Targets are scanned in descending processor order — the
+   order [endpoints_of] produced in the reference — so the communication
+   sums round identically. *)
+let interval_term ctx (first, last, procs) next_mask =
+  let work = ctx.wp.(last) -. ctx.wp.(first - 1) in
+  let out_size = ctx.deltas.(last) in
+  let pmask = (procs : B.t :> int) in
+  let acc = ref Float.neg_infinity in
+  for u = 0 to ctx.m - 1 do
+    if pmask land (1 lsl u) <> 0 then begin
+      let compute = work /. ctx.spd.(u) in
+      let comm = ref 0.0 in
+      let bw_row = u * ctx.m in
+      for v = ctx.m - 1 downto 0 do
+        if next_mask land (1 lsl v) <> 0 then
+          comm := !comm +. (out_size /. ctx.bw_pp.(bw_row + v))
+      done;
+      acc := Float.max !acc (compute +. !comm)
+    end
+  done;
+  !acc
+
+(* Same term when the successor is Pout (the final close). *)
+let interval_term_out ctx (first, last, procs) =
+  let work = ctx.wp.(last) -. ctx.wp.(first - 1) in
+  let out_size = ctx.deltas.(last) in
+  let pmask = (procs : B.t :> int) in
+  let acc = ref Float.neg_infinity in
+  for u = 0 to ctx.m - 1 do
+    if pmask land (1 lsl u) <> 0 then begin
+      let compute = work /. ctx.spd.(u) in
+      let comm = 0.0 +. (out_size /. ctx.bw_out.(u)) in
+      acc := Float.max !acc (compute +. comm)
+    end
+  done;
+  !acc
+
+(* Cost of the input sends to every member of [subset]; memoized per mask.
+   Ascending accumulation, matching the reference's fold order. *)
+let input_cost ctx subset =
+  let mask = (subset : B.t :> int) in
+  let compute () =
+    let acc = ref 0.0 in
+    let platform = ctx.instance.Instance.platform in
+    for u = 0 to ctx.m - 1 do
+      if mask land (1 lsl u) <> 0 then
+        acc :=
+          !acc
+          +. ctx.deltas.(0)
+             /. Platform.bandwidth platform Platform.Pin (Platform.Proc u)
+    done;
+    !acc
+  in
+  match ctx.memo with
+  | None -> compute ()
+  | Some memo ->
+      let cached = memo.input.(mask) in
+      if Float.is_nan cached then begin
+        let value = compute () in
+        memo.input.(mask) <- value;
+        value
+      end
+      else cached
+
+(* log1p (-. pi) of a replication set; memoized per mask. *)
+let log_survival_term ctx subset =
+  let compute () =
+    let pi =
+      Failure.interval_failure ctx.instance.Instance.platform
+        (B.elements subset)
+    in
+    Float.log1p (-.pi)
+  in
+  match ctx.memo with
+  | None -> compute ()
+  | Some memo ->
+      let mask = (subset : B.t :> int) in
+      let cached = memo.logsurv.(mask) in
+      if Float.is_nan cached then begin
+        let value = compute () in
+        memo.logsurv.(mask) <- value;
+        value
+      end
+      else cached
 
 let rec branch (ctx : ctx) ~next_stage ~used ~closed ~pending ~latency_closed
     ~log_survival =
@@ -90,9 +197,7 @@ let rec branch (ctx : ctx) ~next_stage ~used ~closed ~pending ~latency_closed
     match pending with
     | None -> assert false
     | Some ((_, _, _) as iv) ->
-        let total =
-          latency_closed +. interval_term ctx iv [ Platform.Pout ]
-        in
+        let total = latency_closed +. interval_term_out ctx iv in
         ctx.evaluated <- ctx.evaluated + 1;
         let mapping =
           Mapping.make ~n:ctx.n ~m:ctx.m
@@ -117,37 +222,24 @@ let rec branch (ctx : ctx) ~next_stage ~used ~closed ~pending ~latency_closed
     let unused = B.diff (B.full ctx.m) used in
     (* Choose the next interval [next_stage .. e] and its replication set. *)
     for e = next_stage to ctx.n do
-      Seq.iter
+      B.iter_nonempty_subsets
         (fun subset ->
           let iv = (next_stage, e, subset) in
-          let latency_closed', log_survival' =
+          let latency_closed' =
             match pending with
             | None ->
                 (* First interval: pay the input sends. *)
-                let input =
-                  B.fold
-                    (fun u acc ->
-                      acc
-                      +. Pipeline.delta ctx.instance.Instance.pipeline 0
-                         /. Platform.bandwidth ctx.instance.Instance.platform
-                              Platform.Pin (Platform.Proc u))
-                    subset 0.0
-                in
-                (latency_closed +. input, log_survival)
+                latency_closed +. input_cost ctx subset
             | Some prev ->
-                ( latency_closed +. interval_term ctx prev (endpoints_of subset),
-                  log_survival )
+                latency_closed
+                +. interval_term ctx prev (subset : B.t :> int)
           in
-          let pi =
-            Failure.interval_failure ctx.instance.Instance.platform
-              (B.elements subset)
-          in
-          let log_survival' = log_survival' +. Float.log1p (-.pi) in
+          let log_survival' = log_survival +. log_survival_term ctx subset in
           let closed' = match pending with None -> closed | Some p -> p :: closed in
           branch ctx ~next_stage:(e + 1) ~used:(B.union used subset)
             ~closed:closed' ~pending:(Some iv) ~latency_closed:latency_closed'
             ~log_survival:log_survival')
-        (B.nonempty_subsets unused)
+        unused
     done
   end
 
@@ -155,13 +247,53 @@ let solve_with_stats instance objective =
   let { Instance.pipeline; platform } = instance in
   let n = Pipeline.length pipeline and m = Platform.size platform in
   if m > B.max_width then invalid_arg "Bb.solve: too many processors";
+  let wp = Pipeline.work_prefixes pipeline in
+  let deltas = Array.init (n + 1) (Pipeline.delta pipeline) in
+  let spd = Array.init m (Platform.speed platform) in
+  let bw_out =
+    Array.init m (fun u ->
+        Platform.bandwidth platform (Platform.Proc u) Platform.Pout)
+  in
+  let bw_pp = Array.make (m * m) 0.0 in
+  for u = 0 to m - 1 do
+    for v = 0 to m - 1 do
+      if u <> v then
+        bw_pp.((u * m) + v) <-
+          Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+    done
+  done;
+  let max_speed = Array.fold_left Float.max 0.0 (Platform.speeds platform) in
+  let rem = Array.make (n + 1) 0.0 in
+  for d = 0 to n - 1 do
+    rem.(d) <- (wp.(n) -. wp.(d)) /. max_speed
+  done;
+  let memo =
+    if m > memo_max_procs then None
+    else begin
+      let masks = 1 lsl m in
+      (* NaN-fill resets every table: a hit can never be a stale value
+         from a previous solve. *)
+      Some
+        {
+          minspd = W.get_floats ws_minspd ~len:masks ~fill:Float.nan;
+          input = W.get_floats ws_input ~len:masks ~fill:Float.nan;
+          logsurv = W.get_floats ws_logsurv ~len:masks ~fill:Float.nan;
+        }
+    end
+  in
   let ctx =
     {
       instance;
       objective;
       n;
       m;
-      max_speed = Array.fold_left Float.max 0.0 (Platform.speeds platform);
+      wp;
+      deltas;
+      spd;
+      bw_out;
+      bw_pp;
+      rem;
+      memo;
       best = None;
       nodes = 0;
       evaluated = 0;

@@ -14,7 +14,14 @@
     Both bounds are exact lower bounds, so the search returns the true
     optimum while visiting far fewer nodes than the flat enumeration
     (the E16 ablation quantifies the gap).  Still worst-case exponential:
-    the problems are NP-hard (Theorem 7). *)
+    the problems are NP-hard (Theorem 7).
+
+    The search prices intervals from a flat prefix-sum/bandwidth snapshot
+    and memoizes per-replication-set bounds (slowest speed, input sends,
+    interval failure) in workspace tables reset at every solve (PR 5).
+    Node counts are an implementation detail and may drift across
+    versions; the returned solution is pinned bit-for-bit to the original
+    implementation kept in {!Reference}. *)
 
 open Relpipe_model
 

@@ -1,6 +1,7 @@
 open Relpipe_model
 module G = Relpipe_graph
 module Obs = Relpipe_obs.Obs
+module W = Relpipe_util.Workspace
 
 type algo = Dijkstra | Bellman_ford | Dag_sweep
 
@@ -74,49 +75,87 @@ let solve ?(algo = Dijkstra) instance =
   | Some (dist, path) -> (dist, assignment_of_path ~m path)
   | None -> assert false (* the layered graph is connected *)
 
+(* Reusable domain-local scratch for [solve_dp]: platform snapshot, the two
+   rolling DP rows and the parent table.  Layout of [env]: stage works (n+1,
+   1-indexed) | deltas (n+1) | speeds (m) | Pin->u (m) | u->Pout (m)
+   | u->v (m*m, diagonal unused) | best row (m) | next row (m). *)
+let ws_env = W.floats ()
+let ws_parent = W.ints ()
+
 let solve_dp instance =
   let { Instance.pipeline; platform } = instance in
   let n = Pipeline.length pipeline and m = Platform.size platform in
   let obs = Obs.ambient () in
   Obs.incr obs "core.general_dp.runs";
   let relaxations = ref 0 in
+  let off_work = 0 in
+  let off_delta = n + 1 in
+  let off_spd = off_delta + n + 1 in
+  let off_bw_in = off_spd + m in
+  let off_bw_out = off_bw_in + m in
+  let off_bw_pp = off_bw_out + m in
+  let off_best = off_bw_pp + (m * m) in
+  let off_next = off_best + m in
+  let env = W.get_floats ws_env ~len:(off_next + m) ~fill:0.0 in
+  for i = 1 to n do
+    env.(off_work + i) <- Pipeline.work pipeline i
+  done;
+  for k = 0 to n do
+    env.(off_delta + k) <- Pipeline.delta pipeline k
+  done;
+  for u = 0 to m - 1 do
+    env.(off_spd + u) <- Platform.speed platform u;
+    env.(off_bw_in + u) <-
+      Platform.bandwidth platform Platform.Pin (Platform.Proc u);
+    env.(off_bw_out + u) <-
+      Platform.bandwidth platform (Platform.Proc u) Platform.Pout;
+    for v = 0 to m - 1 do
+      if u <> v then
+        env.(off_bw_pp + (u * m) + v) <-
+          Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+    done
+  done;
+  let parent = W.get_ints ws_parent ~len:((n + 1) * m) ~fill:(-1) in
   (* best.(u): cheapest cost of a partial mapping of stages 1..i with stage
      i on processor u, including stage i's computation. *)
-  let best = Array.make m 0.0 in
-  let parent = Array.make_matrix (n + 1) m (-1) in
   for u = 0 to m - 1 do
-    best.(u) <-
-      (Pipeline.delta pipeline 0
-       /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
-      +. (Pipeline.work pipeline 1 /. Platform.speed platform u)
+    env.(off_best + u) <-
+      (env.(off_delta) /. env.(off_bw_in + u))
+      +. (env.(off_work + 1) /. env.(off_spd + u))
   done;
   for i = 2 to n do
-    let next = Array.make m Float.infinity in
+    Array.fill env off_next m Float.infinity;
+    let delta_prev = env.(off_delta + i - 1) in
+    let work_i = env.(off_work + i) in
     for v = 0 to m - 1 do
-      let compute = Pipeline.work pipeline i /. Platform.speed platform v in
+      let compute = work_i /. env.(off_spd + v) in
       for u = 0 to m - 1 do
-        let comm =
-          if u = v then 0.0
-          else
-            Pipeline.delta pipeline (i - 1)
-            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
-        in
-        let cand = best.(u) +. comm +. compute in
-        if cand < next.(v) then begin
-          next.(v) <- cand;
-          parent.(i).(v) <- u;
-          incr relaxations
+        let b = env.(off_best + u) in
+        let nv = env.(off_next + v) in
+        (* Dominated-edge gate: comm >= 0, and float rounding is monotone,
+           so when even the comm-free cost cannot beat the row minimum the
+           full candidate cannot either — skipping here changes neither
+           the updates nor the relaxation count, only skips the
+           bandwidth-table division. *)
+        if b +. compute < nv then begin
+          let comm =
+            if u = v then 0.0 else delta_prev /. env.(off_bw_pp + (u * m) + v)
+          in
+          let cand = b +. comm +. compute in
+          if cand < nv then begin
+            env.(off_next + v) <- cand;
+            parent.((i * m) + v) <- u;
+            incr relaxations
+          end
         end
       done
     done;
-    Array.blit next 0 best 0 m
+    Array.blit env off_next env off_best m
   done;
   let final = ref Float.infinity and final_u = ref (-1) in
   for u = 0 to m - 1 do
     let total =
-      best.(u)
-      +. Pipeline.delta pipeline n
-         /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
+      env.(off_best + u) +. (env.(off_delta + n) /. env.(off_bw_out + u))
     in
     if total < !final then begin
       final := total;
@@ -128,7 +167,7 @@ let solve_dp instance =
   let u = ref !final_u in
   for i = n downto 1 do
     procs.(i - 1) <- !u;
-    if i > 1 then u := parent.(i).(!u)
+    if i > 1 then u := parent.((i * m) + !u)
   done;
   (!final, Assignment.make ~m procs)
 

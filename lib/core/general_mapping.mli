@@ -28,7 +28,10 @@ val solve : ?algo:algo -> Instance.t -> float * Assignment.t
 
 val solve_dp : Instance.t -> float * Assignment.t
 (** Direct O(n m^2) dynamic program over (stage, processor) states;
-    independent of the graph construction. *)
+    independent of the graph construction.  Runs over domain-local
+    reusable rows with a dominated-edge gate that skips relaxations a
+    comm-free bound already rules out; pinned bit-for-bit (values,
+    mapping, relaxation count) to the original kept in {!Reference}. *)
 
 val optimal_latency : Instance.t -> float
 (** Shorthand for [fst (solve instance)]. *)

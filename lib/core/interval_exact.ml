@@ -1,7 +1,18 @@
 open Relpipe_model
 module Obs = Relpipe_obs.Obs
+module W = Relpipe_util.Workspace
 
 let max_procs = 14
+
+(* Reusable domain-local scratch: the DP table, the parent table, and the
+   per-call platform/pipeline snapshots.  Flat arrays, cell (e, u, mask) at
+   [((e * m) + u) * masks + mask].  Reusing them across calls removes the
+   dominant allocation cost of small solves; the requested prefix is
+   re-initialised on every call so nothing leaks between solves (see
+   test/test_reference.ml workspace-reuse tests). *)
+let ws_dp = W.floats ()
+let ws_parent = W.ints ()
+let ws_env = W.floats ()
 
 let min_latency instance =
   let { Instance.pipeline; platform } = instance in
@@ -15,65 +26,90 @@ let min_latency instance =
   (* Successful relaxations, counted locally and flushed once at the end
      so the hot loop never touches an atomic. *)
   let updates = ref 0 in
-  (* dp.(e).(u).(mask): cheapest cost of stages 1..e split into intervals
-     with distinct processors (set = mask), last interval on u; includes
-     the input communication and all computations/communications up to
-     stage e, excludes the final output. *)
-  let dp =
-    Array.init (n + 1) (fun _ -> Array.make_matrix m masks Float.infinity)
-  in
-  let parent = Array.init (n + 1) (fun _ -> Array.make_matrix m masks (-1)) in
+  (* Snapshot the platform into flat arrays: the hot loop must not allocate
+     [Platform.Proc _] constructors or chase the platform representation.
+     Layout in [env]: work prefixes (n+1) | deltas (n+1) | speeds (m)
+     | Pin->v bandwidths (m) | u->Pout bandwidths (m) | u->v bandwidths
+     (m*m, diagonal unused). *)
+  let off_wp = 0 in
+  let off_delta = n + 1 in
+  let off_spd = off_delta + n + 1 in
+  let off_bw_in = off_spd + m in
+  let off_bw_out = off_bw_in + m in
+  let off_bw_pp = off_bw_out + m in
+  let env = W.get_floats ws_env ~len:(off_bw_pp + (m * m)) ~fill:0.0 in
+  Array.blit (Pipeline.work_prefixes pipeline) 0 env off_wp (n + 1);
+  for k = 0 to n do
+    env.(off_delta + k) <- Pipeline.delta pipeline k
+  done;
+  for u = 0 to m - 1 do
+    env.(off_spd + u) <- Platform.speed platform u;
+    env.(off_bw_in + u) <-
+      Platform.bandwidth platform Platform.Pin (Platform.Proc u);
+    env.(off_bw_out + u) <-
+      Platform.bandwidth platform (Platform.Proc u) Platform.Pout;
+    for v = 0 to m - 1 do
+      if u <> v then
+        env.(off_bw_pp + (u * m) + v) <-
+          Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+    done
+  done;
+  (* dp cell ((e * m) + u) * masks + mask: cheapest cost of stages 1..e
+     split into intervals with distinct processors (set = mask), last
+     interval on u; includes the input communication and all
+     computations/communications up to stage e, excludes the final
+     output. *)
+  let cells = (n + 1) * m * masks in
+  let dp = W.get_floats ws_dp ~len:cells ~fill:Float.infinity in
+  let parent = W.get_ints ws_parent ~len:cells ~fill:(-1) in
   for v = 0 to m - 1 do
-    let input =
-      Pipeline.delta pipeline 0
-      /. Platform.bandwidth platform Platform.Pin (Platform.Proc v)
-    in
+    let input = env.(off_delta) /. env.(off_bw_in + v) in
+    let sv = env.(off_spd + v) in
+    let cell = 1 lsl v in
     for e = 1 to n do
-      dp.(e).(v).(1 lsl v) <-
-        input +. (Pipeline.work_sum pipeline ~first:1 ~last:e /. Platform.speed platform v)
+      dp.((((e * m) + v) * masks) + cell) <-
+        input +. ((env.(off_wp + e) -. env.(off_wp)) /. sv)
     done
   done;
   for e = 1 to n - 1 do
+    let delta_e = env.(off_delta + e) in
+    let wp_e = env.(off_wp + e) in
     for u = 0 to m - 1 do
-      let row = dp.(e).(u) in
+      let row = ((e * m) + u) * masks in
+      let bw_row = off_bw_pp + (u * m) in
       for mask = 0 to masks - 1 do
-        let base = row.(mask) in
-        if Float.is_finite base then begin
-          let hop v =
-            Pipeline.delta pipeline e
-            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
-          in
+        let base = dp.(row + mask) in
+        if Float.is_finite base then
           for v = 0 to m - 1 do
             if mask land (1 lsl v) = 0 then begin
-              let comm = hop v in
+              let comm = delta_e /. env.(bw_row + v) in
               let nmask = mask lor (1 lsl v) in
+              let sv = env.(off_spd + v) in
+              let base_comm = base +. comm in
+              let col = (v * masks) + nmask in
               for e' = e + 1 to n do
                 let cand =
-                  base +. comm
-                  +. Pipeline.work_sum pipeline ~first:(e + 1) ~last:e'
-                     /. Platform.speed platform v
+                  base_comm +. ((env.(off_wp + e') -. wp_e) /. sv)
                 in
-                if cand < dp.(e').(v).(nmask) then begin
-                  dp.(e').(v).(nmask) <- cand;
-                  parent.(e').(v).(nmask) <- (e * m) + u;
+                let cell = (e' * m * masks) + col in
+                if cand < dp.(cell) then begin
+                  dp.(cell) <- cand;
+                  parent.(cell) <- (e * m) + u;
                   incr updates
                 end
               done
             end
           done
-        end
       done
     done
   done;
   (* Close against Pout. *)
   let best = ref Float.infinity and best_u = ref (-1) and best_mask = ref 0 in
   for u = 0 to m - 1 do
-    let out =
-      Pipeline.delta pipeline n
-      /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
-    in
+    let out = env.(off_delta + n) /. env.(off_bw_out + u) in
+    let row = ((n * m) + u) * masks in
     for mask = 0 to masks - 1 do
-      let total = dp.(n).(u).(mask) +. out in
+      let total = dp.(row + mask) +. out in
       if total < !best then begin
         best := total;
         best_u := u;
@@ -86,7 +122,7 @@ let min_latency instance =
   else begin
     (* Reconstruct the interval chain. *)
     let rec rebuild e u mask acc =
-      match parent.(e).(u).(mask) with
+      match parent.((((e * m) + u) * masks) + mask) with
       | -1 -> { Mapping.first = 1; last = e; procs = [ u ] } :: acc
       | code ->
           let pe = code / m and pu = code mod m in

@@ -10,7 +10,11 @@
     exponential-in-[m] certificate algorithm, far faster than enumerating
     compositions times injections, and the reference point for measuring
     how much the interval restriction costs relative to Theorem 4's
-    general mappings (experiment E19). *)
+    general mappings (experiment E19).
+
+    The DP runs over domain-local reusable flat tables and a prefix-sum
+    snapshot of the instance (PR 5); results are pinned bit-for-bit to the
+    original implementation kept in {!Reference}. *)
 
 open Relpipe_model
 

@@ -1,0 +1,327 @@
+open Relpipe_model
+module B = Relpipe_util.Bitset
+module F = Relpipe_util.Float_cmp
+
+(* The pre-optimization solver kernels, kept alive verbatim (minus the obs
+   instrumentation) as differential twins.  The [opt-vs-reference] fuzz
+   oracle and [test/test_reference.ml] pin the optimized kernels to these
+   on randomized and adversarial instances; the bench harness measures the
+   optimized kernels against them.  Do not "improve" this module — its
+   whole value is that it does not change. *)
+
+let interval_min_latency_reference instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  if m > Interval_exact.max_procs then
+    invalid_arg "Reference.interval_min_latency_reference: too many processors";
+  let masks = 1 lsl m in
+  (* dp.(e).(u).(mask): cheapest cost of stages 1..e split into intervals
+     with distinct processors (set = mask), last interval on u; includes
+     the input communication and all computations/communications up to
+     stage e, excludes the final output. *)
+  let dp =
+    Array.init (n + 1) (fun _ -> Array.make_matrix m masks Float.infinity)
+  in
+  let parent = Array.init (n + 1) (fun _ -> Array.make_matrix m masks (-1)) in
+  for v = 0 to m - 1 do
+    let input =
+      Pipeline.delta pipeline 0
+      /. Platform.bandwidth platform Platform.Pin (Platform.Proc v)
+    in
+    for e = 1 to n do
+      dp.(e).(v).(1 lsl v) <-
+        input +. (Pipeline.work_sum pipeline ~first:1 ~last:e /. Platform.speed platform v)
+    done
+  done;
+  for e = 1 to n - 1 do
+    for u = 0 to m - 1 do
+      let row = dp.(e).(u) in
+      for mask = 0 to masks - 1 do
+        let base = row.(mask) in
+        if Float.is_finite base then begin
+          let hop v =
+            Pipeline.delta pipeline e
+            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+          in
+          for v = 0 to m - 1 do
+            if mask land (1 lsl v) = 0 then begin
+              let comm = hop v in
+              let nmask = mask lor (1 lsl v) in
+              for e' = e + 1 to n do
+                let cand =
+                  base +. comm
+                  +. Pipeline.work_sum pipeline ~first:(e + 1) ~last:e'
+                     /. Platform.speed platform v
+                in
+                if cand < dp.(e').(v).(nmask) then begin
+                  dp.(e').(v).(nmask) <- cand;
+                  parent.(e').(v).(nmask) <- (e * m) + u
+                end
+              done
+            end
+          done
+        end
+      done
+    done
+  done;
+  (* Close against Pout. *)
+  let best = ref Float.infinity and best_u = ref (-1) and best_mask = ref 0 in
+  for u = 0 to m - 1 do
+    let out =
+      Pipeline.delta pipeline n
+      /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
+    in
+    for mask = 0 to masks - 1 do
+      let total = dp.(n).(u).(mask) +. out in
+      if total < !best then begin
+        best := total;
+        best_u := u;
+        best_mask := mask
+      end
+    done
+  done;
+  if not (Float.is_finite !best) then None
+  else begin
+    (* Reconstruct the interval chain. *)
+    let rec rebuild e u mask acc =
+      match parent.(e).(u).(mask) with
+      | -1 -> { Mapping.first = 1; last = e; procs = [ u ] } :: acc
+      | code ->
+          let pe = code / m and pu = code mod m in
+          rebuild pe pu
+            (mask land lnot (1 lsl u))
+            ({ Mapping.first = pe + 1; last = e; procs = [ u ] } :: acc)
+    in
+    let intervals = rebuild n !best_u !best_mask [] in
+    Some (!best, Mapping.make ~n ~m intervals)
+  end
+
+let general_dp_reference instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  (* best.(u): cheapest cost of a partial mapping of stages 1..i with stage
+     i on processor u, including stage i's computation. *)
+  let best = Array.make m 0.0 in
+  let parent = Array.make_matrix (n + 1) m (-1) in
+  for u = 0 to m - 1 do
+    best.(u) <-
+      (Pipeline.delta pipeline 0
+       /. Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+      +. (Pipeline.work pipeline 1 /. Platform.speed platform u)
+  done;
+  for i = 2 to n do
+    let next = Array.make m Float.infinity in
+    for v = 0 to m - 1 do
+      let compute = Pipeline.work pipeline i /. Platform.speed platform v in
+      for u = 0 to m - 1 do
+        let comm =
+          if u = v then 0.0
+          else
+            Pipeline.delta pipeline (i - 1)
+            /. Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+        in
+        let cand = best.(u) +. comm +. compute in
+        if cand < next.(v) then begin
+          next.(v) <- cand;
+          parent.(i).(v) <- u
+        end
+      done
+    done;
+    Array.blit next 0 best 0 m
+  done;
+  let final = ref Float.infinity and final_u = ref (-1) in
+  for u = 0 to m - 1 do
+    let total =
+      best.(u)
+      +. Pipeline.delta pipeline n
+         /. Platform.bandwidth platform (Platform.Proc u) Platform.Pout
+    in
+    if total < !final then begin
+      final := total;
+      final_u := u
+    end
+  done;
+  let procs = Array.make n 0 in
+  let u = ref !final_u in
+  for i = n downto 1 do
+    procs.(i - 1) <- !u;
+    if i > 1 then u := parent.(i).(!u)
+  done;
+  (!final, Assignment.make ~m procs)
+
+(* --- Branch and bound, pre-memoization. --- *)
+
+type bb_ctx = {
+  instance : Instance.t;
+  objective : Instance.objective;
+  n : int;
+  m : int;
+  max_speed : float;
+  mutable best : Solution.t option;
+  mutable nodes : int;
+  mutable evaluated : int;
+  mutable pruned : int;
+}
+
+let incumbent_objective ctx =
+  match ctx.best with
+  | None -> Float.infinity
+  | Some s -> Instance.objective_value ctx.objective s.Solution.evaluation
+
+(* Lower bound on the latency still to be paid for stages > done_upto:
+   remaining work at the fastest speed (communications >= 0). *)
+let remaining_bound ctx done_upto =
+  if done_upto >= ctx.n then 0.0
+  else
+    Pipeline.work_sum ctx.instance.Instance.pipeline ~first:(done_upto + 1)
+      ~last:ctx.n
+    /. ctx.max_speed
+
+let prune ctx ~partial_latency ~partial_failure ~done_upto =
+  let latency_lb = partial_latency +. remaining_bound ctx done_upto in
+  let incumbent = incumbent_objective ctx in
+  match ctx.objective with
+  | Instance.Min_failure { max_latency } ->
+      (not (F.leq latency_lb max_latency)) || partial_failure >= incumbent
+  | Instance.Min_latency { max_failure } ->
+      (not (F.leq partial_failure max_failure)) || latency_lb >= incumbent
+
+(* The Eq. 2 term of a closed interval, given the replication set of its
+   successor (or Pout). *)
+let interval_term ctx (first, last, procs) next_targets =
+  let { Instance.pipeline; platform } = ctx.instance in
+  let work = Pipeline.work_sum pipeline ~first ~last in
+  let out_size = Pipeline.delta pipeline last in
+  B.fold
+    (fun u acc ->
+      let compute = work /. Platform.speed platform u in
+      let comm =
+        List.fold_left
+          (fun sum v ->
+            sum +. (out_size /. Platform.bandwidth platform (Platform.Proc u) v))
+          0.0 next_targets
+      in
+      Float.max acc (compute +. comm))
+    procs Float.neg_infinity
+
+(* Lower bound on a pending interval's eventual term: its computation on
+   its own slowest replica (outgoing communications >= 0). *)
+let pending_bound ctx (first, last, procs) =
+  let { Instance.pipeline; platform } = ctx.instance in
+  let work = Pipeline.work_sum pipeline ~first ~last in
+  B.fold
+    (fun u acc -> Float.max acc (work /. Platform.speed platform u))
+    procs Float.neg_infinity
+
+let endpoints_of procs = B.fold (fun u acc -> Platform.Proc u :: acc) procs []
+
+let rec branch (ctx : bb_ctx) ~next_stage ~used ~closed ~pending
+    ~latency_closed ~log_survival =
+  (* [closed]: reversed list of finalized intervals (term already added to
+     latency_closed).  [pending]: the last chosen interval, whose outgoing
+     term depends on the next decision. *)
+  ctx.nodes <- ctx.nodes + 1;
+  let partial_failure = -.Float.expm1 log_survival in
+  let pending_lb =
+    match pending with None -> 0.0 | Some iv -> pending_bound ctx iv
+  in
+  if
+    prune ctx
+      ~partial_latency:(latency_closed +. pending_lb)
+      ~partial_failure ~done_upto:(next_stage - 1)
+  then ctx.pruned <- ctx.pruned + 1
+  else if next_stage > ctx.n then begin
+    (* Close the final interval against Pout and record the solution. *)
+    match pending with
+    | None -> assert false
+    | Some ((_, _, _) as iv) ->
+        let total =
+          latency_closed +. interval_term ctx iv [ Platform.Pout ]
+        in
+        ctx.evaluated <- ctx.evaluated + 1;
+        let mapping =
+          Mapping.make ~n:ctx.n ~m:ctx.m
+            (List.rev_map
+               (fun (first, last, procs) ->
+                 { Mapping.first; last; procs = B.elements procs })
+               (iv :: closed))
+        in
+        let evaluation = { Instance.latency = total; failure = partial_failure } in
+        if Instance.feasible ctx.objective evaluation then begin
+          let candidate = { Solution.mapping; evaluation } in
+          match ctx.best with
+          | Some b
+            when not
+                   (Instance.better ctx.objective evaluation
+                      b.Solution.evaluation) ->
+              ()
+          | _ -> ctx.best <- Some candidate
+        end
+  end
+  else begin
+    let unused = B.diff (B.full ctx.m) used in
+    (* Choose the next interval [next_stage .. e] and its replication set. *)
+    for e = next_stage to ctx.n do
+      Seq.iter
+        (fun subset ->
+          let iv = (next_stage, e, subset) in
+          let latency_closed', log_survival' =
+            match pending with
+            | None ->
+                (* First interval: pay the input sends. *)
+                let input =
+                  B.fold
+                    (fun u acc ->
+                      acc
+                      +. Pipeline.delta ctx.instance.Instance.pipeline 0
+                         /. Platform.bandwidth ctx.instance.Instance.platform
+                              Platform.Pin (Platform.Proc u))
+                    subset 0.0
+                in
+                (latency_closed +. input, log_survival)
+            | Some prev ->
+                ( latency_closed +. interval_term ctx prev (endpoints_of subset),
+                  log_survival )
+          in
+          let pi =
+            Failure.interval_failure ctx.instance.Instance.platform
+              (B.elements subset)
+          in
+          let log_survival' = log_survival' +. Float.log1p (-.pi) in
+          let closed' = match pending with None -> closed | Some p -> p :: closed in
+          branch ctx ~next_stage:(e + 1) ~used:(B.union used subset)
+            ~closed:closed' ~pending:(Some iv) ~latency_closed:latency_closed'
+            ~log_survival:log_survival')
+        (B.nonempty_subsets unused)
+    done
+  end
+
+let bb_solve_with_stats_reference instance objective =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  if m > B.max_width then
+    invalid_arg "Reference.bb_solve_with_stats_reference: too many processors";
+  let ctx =
+    {
+      instance;
+      objective;
+      n;
+      m;
+      max_speed = Array.fold_left Float.max 0.0 (Platform.speeds platform);
+      best = None;
+      nodes = 0;
+      evaluated = 0;
+      pruned = 0;
+    }
+  in
+  branch ctx ~next_stage:1 ~used:B.empty ~closed:[] ~pending:None
+    ~latency_closed:0.0 ~log_survival:0.0;
+  ( ctx.best,
+    {
+      Bb.nodes = ctx.nodes;
+      evaluated = ctx.evaluated;
+      pruned = ctx.pruned;
+    } )
+
+let bb_solve_reference instance objective =
+  fst (bb_solve_with_stats_reference instance objective)

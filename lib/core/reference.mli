@@ -1,0 +1,34 @@
+(** Pre-optimization solver kernels, kept as differential twins.
+
+    PR 5 rewrote the hot paths of {!Interval_exact}, {!General_mapping} and
+    {!Bb} around reusable workspaces, prefix sums and memoized bounds.
+    This module preserves the original implementations verbatim (minus obs
+    instrumentation) so that
+
+    - the [opt-vs-reference] fuzz oracle and [test/test_reference.ml] can
+      assert [optimized == reference] bit-for-bit on randomized and
+      adversarial instances, and
+    - the bench harness can measure honest speedups against the code that
+      actually shipped before.
+
+    These functions are intentionally slow; never call them from solver
+    paths.  They carry no obs counters, so running them does not perturb
+    metrics snapshots. *)
+
+open Relpipe_model
+
+val interval_min_latency_reference : Instance.t -> (float * Mapping.t) option
+(** Twin of {!Interval_exact.min_latency} (bitmask interval DP, §4.1).
+    @raise Invalid_argument beyond {!Interval_exact.max_procs}. *)
+
+val general_dp_reference : Instance.t -> float * Assignment.t
+(** Twin of {!General_mapping.solve_dp} (Theorem 4 direct DP). *)
+
+val bb_solve_with_stats_reference :
+  Instance.t -> Instance.objective -> Solution.t option * Bb.stats
+(** Twin of {!Bb.solve_with_stats}.  Node counts are an implementation
+    detail (see EXPERIMENTS.md on E16); the solution and its evaluation are
+    the pinned contract. *)
+
+val bb_solve_reference : Instance.t -> Instance.objective -> Solution.t option
+(** Twin of {!Bb.solve}. *)

@@ -548,6 +548,40 @@ let e16_bb_ablation () =
     [ (2, 3); (3, 4); (4, 5); (5, 5) ];
   t
 
+let e16_optima () =
+  (* The same four instances as {!e16_bb_ablation} (same seed, same rng
+     consumption order), but reporting only the solver's *answers*: the
+     optimal failure probability, its latency, and the winning mapping.
+     Node counts in e16 are implementation-dependent (pruning strength
+     may change as the search evolves); these optima must not.  Floats
+     are printed with %.17g so the snapshot pins them bit-for-bit. *)
+  let rng = Rng.create 1601 in
+  let t =
+    Table.create [ "n x m"; "latency bound"; "optimal FP"; "latency"; "mapping" ]
+  in
+  List.iter
+    (fun (n, m) ->
+      let inst = fully_hetero rng ~n ~m in
+      let max_latency = latency_threshold rng inst in
+      let objective = Instance.Min_failure { max_latency } in
+      match Bb.solve inst objective with
+      | None ->
+          Table.add_row t
+            [ Printf.sprintf "%dx%d" n m; Printf.sprintf "%.17g" max_latency;
+              "infeasible"; "-"; "-" ]
+      | Some s ->
+          let e = s.Solution.evaluation in
+          Table.add_row t
+            [
+              Printf.sprintf "%dx%d" n m;
+              Printf.sprintf "%.17g" max_latency;
+              Printf.sprintf "%.17g" e.Instance.failure;
+              Printf.sprintf "%.17g" e.Instance.latency;
+              Format.asprintf "%a" Mapping.pp s.Solution.mapping;
+            ])
+    [ (2, 3); (3, 4); (4, 5); (5, 5) ];
+  t
+
 let e17_steady_state () =
   let rng = Rng.create 1701 in
   let t =

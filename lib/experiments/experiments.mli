@@ -60,6 +60,12 @@ val e16_bb_ablation : unit -> Relpipe_util.Table.t
 (** Branch-and-bound pruning vs flat enumeration (search-effort
     ablation). *)
 
+val e16_optima : unit -> Relpipe_util.Table.t
+(** The e16 instances' solver {e answers} (optimal FP, latency, mapping),
+    printed with [%.17g].  Not part of {!all}: it exists to be pinned in a
+    golden snapshot — node counts in {!e16_bb_ablation} may drift with the
+    search implementation, these optima must not. *)
+
 val e17_steady_state : unit -> Relpipe_util.Table.t
 (** Steady-state simulation vs the analytic period model. *)
 

@@ -541,6 +541,62 @@ let check_metrics_invariance _ctx _rng (case : Gen.case) =
              infeasible vs error)"
 
 (* ------------------------------------------------------------------ *)
+(* 10. opt-vs-reference: optimized kernels equal their frozen twins    *)
+(* ------------------------------------------------------------------ *)
+
+let check_opt_vs_reference ctx _rng (case : Gen.case) =
+  let inst = case.Gen.instance in
+  let n, m = shape case in
+  let bits = Int64.bits_of_float in
+  let same_latency a b = Int64.equal (bits a) (bits b) in
+  (* Interval DP: bounded by the same memory guard as the kernel, plus a
+     cell budget so campaigns stay fast. *)
+  if m <= Core.Interval_exact.max_procs && (n + 1) * m * (1 lsl m) <= 500_000
+  then begin
+    match
+      (Core.Interval_exact.min_latency inst, Core.Reference.interval_min_latency_reference inst)
+    with
+    | None, None -> ()
+    | Some _, None -> failf "interval DP: optimized solved, reference did not"
+    | None, Some _ -> failf "interval DP: reference solved, optimized did not"
+    | Some (opt, opt_map), Some (ref_l, ref_map) ->
+        let claimed = opt *. (1.0 +. ctx.Oracle.perturb) in
+        if not (same_latency claimed ref_l) then
+          failf "interval DP latency %.17g is not bit-identical to reference %.17g"
+            claimed ref_l;
+        if not (Mapping.equal opt_map ref_map) then
+          failf "interval DP mapping differs from reference"
+  end;
+  (* Theorem 4 direct DP: polynomial, no guard needed. *)
+  let dp_l, dp_a = Core.General_mapping.solve_dp inst in
+  let ref_l, ref_a = Core.Reference.general_dp_reference inst in
+  if not (same_latency dp_l ref_l) then
+    failf "general DP latency %.17g is not bit-identical to reference %.17g" dp_l
+      ref_l;
+  if not (Assignment.equal dp_a ref_a) then
+    failf "general DP assignment differs from reference";
+  (* Branch and bound: exponential twins, so keep the shape small. *)
+  if n <= 6 && m <= 5 then begin
+    let obj = case.Gen.objective in
+    match
+      (Core.Bb.solve inst obj, Core.Reference.bb_solve_reference inst obj)
+    with
+    | None, None -> ()
+    | Some _, None -> failf "B&B: optimized found a solution, reference did not"
+    | None, Some _ -> failf "B&B: reference found a solution, optimized did not"
+    | Some s1, Some s2 ->
+        let e1 = s1.Core.Solution.evaluation and e2 = s2.Core.Solution.evaluation in
+        if not (same_latency e1.Instance.latency e2.Instance.latency) then
+          failf "B&B latency %.17g is not bit-identical to reference %.17g"
+            e1.Instance.latency e2.Instance.latency;
+        if not (same_latency e1.Instance.failure e2.Instance.failure) then
+          failf "B&B failure %.17g is not bit-identical to reference %.17g"
+            e1.Instance.failure e2.Instance.failure;
+        if not (Mapping.equal s1.Core.Solution.mapping s2.Core.Solution.mapping)
+        then failf "B&B mapping differs from reference"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -580,6 +636,11 @@ let registry =
     oracle ~name:"metrics-invariance" ~salt:9
       ~doc:"metrics and tracing sinks never change solver or engine responses"
       check_metrics_invariance;
+    oracle ~name:"opt-vs-reference" ~salt:10
+      ~doc:
+        "optimized solver kernels are bit-identical to their frozen reference \
+         twins"
+      check_opt_vs_reference;
   ]
 
 let all () = registry

@@ -18,13 +18,7 @@ let make ~input stages =
         invalid_arg "Pipeline.make: stage costs must be finite, non-negative")
     stages;
   let arr = Array.of_list stages in
-  let n = Array.length arr in
-  let work_prefix = Array.make (n + 1) 0.0 in
-  let acc = Relpipe_util.Kahan.create () in
-  for k = 1 to n do
-    Relpipe_util.Kahan.add acc arr.(k - 1).work;
-    work_prefix.(k) <- Relpipe_util.Kahan.sum acc
-  done;
+  let work_prefix = Relpipe_util.Prefix.build (Array.map (fun s -> s.work) arr) in
   { input; arr; work_prefix }
 
 let of_costs ~input costs =
@@ -48,6 +42,7 @@ let work_sum t ~first ~last =
   t.work_prefix.(last) -. t.work_prefix.(first - 1)
 
 let total_work t = t.work_prefix.(length t)
+let work_prefixes t = Array.copy t.work_prefix
 
 let stages t = Array.to_list t.arr
 

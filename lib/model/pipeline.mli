@@ -43,6 +43,13 @@ val work_sum : t -> first:int -> last:int -> float
 val total_work : t -> float
 (** [work_sum] over the whole pipeline. *)
 
+val work_prefixes : t -> float array
+(** A copy of the internal prefix-sum table [p] (length [n + 1], built with
+    {!Relpipe_util.Prefix.build}): [p.(k)] is the compensated sum
+    [w_1 + ... + w_k], so [work_sum ~first ~last = p.(last) -. p.(first-1)]
+    bit-for-bit.  Hot kernels snapshot this once per solve and price stage
+    intervals from flat arrays. *)
+
 val stages : t -> stage list
 (** The stages in order. *)
 

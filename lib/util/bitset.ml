@@ -75,6 +75,20 @@ let subsets t =
 
 let nonempty_subsets t = Seq.filter (fun s -> s <> 0) (subsets t)
 
+let iter_nonempty_subsets f t =
+  (* Increasing mask order without materialising a list: the successor of
+     submask [s] of [t] is [((s lor (lnot t)) + 1) land t]. *)
+  if t <> 0 then begin
+    let s = ref (t land -t) in
+    (* First non-empty submask: lowest set bit of [t]. *)
+    let continue = ref true in
+    while !continue do
+      f !s;
+      let next = ((!s lor lnot t) + 1) land t in
+      if next = 0 then continue := false else s := next
+    done
+  end
+
 let equal = Int.equal
 let compare = Int.compare
 

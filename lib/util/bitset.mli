@@ -53,6 +53,12 @@ val subsets : t -> t Seq.t
 val nonempty_subsets : t -> t Seq.t
 (** All non-empty subsets. *)
 
+val iter_nonempty_subsets : (t -> unit) -> t -> unit
+(** [iter_nonempty_subsets f t] applies [f] to every non-empty subset of
+    [t] in the same increasing mask order as {!nonempty_subsets}, without
+    allocating the intermediate sequence.  Hot path of the branch-and-bound
+    solver. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,14 @@
+let build xs =
+  let n = Array.length xs in
+  let p = Array.make (n + 1) 0.0 in
+  let acc = Kahan.create () in
+  for k = 1 to n do
+    Kahan.add acc xs.(k - 1);
+    p.(k) <- Kahan.sum acc
+  done;
+  p
+
+let range p ~first ~last =
+  if first < 1 || last >= Array.length p || first > last + 1 then
+    invalid_arg "Prefix.range: invalid interval";
+  p.(last) -. p.(first - 1)

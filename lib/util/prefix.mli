@@ -1,0 +1,19 @@
+(** Compensated prefix sums over float arrays.
+
+    The solver kernels price stage intervals [\[first, last\]] thousands of
+    times per solve; a prefix-sum table makes each interval total an O(1)
+    subtraction instead of a rescan.  Building goes through {!Kahan}
+    accumulation so the table is as accurate as summing each interval
+    directly — {!Relpipe_model.Pipeline} builds its work table with exactly
+    this routine, so local copies taken by hot kernels price intervals
+    bit-for-bit identically to [Pipeline.work_sum]. *)
+
+val build : float array -> float array
+(** [build xs] is the table [p] of length [Array.length xs + 1] with
+    [p.(0) = 0.] and [p.(k)] the compensated sum of [xs.(0) .. xs.(k-1)]. *)
+
+val range : float array -> first:int -> last:int -> float
+(** [range p ~first ~last] prices the 1-indexed inclusive interval
+    [\[first, last\]] against a table built by {!build}:
+    [p.(last) -. p.(first - 1)].
+    @raise Invalid_argument on an interval outside the table. *)

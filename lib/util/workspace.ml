@@ -1,0 +1,26 @@
+type floats = float array ref Domain.DLS.key
+type ints = int array ref Domain.DLS.key
+
+let floats () : floats = Domain.DLS.new_key (fun () -> ref [||])
+let ints () : ints = Domain.DLS.new_key (fun () -> ref [||])
+
+let grow_pow2 have need =
+  let cap = ref (if have = 0 then 16 else have) in
+  while !cap < need do
+    cap := !cap * 2
+  done;
+  !cap
+
+let get_floats (w : floats) ~len ~fill =
+  let cell = Domain.DLS.get w in
+  if Array.length !cell < len then
+    cell := Array.make (grow_pow2 (Array.length !cell) len) 0.0;
+  Array.fill !cell 0 len fill;
+  !cell
+
+let get_ints (w : ints) ~len ~fill =
+  let cell = Domain.DLS.get w in
+  if Array.length !cell < len then
+    cell := Array.make (grow_pow2 (Array.length !cell) len) 0;
+  Array.fill !cell 0 len fill;
+  !cell

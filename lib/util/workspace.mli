@@ -1,0 +1,35 @@
+(** Domain-local reusable scratch buffers for hot solver kernels.
+
+    The exact solvers used to allocate fresh DP tables on every call; under
+    sweep-scale traffic that allocation (and the GC pressure it creates)
+    dominates solve time for small instances.  A workspace hands out a
+    buffer that is grown on demand and reused across calls, with the
+    requested prefix re-initialised each time so no state leaks between
+    solves.
+
+    Buffers are domain-local ({!Domain.DLS}): the batch engine solves in
+    parallel across OCaml 5 domains, and each domain gets its own scratch
+    space, so kernels sharing a workspace never race. *)
+
+type floats
+(** A reusable [float array] buffer, one per domain. *)
+
+type ints
+(** A reusable [int array] buffer, one per domain. *)
+
+val floats : unit -> floats
+(** Create a float workspace.  Call once at module level; the underlying
+    storage is created lazily per domain. *)
+
+val ints : unit -> ints
+(** Create an int workspace. *)
+
+val get_floats : floats -> len:int -> fill:float -> float array
+(** [get_floats w ~len ~fill] returns the calling domain's buffer, grown to
+    at least [len] cells, with cells [0 .. len-1] set to [fill].  Cells past
+    [len] hold garbage from previous calls.  The same array is returned by
+    subsequent calls on this domain — callers must finish with it before
+    requesting it again. *)
+
+val get_ints : ints -> len:int -> fill:int -> int array
+(** Same contract as {!get_floats} for int buffers. *)

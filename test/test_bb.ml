@@ -93,6 +93,40 @@ let bb_fig5 () =
         (1.0 -. (0.9 *. (1.0 -. (0.8 ** 10.0))))
         s.Solution.evaluation.Instance.failure
 
+let bb_stats_independent () =
+  (* The search statistics and the bound memo tables must reset between
+     solves: interleaving an unrelated instance must leave a repeated
+     solve's stats (and answer) exactly as they were the first time. *)
+  let rng = Rng.create 99 in
+  let inst_a = Helpers.random_fully_hetero rng ~n:4 ~m:5 in
+  let inst_b = Helpers.random_fully_hetero rng ~n:3 ~m:4 in
+  let obj = Instance.Min_failure { max_latency = 1e6 } in
+  let check_stats name (a : Bb.stats) (b : Bb.stats) =
+    Alcotest.(check int) (name ^ " nodes") a.Bb.nodes b.Bb.nodes;
+    Alcotest.(check int) (name ^ " evaluated") a.Bb.evaluated b.Bb.evaluated;
+    Alcotest.(check int) (name ^ " pruned") a.Bb.pruned b.Bb.pruned
+  in
+  let sol1, stats1 = Bb.solve_with_stats inst_a obj in
+  let solb, statsb = Bb.solve_with_stats inst_b obj in
+  let sol2, stats2 = Bb.solve_with_stats inst_a obj in
+  check_stats "repeat solve" stats1 stats2;
+  (match (sol1, sol2) with
+  | Some s1, Some s2 ->
+      Alcotest.(check bool)
+        "repeat solve same mapping" true
+        (Mapping.equal s1.Solution.mapping s2.Solution.mapping)
+  | None, None -> ()
+  | _ -> Alcotest.fail "repeat solve disagrees on feasibility");
+  let solb', statsb' = Bb.solve_with_stats inst_b obj in
+  check_stats "repeat solve (other instance)" statsb statsb';
+  match (solb, solb') with
+  | Some s1, Some s2 ->
+      Alcotest.(check bool)
+        "other instance same mapping" true
+        (Mapping.equal s1.Solution.mapping s2.Solution.mapping)
+  | None, None -> ()
+  | _ -> Alcotest.fail "other instance disagrees on feasibility"
+
 (* ------------------------------------------------------------------ *)
 (* Tri-criteria                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -201,6 +235,7 @@ let () =
           bb_solution_is_consistent;
           test "prunes the space" bb_prunes;
           test "solves fig5" bb_fig5;
+          test "stats and memo reset between solves" bb_stats_independent;
         ] );
       ( "tri-criteria",
         [

@@ -50,6 +50,23 @@ let all_experiments_are_titled () =
       ("e2 table non-empty", Table.render (Experiments.e2_fig5 ()) <> "");
     ]
 
+(* Golden snapshots pinning solver *answers*.  E16's node counts are
+   implementation-dependent and deliberately not snapshotted; the optima
+   (and the E10/E11 heuristic-gap tables, which contain only answers and
+   exact optima) must stay bit-for-bit stable across solver rewrites. *)
+
+let e16_optima_snapshot () =
+  Helpers.Snapshot.check "e16-optima.snap"
+    (Table.render (Experiments.e16_optima ()))
+
+let e10_snapshot () =
+  Helpers.Snapshot.check "e10-open-case.snap"
+    (Table.render (Experiments.e10_open_case ()))
+
+let e11_snapshot () =
+  Helpers.Snapshot.check "e11-np-hard-case.snap"
+    (Table.render (Experiments.e11_np_hard_case ()))
+
 let () =
   Alcotest.run "experiments"
     [
@@ -61,5 +78,11 @@ let () =
           test "E6 agreement" e6_all_agree;
           test "markdown rendering" markdown_rendering;
           test "tables render" all_experiments_are_titled;
+        ] );
+      ( "pinned-answers",
+        [
+          test "E16 optima snapshot" e16_optima_snapshot;
+          test "E10 answers snapshot" e10_snapshot;
+          test "E11 answers snapshot" e11_snapshot;
         ] );
     ]

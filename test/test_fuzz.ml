@@ -32,7 +32,9 @@ let expected_listing =
    lru                    Util.Lru matches a reference model at capacities \
    0, 1 and k\n\
    metrics-invariance     metrics and tracing sinks never change solver or \
-   engine responses\n"
+   engine responses\n\
+   opt-vs-reference       optimized solver kernels are bit-identical to \
+   their frozen reference twins\n"
 
 let registry_tests =
   [

@@ -60,9 +60,24 @@ for f in examples/requests/*.jsonl; do
 done
 
 echo "== relpipe fuzz: smoke campaign =="
-# 200 seeded cases across every oracle; any failure (exit 1) fails the
-# gate and prints the minimized repro inline.
+# 200 seeded cases across every oracle (including opt-vs-reference, which
+# pins the optimized kernels to their frozen twins); any failure (exit 1)
+# fails the gate and prints the minimized repro inline.
 "$relpipe" fuzz --count 200 --seed 42 --all-oracles
+
+echo "== bench: kernel-twin smoke (virtual clock) =="
+# The optimized-vs-reference twin harness must run, emit a well-formed v2
+# report, and pass the regression gate against its own output.
+bench=_build/default/bench/main.exe
+"$bench" --kernels-only --virtual-clock --json "$tmp/bench.json" >/dev/null
+for needle in '"version":2' '"virtual_clock":true' '"kernel":"interval-dp"' \
+  '"kernel":"general-dp"' '"kernel":"bb"' '"speedup_lo"'; do
+  if ! grep -q "$needle" "$tmp/bench.json"; then
+    echo "check.sh: bench report is missing $needle" >&2
+    exit 1
+  fi
+done
+"$bench" --kernels-only --virtual-clock --against "$tmp/bench.json" >/dev/null
 
 echo "== relpipe prof: virtual-clock snapshot =="
 # Under --virtual-clock the profile is a pure function of the instance,
