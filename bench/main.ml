@@ -159,6 +159,9 @@ let run_benchmarks () =
     (fun test ->
       let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
       let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      (* one grouped test per call: the table holds a single binding, so
+         iteration order cannot matter *)
+      (* devlint: allow RP-S204 *)
       Hashtbl.iter
         (fun name ols_result ->
           let ns =

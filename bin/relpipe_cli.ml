@@ -1112,6 +1112,146 @@ let fuzz_cmd =
        $ max_stages_arg $ max_procs_arg $ workers_arg $ exact_workers_arg
        $ out_dir_arg $ replay_arg $ perturb_arg))
 
+let devlint_cmd =
+  let module DL = Relpipe_devlint in
+  let module A = Relpipe_analysis in
+  let paths_arg =
+    let doc =
+      "Files or directories to analyze.  Defaults to lib bin bench test \
+       (run from the repository root)."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let format_arg =
+    let doc = "Output format: text or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~doc)
+  in
+  let list_rules_flag =
+    let doc = "Print the source-rule catalog and exit." in
+    Arg.(value & flag & info [ "list-rules" ] ~doc)
+  in
+  let baseline_arg =
+    let doc =
+      "Baseline file of vetted exceptions (default: devlint.baseline when \
+       it exists)."
+    in
+    Arg.(value & opt (some file) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let no_baseline_flag =
+    let doc = "Ignore any baseline file." in
+    Arg.(value & flag & info [ "no-baseline" ] ~doc)
+  in
+  let family_arg =
+    let doc =
+      "Run only this rule family (repeatable): compare, determinism, race, \
+       obs-names."
+    in
+    Arg.(value & opt_all string [] & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let print_rules () =
+    let table =
+      Relpipe_util.Table.create
+        ~aligns:
+          [ Relpipe_util.Table.Left; Relpipe_util.Table.Left;
+            Relpipe_util.Table.Left; Relpipe_util.Table.Left ]
+        [ "id"; "severity"; "family"; "title" ]
+    in
+    List.iter
+      (fun (r : DL.Drule.t) ->
+        Relpipe_util.Table.add_row table
+          [
+            r.DL.Drule.id;
+            A.Severity.to_string r.DL.Drule.severity;
+            r.DL.Drule.family;
+            r.DL.Drule.title;
+          ])
+      (DL.Driver.rules ());
+    Relpipe_util.Table.print table
+  in
+  let default_roots = [ "lib"; "bin"; "bench"; "test" ] in
+  let run paths format list_rules baseline no_baseline families =
+    if list_rules then begin
+      print_rules ();
+      `Ok ()
+    end
+    else begin
+      let known = List.map fst DL.Driver.passes in
+      match List.find_opt (fun f -> not (List.mem f known)) families with
+      | Some f ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown rule family %S (known: %s)" f
+                (String.concat ", " known) )
+      | None -> (
+          let roots =
+            if paths <> [] then paths
+            else List.filter Sys.file_exists default_roots
+          in
+          if roots = [] then
+            `Error
+              ( false,
+                "none of lib/ bin/ bench/ test/ exist here; run from the \
+                 repository root or pass paths" )
+          else
+            let baseline_result =
+              if no_baseline then Ok DL.Baseline.empty
+              else
+                match baseline with
+                | Some path -> DL.Baseline.load path
+                | None ->
+                    if Sys.file_exists "devlint.baseline" then
+                      DL.Baseline.load "devlint.baseline"
+                    else Ok DL.Baseline.empty
+            in
+            match baseline_result with
+            | Error msg -> `Error (false, "baseline: " ^ msg)
+            | Ok baseline ->
+                let report =
+                  DL.Driver.run_paths ~baseline ~families roots
+                in
+                (match format with
+                | `Text -> print_string (DL.Driver.render_text report)
+                | `Json -> print_endline (DL.Driver.render_json report));
+                let code = DL.Driver.exit_code report in
+                if code = 0 then `Ok ()
+                else begin
+                  Format.print_flush ();
+                  Stdlib.exit code
+                end)
+    end
+  in
+  let doc = "Statically analyze the repository's own OCaml sources." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file under the given roots with the compiler's \
+         own parser and runs the relpipe.devlint rule registry: the \
+         compare family (polymorphic compare / float equality — the \
+         AST-grounded replacement for the old tools/forbid.sh grep), the \
+         determinism family (ambient randomness, wall-clock reads, \
+         Domain.self, unordered Hashtbl iteration), the race family \
+         (unsynchronized writes captured by Service.Pool / Domain.spawn \
+         closures) and the obs-names family (metric/span name contract).";
+      `P
+        "Vetted exceptions live in a baseline file (one \"RULE-ID \
+         PATH[:LINE] [-- reason]\" per line) or as in-source \
+         \"(* devlint: allow RULE-ID — reason *)\" comments covering \
+         their own line and the next.";
+      `P
+        "Exit status is 2 if any error survives, 1 if any warning, 0 \
+         otherwise (hints are informational).";
+    ]
+  in
+  Cmd.v (Cmd.info "devlint" ~doc ~man)
+    Term.(
+      ret
+        (const run $ paths_arg $ format_arg $ list_rules_flag $ baseline_arg
+       $ no_baseline_flag $ family_arg))
+
 let demo_cmd =
   let out_arg =
     let doc = "Where to write the sample instance." in
@@ -1143,5 +1283,5 @@ let () =
           [
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
-            batch_cmd; prof_cmd; sweep_cmd; fuzz_cmd; demo_cmd;
+            batch_cmd; prof_cmd; sweep_cmd; fuzz_cmd; devlint_cmd; demo_cmd;
           ]))

@@ -117,11 +117,23 @@ let r_missing_directive =
        least one `proc` to be well-formed."
     ~example:"stage 1 1\nproc 1 0.1   # no input line"
 
+let r_unreachable_declared =
+  rule ~id:"RP-I014" ~severity:Severity.Warning
+    ~title:"endpoint unreachable through the declared links"
+    ~rationale:
+      "When bandwidths are missing the full connectivity check (RP-I009) \
+       is skipped, but an endpoint that the *declared* positive-bandwidth \
+       links cannot reach from Pin will stay unusable however the holes \
+       are filled by explicit declarations alone; it needs a new link or \
+       a `link default`."
+    ~example:"proc 1 0.1\nproc 1 0.1\nlink in 0 5\nlink 0 out 5   # proc 1 has no link at all"
+
 let rules =
   [
     r_speed; r_failure_domain; r_failure_zero; r_cost_domain; r_noop_stage;
     r_bandwidth_domain; r_undefined_proc; r_missing_bandwidth; r_disconnected;
     r_dominated; r_single_stage; r_duplicate_link; r_missing_directive;
+    r_unreachable_declared;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -140,7 +152,7 @@ let check_procs (s : Subject.t) out =
         out
           (Rule.diag r_failure_domain ?span:p.span
              "processor %d: failure probability %g is outside [0,1)" u p.failure)
-      else if p.failure = 0.0 then
+      else if Float.equal p.failure 0.0 then
         out
           (Rule.diag r_failure_zero ?span:p.span
              "processor %d never fails (fp = 0); the reliability constraint \
@@ -165,7 +177,8 @@ let check_stages (s : Subject.t) out =
           (Rule.diag r_cost_domain ?span:st.span
              "stage %d: output size %g is not finite and non-negative" (k + 1)
              st.output);
-      if (not bad_work) && (not bad_output) && st.work = 0.0 && st.output = 0.0
+      if (not bad_work) && (not bad_output) && Float.equal st.work 0.0
+         && Float.equal st.output 0.0
       then
         out
           (Rule.diag r_noop_stage ?span:st.span
@@ -262,7 +275,9 @@ let check_missing (s : Subject.t) out =
       done;
       !missing
 
-let check_connectivity (s : Subject.t) out =
+(* BFS from Pin over positive-bandwidth links (undeclared pairs are not
+   edges).  Index 0 is Pin, 1..m are processors, m+1 is Pout. *)
+let reachable_from_pin (s : Subject.t) =
   let m = Subject.num_procs s in
   let size = m + 2 in
   let reachable = Array.make size false in
@@ -280,6 +295,11 @@ let check_connectivity (s : Subject.t) out =
         | _ -> ()
     done
   done;
+  reachable
+
+let check_connectivity (s : Subject.t) out =
+  let m = Subject.num_procs s in
+  let reachable = reachable_from_pin s in
   Array.iteri
     (fun u (p : Subject.proc) ->
       if not reachable.(u + 1) then
@@ -293,6 +313,26 @@ let check_connectivity (s : Subject.t) out =
       (Rule.diag r_disconnected
          "Pout has no positive-bandwidth route to Pin; no mapping can \
           deliver results")
+
+(* Weaker complement of RP-I009 for instances with bandwidth holes: only
+   the declared links count, so a finding means no amount of re-declaring
+   the listed pairs can help — a new link (or `link default`) is needed. *)
+let check_unreachable_declared (s : Subject.t) out =
+  let m = Subject.num_procs s in
+  let reachable = reachable_from_pin s in
+  Array.iteri
+    (fun u (p : Subject.proc) ->
+      if not reachable.(u + 1) then
+        out
+          (Rule.diag r_unreachable_declared ?span:p.span
+             "processor %d is unreachable from Pin through the declared \
+              positive-bandwidth links; add a link or a `link default`" u))
+    s.Subject.procs;
+  if not reachable.(m + 1) then
+    out
+      (Rule.diag r_unreachable_declared
+         "Pout is unreachable from Pin through the declared \
+          positive-bandwidth links; add a link or a `link default`")
 
 let links_homogeneous (s : Subject.t) =
   let m = Subject.num_procs s in
@@ -375,6 +415,7 @@ let run (s : Subject.t) =
   check_stages s out;
   check_links s out;
   let holes = check_missing s out in
-  if not holes then check_connectivity s out;
+  if holes then check_unreachable_declared s out
+  else check_connectivity s out;
   check_dominance s out;
   List.rev !acc

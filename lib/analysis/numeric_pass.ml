@@ -34,7 +34,20 @@ let r_failure_near_one =
        so reliability differences between mappings may be noise."
     ~example:"proc 10 0.9999999999999"
 
-let rules = [ r_underflow; r_absorption; r_failure_near_one ]
+let r_subnormal_survival =
+  rule ~id:"RP-N004" ~severity:Severity.Warning
+    ~title:"failure probability so small its log-space term is subnormal"
+    ~rationale:
+      "Log-space reliability sums log1p(-fp) terms; when fp is below the \
+       smallest normal double (~2.2e-308) that term is subnormal, where \
+       doubles carry fewer significant bits, so the processor's \
+       contribution to any survival sum is mostly rounding noise.  Such \
+       an fp is indistinguishable from 0: declare it 0 (and accept that \
+       the processor cannot help the reliability constraint) or use a \
+       physically plausible magnitude."
+    ~example:"proc 1 1e-310"
+
+let rules = [ r_underflow; r_absorption; r_failure_near_one; r_subnormal_survival ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -113,10 +126,24 @@ let check_near_one (s : Subject.t) out =
              p.failure))
     s.Subject.procs
 
+let check_subnormal_survival (s : Subject.t) out =
+  Array.iteri
+    (fun u (p : Subject.proc) ->
+      if valid_failure p.failure && p.failure > 0.0 then
+        let term = Float.log1p (-.p.failure) in
+        if Float.abs term < Float.min_float then
+          out
+            (Rule.diag r_subnormal_survival ?span:p.span
+               "processor %d: failure probability %g makes the log-space \
+                survival term log1p(-fp) = %g subnormal; treat it as 0 or \
+                use a plausible magnitude" u p.failure term))
+    s.Subject.procs
+
 let run (s : Subject.t) =
   let acc = ref [] in
   let out d = acc := d :: !acc in
   check_underflow s out;
   check_absorption s out;
   check_near_one s out;
+  check_subnormal_survival s out;
   List.rev !acc

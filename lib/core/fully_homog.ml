@@ -24,7 +24,7 @@ let max_replicas_for_latency instance ~max_latency =
   let b = Option.get (Classify.common_bandwidth platform) in
   let delta0 = Pipeline.delta pipeline 0 in
   let slack = max_latency -. base_latency instance in
-  if delta0 = 0.0 then if F.geq slack 0.0 then max_int else 0
+  if Float.equal delta0 0.0 then if F.geq slack 0.0 then max_int else 0
   else begin
     let k = Float.floor ((slack *. b /. delta0) +. F.default_eps) in
     if k < 1.0 then 0 else int_of_float k

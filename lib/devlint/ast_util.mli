@@ -1,0 +1,47 @@
+(** Small helpers over the compiler-libs parsetree shared by the devlint
+    rules: location conversion, identifier paths, scope approximation. *)
+
+val span_of_location : Location.t -> Relpipe_util.Loc.span
+(** Convert a compiler location to the repo's 1-based [Loc.span]. *)
+
+val flatten : Longident.t -> string list option
+(** Dotted-path components; [None] for functor applications. *)
+
+val path_of_ident : Longident.t -> string option
+(** ["Module.sub.name"]; [None] for functor applications. *)
+
+val expr_path : Parsetree.expression -> string option
+(** The dotted path when the expression is an identifier. *)
+
+val path_suffix : int -> string -> string
+(** Last [n] dot-separated components (the whole path when shorter). *)
+
+val string_literal : Parsetree.expression -> string option
+
+val head_ident : Parsetree.expression -> string option
+(** Head variable of a projection chain ([t.a.b] gives ["t"]); [None]
+    for module-qualified or computed receivers. *)
+
+val pattern_names : string list -> Parsetree.pattern -> string list
+(** Names bound by one pattern, prepended to the accumulator. *)
+
+val bound_names : Parsetree.expression -> string list
+(** Every name bound by any pattern inside the expression (an
+    over-approximation of lexical scope: names free w.r.t. this set are
+    certainly not locals). *)
+
+val structure_binds : string -> Parsetree.structure -> bool
+(** Does any value binding in the file bind this name? *)
+
+val iter_exprs : (Parsetree.expression -> unit) -> Parsetree.structure -> unit
+(** Visit every expression exactly once, in syntax order. *)
+
+val iter_child_exprs :
+  (Parsetree.expression -> unit) -> Parsetree.expression -> unit
+(** Visit the immediate sub-expressions only — the recursion step for
+    handwritten walks that thread state through the descent. *)
+
+val bound_functions :
+  Parsetree.structure -> (string, Parsetree.expression) Hashtbl.t
+(** [let]-bound functions of the file, name -> defining [fun]/[function]
+    expression (last binding wins on shadowing). *)

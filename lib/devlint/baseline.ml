@@ -1,0 +1,103 @@
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  reason : string;
+  mutable used : bool;
+}
+
+type t = { source : string; entries : entry list }
+
+let empty = { source = "<none>"; entries = [] }
+
+(* First occurrence of " -- " splits the entry from its reason. *)
+let split_reason line =
+  let marker = " -- " in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+      (String.sub line 0 i, String.trim (String.sub line (i + m) (n - i - m)))
+  | None -> (line, "")
+
+(* "RP-S202 lib/obs/clock.ml[:LINE] [-- reason]" — one vetted exception
+   per line; blank lines and #-comments ignored. *)
+let parse_line lineno line =
+  let line, reason = split_reason line in
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match
+      String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+    with
+    | [ rule; target ] ->
+        let path, ln =
+          match String.rindex_opt target ':' with
+          | Some i -> (
+              let suffix = String.sub target (i + 1) (String.length target - i - 1) in
+              match int_of_string_opt suffix with
+              | Some n -> (String.sub target 0 i, Some n)
+              | None -> (target, None))
+          | None -> (target, None)
+        in
+        Ok
+          (Some
+             {
+               rule;
+               path = Source.normalize_path path;
+               line = ln;
+               reason;
+               used = false;
+             })
+    | _ ->
+        Error
+          (Printf.sprintf
+             "line %d: expected \"RULE-ID PATH[:LINE] [-- reason]\", got %S"
+             lineno line)
+
+let parse ~source text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] and err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then
+        match parse_line (i + 1) line with
+        | Ok (Some e) -> entries := e :: !entries
+        | Ok None -> ()
+        | Error msg -> err := Some msg)
+    lines;
+  match !err with
+  | Some msg -> Error msg
+  | None -> Ok { source; entries = List.rev !entries }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ~source:path text
+  | exception Sys_error msg -> Error msg
+
+(* A finding is vetted when an entry matches its rule, file, and (if the
+   entry pins one) its start line.  Matching marks the entry used, so
+   the driver can report stale entries. *)
+let matches t ~file (d : Relpipe_analysis.Diagnostic.t) =
+  let file = Source.normalize_path file in
+  let start_line =
+    match d.Relpipe_analysis.Diagnostic.span with
+    | Some s -> Some s.Relpipe_util.Loc.start.Relpipe_util.Loc.line
+    | None -> None
+  in
+  List.exists
+    (fun e ->
+      let hit =
+        e.rule = d.Relpipe_analysis.Diagnostic.rule
+        && e.path = file
+        && match e.line with None -> true | Some l -> start_line = Some l
+      in
+      if hit then e.used <- true;
+      hit)
+    t.entries
+
+let unused t = List.filter (fun e -> not e.used) t.entries

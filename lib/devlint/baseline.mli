@@ -1,0 +1,25 @@
+(** The allowlist of vetted devlint exceptions (devlint.baseline): one
+    "RULE-ID PATH[:LINE] [-- reason]" per line, '#' comments.  Matched
+    findings are dropped; entries that match nothing are reported as
+    stale by the driver. *)
+
+type entry = {
+  rule : string;
+  path : string;
+  line : int option;
+  reason : string;
+  mutable used : bool;
+}
+
+type t = { source : string; entries : entry list }
+
+val empty : t
+
+val parse : source:string -> string -> (t, string) result
+
+val load : string -> (t, string) result
+
+val matches : t -> file:string -> Relpipe_analysis.Diagnostic.t -> bool
+(** Marks the matching entry used. *)
+
+val unused : t -> entry list

@@ -1,0 +1,53 @@
+(** The devlint driver: discover [.ml] files, parse them with the
+    compiler's parser, run every (or a selected family of) rule pass,
+    apply in-source suppressions and the baseline, and render the
+    surviving findings deterministically.
+
+    Exit-code contract mirrors [relpipe lint]: 2 if any error survives,
+    1 if any warning, 0 otherwise (hints are informational). *)
+
+module Severity = Relpipe_analysis.Severity
+module Diagnostic = Relpipe_analysis.Diagnostic
+
+val rules : unit -> Drule.t list
+(** Full catalog in ID order (forces every rule family to register). *)
+
+val passes : (string * (Source.t -> (Diagnostic.t -> unit) -> unit)) list
+(** The rule families, keyed as [--family] selects them. *)
+
+type finding = { file : string; diag : Diagnostic.t }
+
+type report = {
+  findings : finding list;  (** survivors, sorted (file, span, rule) *)
+  files : int;  (** files analyzed *)
+  suppressed : int;  (** dropped by in-source [devlint: allow] comments *)
+  baselined : int;  (** dropped by baseline entries *)
+}
+
+val suppressions : string -> (int * string) list
+(** [(line, rule)] pairs suppressed by ["devlint: allow RP-..."] comments
+    (each comment covers its own line and the next). *)
+
+val run :
+  ?baseline:Baseline.t ->
+  ?families:string list ->
+  (string * string) list ->
+  report
+(** Run over [(path, text)] pairs.  Unparsable sources become RP-S001
+    findings; stale baseline entries become RP-S002 hints. *)
+
+val discover : string list -> string list
+(** All [.ml] files under the given roots, sorted; skips [_build],
+    [.git], [fixtures] and [snapshots] directories. *)
+
+val run_paths :
+  ?baseline:Baseline.t -> ?families:string list -> string list -> report
+
+val render_text : report -> string
+(** One "file:span: severity[rule]: message" line per finding plus a
+    byte-stable summary line. *)
+
+val render_json : report -> string
+(** Deterministic single-line JSON report (schema version 1). *)
+
+val exit_code : report -> int

@@ -1,0 +1,32 @@
+module Severity = Relpipe_analysis.Severity
+module Diagnostic = Relpipe_analysis.Diagnostic
+
+type t = {
+  id : string;
+  family : string;
+  severity : Severity.t;
+  title : string;
+  rationale : string;
+  example : string;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+let register rule =
+  if Hashtbl.mem registry rule.id then
+    invalid_arg (Printf.sprintf "Drule.register: duplicate rule ID %s" rule.id);
+  Hashtbl.add registry rule.id rule;
+  rule
+
+let find id = Hashtbl.find_opt registry id
+
+let all () =
+  (* devlint: allow RP-S204 — the fold's order is erased by the sort *)
+  Hashtbl.fold (fun _ r acc -> r :: acc) registry []
+  |> List.sort (fun a b -> String.compare a.id b.id)
+
+let families () =
+  List.sort_uniq String.compare (List.map (fun r -> r.family) (all ()))
+
+let diag rule ?span fmt =
+  Diagnostic.make ~rule:rule.id ~severity:rule.severity ?span fmt

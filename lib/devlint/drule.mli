@@ -1,0 +1,36 @@
+(** The devlint rule registry: metadata for source-level rules over
+    parsed [.ml] files, reusing the [relpipe lint] severity lattice and
+    diagnostics (spans, JSON) from {!Relpipe_analysis}.  The checks
+    themselves live in the per-family [Rule_*] modules, which the
+    {!Driver} runs. *)
+
+module Severity = Relpipe_analysis.Severity
+module Diagnostic = Relpipe_analysis.Diagnostic
+
+type t = {
+  id : string;  (** stable, e.g. ["RP-S101"] *)
+  family : string;
+      (** ["compare"], ["determinism"], ["race"], ["obs-names"], ["driver"] *)
+  severity : Severity.t;
+  title : string;
+  rationale : string;
+  example : string;  (** minimal violating snippet *)
+}
+
+val register : t -> t
+(** Add to the registry (raises on duplicate IDs); returns the rule. *)
+
+val find : string -> t option
+
+val all : unit -> t list
+(** Registered rules in ID order. *)
+
+val families : unit -> string list
+(** Distinct family names, sorted. *)
+
+val diag :
+  t ->
+  ?span:Relpipe_util.Loc.span ->
+  ('a, Format.formatter, unit, Diagnostic.t) format4 ->
+  'a
+(** Diagnostic constructor pinned to the rule's ID and severity. *)

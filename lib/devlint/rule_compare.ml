@@ -1,0 +1,159 @@
+(* Family "compare": the AST-grounded replacement for the old
+   tools/forbid.sh grep.  Works on the untyped parsetree, so it sees
+   shadowed/opened/partially-applied forms the grep could not (a bare
+   [compare] passed to [List.sort], [Stdlib.(=)] under an alias, a float
+   literal compared with [=] across a line break) — at the price of the
+   usual untyped blind spot: [a.speed = b.speed] on two float fields is
+   invisible without types, which is why the dynamic oracles stay. *)
+
+open Parsetree
+module A = Ast_util
+
+let rule ~id ~severity ~title ~rationale ~example =
+  Drule.register
+    { Drule.id; family = "compare"; severity; title; rationale; example }
+
+let r_poly =
+  rule ~id:"RP-S101" ~severity:Drule.Severity.Error
+    ~title:"polymorphic compare"
+    ~rationale:
+      "Structural compare mis-handles NaN (compare nan nan = 0 yet nan <> \
+       nan) and depends on representation for abstract types; every \
+       comparator must be typed (Int.compare, Float.compare, \
+       String.compare, a module's own compare)."
+    ~example:"let sorted xs = List.sort compare xs"
+
+let r_float_eq =
+  rule ~id:"RP-S102" ~severity:Drule.Severity.Error
+    ~title:"polymorphic equality on floats"
+    ~rationale:
+      "[=]/[<>] on a float operand is a polymorphic structural walk: slow, \
+       NaN-hostile, and a determinism trap once the operand reaches cache \
+       keys or output.  Use Float.equal, or Relpipe_util.Float_cmp for \
+       tolerant ordering."
+    ~example:"let is_free x = x = 0.0"
+
+let r_hash =
+  rule ~id:"RP-S103" ~severity:Drule.Severity.Warning
+    ~title:"polymorphic structural hash"
+    ~rationale:
+      "Hashtbl.hash walks the runtime representation: NaN payloads, \
+       closures and abstract types hash unstably across builds, so any \
+       cache key or output derived from it is not reproducible.  Hash a \
+       canonical encoding instead (as Service.Canon does)."
+    ~example:"let key inst = Hashtbl.hash inst"
+
+let rules = [ r_poly; r_float_eq; r_hash ]
+
+(* ------------------------------------------------------------------ *)
+
+let poly_compare_paths =
+  [ "Stdlib.compare"; "Pervasives.compare"; "Stdlib.Pervasives.compare" ]
+
+let stdlib_poly_ops =
+  [ "Stdlib.="; "Stdlib.<>"; "Stdlib.<"; "Stdlib.>"; "Stdlib.<="; "Stdlib.>=" ]
+
+let hash_paths = [ "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param" ]
+
+(* Stdlib float functions whose result is float: an application of one of
+   these is syntactic evidence the operand of [=] is a float. *)
+let float_ops =
+  [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+
+let float_fns =
+  [
+    "sqrt"; "exp"; "exp2"; "log"; "log10"; "log2"; "log1p"; "expm1"; "cos";
+    "sin"; "tan"; "acos"; "asin"; "atan"; "atan2"; "hypot"; "cosh"; "sinh";
+    "tanh"; "ceil"; "floor"; "copysign"; "abs_float"; "mod_float";
+    "float_of_int"; "float_of_string"; "float"; "ldexp"; "frexp";
+  ]
+
+let float_consts =
+  [
+    "infinity"; "neg_infinity"; "nan"; "epsilon_float"; "max_float";
+    "min_float";
+  ]
+
+(* Float.* functions that do NOT return float (so [Float.equal a b = x]
+   is not a float comparison). *)
+let float_module_non_float =
+  [
+    "Float.equal"; "Float.compare"; "Float.is_finite"; "Float.is_nan";
+    "Float.is_integer"; "Float.to_int"; "Float.to_string"; "Float.sign_bit";
+    "Float.classify_float"; "Float.hash"; "Float.seeded_hash";
+  ]
+
+let float_module_path p =
+  String.length p > 6
+  && String.sub p 0 6 = "Float."
+  && not (List.mem p float_module_non_float)
+
+let is_floatish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident _ -> (
+      match A.expr_path e with
+      | Some p -> List.mem p float_consts || float_module_path p
+      | None -> false)
+  | Pexp_apply (f, _) -> (
+      match A.expr_path f with
+      | Some p ->
+          List.mem p float_ops || List.mem p float_fns || float_module_path p
+      | None -> false)
+  | _ -> false
+
+let check (src : Source.t) out =
+  (* A file that defines its own [compare] (Severity, Loc, ...) uses the
+     bare name for that typed comparator; exempt the whole file rather
+     than attempt lexical resolution on the untyped tree. *)
+  let defines_compare = A.structure_binds "compare" src.Source.structure in
+  let rebinds op = A.structure_binds op src.Source.structure in
+  let eq_rebound = rebinds "=" and ne_rebound = rebinds "<>" in
+  let span (e : expression) = A.span_of_location e.pexp_loc in
+  A.iter_exprs
+    (fun e ->
+      (match e.pexp_desc with
+      | Pexp_ident _ -> (
+          match A.expr_path e with
+          | Some "compare" when not defines_compare ->
+              out
+                (Drule.diag r_poly ~span:(span e)
+                   "bare polymorphic compare; use a typed comparator \
+                    (Int.compare, Float.compare, String.compare, or the \
+                    module's own compare)")
+          | Some p when List.mem p poly_compare_paths ->
+              out
+                (Drule.diag r_poly ~span:(span e)
+                   "%s is the polymorphic compare; use a typed comparator" p)
+          | Some p when List.mem p stdlib_poly_ops ->
+              out
+                (Drule.diag r_poly ~span:(span e)
+                   "%s is a polymorphic comparison operator; use the typed \
+                    equivalent (Int.equal, Float.compare, ...)"
+                   p)
+          | Some p when List.mem p hash_paths ->
+              out
+                (Drule.diag r_hash ~span:(span e)
+                   "%s is the polymorphic structural hash; hash a canonical \
+                    encoding instead"
+                   p)
+          | _ -> ())
+      | _ -> ());
+      match e.pexp_desc with
+      | Pexp_apply (op, [ (Asttypes.Nolabel, a); (Asttypes.Nolabel, b) ]) -> (
+          match A.expr_path op with
+          | Some "=" when (not eq_rebound) && (is_floatish a || is_floatish b)
+            ->
+              out
+                (Drule.diag r_float_eq ~span:(span e)
+                   "float equality via polymorphic =; use Float.equal (or \
+                    Relpipe_util.Float_cmp for tolerance)")
+          | Some "<>" when (not ne_rebound) && (is_floatish a || is_floatish b)
+            ->
+              out
+                (Drule.diag r_float_eq ~span:(span e)
+                   "float disequality via polymorphic <>; use \
+                    not (Float.equal ...) (or Relpipe_util.Float_cmp)")
+          | _ -> ())
+      | _ -> ())
+    src.Source.structure

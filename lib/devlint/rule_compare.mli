@@ -1,0 +1,6 @@
+(** Family "compare" — AST-grounded poly-compare/float-equality lint,
+    the replacement for the retired tools/forbid.sh grep. *)
+
+val rules : Drule.t list
+
+val check : Source.t -> (Drule.Diagnostic.t -> unit) -> unit

@@ -1,0 +1,6 @@
+(** Family "determinism" — ambient randomness, wall-clock reads,
+    scheduling-dependent identity and unordered Hashtbl iteration. *)
+
+val rules : Drule.t list
+
+val check : Source.t -> (Drule.Diagnostic.t -> unit) -> unit

@@ -1,0 +1,151 @@
+(* Family "obs-names": every metric/span name literal handed to the
+   observability layer must match the contract grammar documented in
+   doc/index.mld — dot-separated segments of lowercase letters, digits
+   and underscores, at least two of them, rooted at one of the
+   documented namespaces.  Names built by concatenation are checked on
+   their literal head ("fuzz.oracle." ^ name ^ ...); a name with no
+   literal head at all is only a hint (the plumbing layers forward
+   caller-validated names). *)
+
+open Parsetree
+module A = Ast_util
+
+let rule ~id ~severity ~title ~rationale ~example =
+  Drule.register
+    { Drule.id; family = "obs-names"; severity; title; rationale; example }
+
+let r_bad_name =
+  rule ~id:"RP-S401" ~severity:Drule.Severity.Error
+    ~title:"metric/span name violates the contract grammar"
+    ~rationale:
+      "doc/index.mld documents every recorded name; dashboards, the prof \
+       subcommand and the golden snapshots key on them.  A name must be \
+       dot-separated lowercase segments ([a-z][a-z0-9_]*), at least two \
+       deep, rooted at engine/pool/core/fuzz."
+    ~example:"Obs.incr obs \"Solved-Requests\""
+
+let r_dynamic_name =
+  rule ~id:"RP-S402" ~severity:Drule.Severity.Hint
+    ~title:"metric/span name is not statically checkable"
+    ~rationale:
+      "A name with no literal prefix cannot be checked against the \
+       doc/index.mld contract; make the prefix literal where possible, or \
+       suppress at forwarding layers whose callers are checked."
+    ~example:"Obs.incr obs (prefix ^ \".hits\")"
+
+let rules = [ r_bad_name; r_dynamic_name ]
+
+(* ------------------------------------------------------------------ *)
+
+let roots = [ "core"; "engine"; "fuzz"; "pool" ]
+
+(* Recording entry points, by 2-component path suffix, with the position
+   of the name among the unlabeled arguments ([`Label] for ~name). *)
+let name_slots =
+  [
+    ("Obs.add", `Nolabel 1); ("Obs.incr", `Nolabel 1);
+    ("Obs.observe", `Nolabel 1); ("Obs.gauge_set", `Nolabel 1);
+    ("Obs.gauge_max", `Nolabel 1); ("Obs.span", `Nolabel 1);
+    ("Obs.instant", `Nolabel 1); ("Metric.counter", `Nolabel 1);
+    ("Metric.gauge", `Nolabel 1); ("Metric.histogram", `Nolabel 1);
+    ("Trace.span", `Nolabel 1); ("Trace.instant", `Nolabel 1);
+    ("Lru.create_in", `Label "name");
+  ]
+
+let seg_ok s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+(* [complete = false] checks a literal concatenation head: the trailing
+   (possibly partial or empty) segment is dropped before validation. *)
+let name_error ~complete name =
+  let segs = String.split_on_char '.' name in
+  let segs = if complete then segs else List.filteri (fun i _ -> i < List.length segs - 1) segs in
+  match segs with
+  | [] -> Some "empty name"
+  | root :: rest ->
+      if not (List.for_all seg_ok (root :: rest)) then
+        Some "segments must match [a-z][a-z0-9_]* separated by dots"
+      else if not (List.mem root roots) then
+        Some
+          (Printf.sprintf "root %S is not a documented namespace (%s)" root
+             (String.concat "/" roots))
+      else if complete && rest = [] then
+        Some "a name needs at least two segments"
+      else None
+
+(* Leftmost operand of a ^-concatenation chain, when it is a literal. *)
+let rec literal_head (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | Pexp_apply (f, (Asttypes.Nolabel, a) :: _) -> (
+      match A.expr_path f with
+      | Some ("^" | "Stdlib.^") -> literal_head a
+      | _ -> None)
+  | _ -> None
+
+let check (src : Source.t) out =
+  A.iter_exprs
+    (fun e ->
+      match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+          let slot =
+            match A.expr_path f with
+            | Some p -> List.assoc_opt (A.path_suffix 2 p) name_slots
+            | None -> None
+          in
+          match slot with
+          | None -> ()
+          | Some slot -> (
+              let name_arg =
+                match slot with
+                | `Nolabel i ->
+                    let unlabeled =
+                      List.filter_map
+                        (fun (l, a) ->
+                          match l with Asttypes.Nolabel -> Some a | _ -> None)
+                        args
+                    in
+                    List.nth_opt unlabeled i
+                | `Label l ->
+                    List.find_map
+                      (fun (lab, a) ->
+                        match lab with
+                        | Asttypes.Labelled l' when l' = l -> Some a
+                        | _ -> None)
+                      args
+              in
+              match name_arg with
+              | None -> ()
+              | Some arg -> (
+                  let span = A.span_of_location arg.pexp_loc in
+                  match A.string_literal arg with
+                  | Some name -> (
+                      match name_error ~complete:true name with
+                      | Some why ->
+                          out
+                            (Drule.diag r_bad_name ~span
+                               "name %S violates the obs contract: %s" name
+                               why)
+                      | None -> ())
+                  | None -> (
+                      match literal_head arg with
+                      | Some head -> (
+                          match name_error ~complete:false head with
+                          | Some why ->
+                              out
+                                (Drule.diag r_bad_name ~span
+                                   "name prefix %S violates the obs \
+                                    contract: %s"
+                                   head why)
+                          | None -> ())
+                      | None ->
+                          out
+                            (Drule.diag r_dynamic_name ~span
+                               "name has no literal prefix; the contract \
+                                cannot be checked here")))))
+      | _ -> ())
+    src.Source.structure

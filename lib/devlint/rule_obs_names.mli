@@ -1,0 +1,6 @@
+(** Family "obs-names" — metric/span name literals must match the
+    doc/index.mld contract grammar. *)
+
+val rules : Drule.t list
+
+val check : Source.t -> (Drule.Diagnostic.t -> unit) -> unit

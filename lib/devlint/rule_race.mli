@@ -1,0 +1,6 @@
+(** Family "race" — unsynchronized writes to captured mutable state
+    inside closures submitted to Service.Pool.map or Domain.spawn. *)
+
+val rules : Drule.t list
+
+val check : Source.t -> (Drule.Diagnostic.t -> unit) -> unit

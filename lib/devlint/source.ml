@@ -1,0 +1,29 @@
+module Loc = Relpipe_util.Loc
+
+type t = { path : string; text : string; structure : Parsetree.structure }
+
+type parse_error = { span : Loc.span; reason : string }
+
+let normalize_path p =
+  let p = String.concat "/" (String.split_on_char '\\' p) in
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let parse_text ~path text =
+  let path = normalize_path path in
+  let lexbuf = Lexing.from_string text in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok { path; text; structure }
+  | exception Syntaxerr.Error err ->
+      let span = Ast_util.span_of_location (Syntaxerr.location_of_error err) in
+      Error { span; reason = "syntax error" }
+  | exception Lexer.Error (_, loc) ->
+      Error { span = Ast_util.span_of_location loc; reason = "lexical error" }
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_text ~path text
+  | exception Sys_error msg ->
+      Error { span = Loc.dummy; reason = msg }

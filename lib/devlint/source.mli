@@ -1,0 +1,18 @@
+(** A parsed [.ml] source file: the unit every devlint rule runs over. *)
+
+type t = {
+  path : string;  (** normalized ('/'-separated, no leading "./") *)
+  text : string;
+  structure : Parsetree.structure;
+}
+
+type parse_error = { span : Relpipe_util.Loc.span; reason : string }
+
+val normalize_path : string -> string
+
+val parse_text : path:string -> string -> (t, parse_error) result
+(** Parse source text with the compiler's own parser (so devlint sees
+    exactly the syntax the build sees). *)
+
+val load : string -> (t, parse_error) result
+(** Read and parse a file; IO errors carry the system message. *)

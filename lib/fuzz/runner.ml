@@ -78,6 +78,9 @@ let run config =
               (o, r, Clock.now_ns clk - t0))
             config.oracles
         in
+        (* slot case.id has exactly one writer and is read only after
+           Pool.map joins its workers *)
+        (* devlint: allow RP-S301 *)
         durs.(case.Gen.id) <-
           Array.of_list (List.map (fun (o, _, d) -> (o.Oracle.name, d)) timed);
         List.map (fun (o, r, _) -> (o, r)) timed
@@ -173,7 +176,7 @@ let render report =
      worker count. *)
   pr "relpipe fuzz: seed=%d count=%d oracles=%d shape=%dx%d" c.seed c.count
     (List.length c.oracles) c.max_stages c.max_procs;
-  if c.perturb <> 0.0 then pr " perturb=%g" c.perturb;
+  if not (Float.equal c.perturb 0.0) then pr " perturb=%g" c.perturb;
   pr "\n";
   let width =
     List.fold_left

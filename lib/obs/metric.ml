@@ -167,6 +167,7 @@ let render_line name = function
 
 let sorted_bindings t =
   Mutex.lock t.mu;
+  (* devlint: allow RP-S204 — the fold's order is erased by the sort below *)
   let bindings = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
   Mutex.unlock t.mu;
   List.sort (fun (a, _) (b, _) -> String.compare a b) bindings

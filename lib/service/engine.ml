@@ -202,6 +202,9 @@ let run_batch t reqs =
     | None -> solve_job r
     | Some o ->
         let child = Obs.fork o j in
+        (* slot j is written only by job j's worker and read after Pool.map
+           returns, which joins its domains *)
+        (* devlint: allow RP-S301 *)
         children.(j) <- Some child;
         Obs.with_ambient (Some child) (fun () ->
             Obs.span (Some child)

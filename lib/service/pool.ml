@@ -94,6 +94,7 @@ let map ?obs ~workers f jobs =
         | None -> ()
         | Some (i, job) ->
             let r = match timed i job with v -> Ok v | exception e -> Error e in
+            (* devlint: allow RP-S301 — exactly one writer per slot i *)
             results.(i) <- Some r;
             loop ()
       in

@@ -23,7 +23,7 @@ let check_inputs instance ~rates ~mission =
 
 let sample_failure_times rng rates =
   Array.map
-    (fun rate -> if rate = 0.0 then Float.infinity else Rng.exponential rng rate)
+    (fun rate -> if Float.equal rate 0.0 then Float.infinity else Rng.exponential rng rate)
     rates
 
 let interval_death_time platform mapping failure_times =

@@ -24,7 +24,7 @@ let approx_eq_rel ?(eps = default_eps) a b =
 let leq_rel ?eps a b = a < b || approx_eq_rel ?eps a b
 let geq ?eps a b = a > b || approx_eq ?eps a b
 
-let compare ?eps a b = if approx_eq ?eps a b then 0 else Stdlib.compare a b
+let compare ?eps a b = if approx_eq ?eps a b then 0 else Float.compare a b
 
 let clamp ~lo ~hi x = Float.min hi (Float.max lo x)
 

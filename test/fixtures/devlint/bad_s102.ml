@@ -1,0 +1,1 @@
+let is_free x = x = 0.0

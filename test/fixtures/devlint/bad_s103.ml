@@ -1,0 +1,1 @@
+let key inst = Hashtbl.hash inst

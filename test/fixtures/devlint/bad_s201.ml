@@ -1,0 +1,1 @@
+let jitter () = Random.float 1.0

@@ -1,0 +1,1 @@
+let stamp () = Sys.time ()

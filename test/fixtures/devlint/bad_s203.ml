@@ -1,0 +1,1 @@
+let tag () = (Domain.self () :> int)

@@ -1,0 +1,1 @@
+let dump t = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) t

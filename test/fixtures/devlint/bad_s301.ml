@@ -1,0 +1,4 @@
+let total pool jobs =
+  let sum = ref 0 in
+  let _ = Pool.map pool (fun j -> sum := !sum + j) jobs in
+  !sum

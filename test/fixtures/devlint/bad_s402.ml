@@ -1,0 +1,1 @@
+let named reg name = Metric.counter reg name

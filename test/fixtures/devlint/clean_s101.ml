@@ -1,0 +1,1 @@
+let sorted xs = List.sort Int.compare xs

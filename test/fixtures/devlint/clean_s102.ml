@@ -1,0 +1,1 @@
+let is_free x = Float.equal x 0.0

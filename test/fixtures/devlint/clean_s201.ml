@@ -1,0 +1,1 @@
+let jitter rng = Rng.float rng 1.0

@@ -1,0 +1,1 @@
+let stamp clock = Clock.now_ns clock

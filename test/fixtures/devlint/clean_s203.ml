@@ -1,0 +1,1 @@
+let pause () = Domain.cpu_relax ()

@@ -1,0 +1,4 @@
+let keys t =
+  List.sort String.compare
+    (* devlint: allow RP-S204 — the fold's order is erased by the sort *)
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t [])

@@ -1,0 +1,20 @@
+let total pool jobs =
+  let sum = Atomic.make 0 in
+  let _ = Pool.map pool (fun j -> Atomic.fetch_and_add sum j) jobs in
+  Atomic.get sum
+
+let total_locked pool mu count jobs =
+  let _ =
+    Pool.map pool
+      (fun j -> Mutex.protect mu (fun () -> count := !count + j))
+      jobs
+  in
+  !count
+
+let per_worker pool jobs =
+  Pool.map pool
+    (fun j ->
+      let acc = ref 0 in
+      acc := j;
+      !acc)
+    jobs

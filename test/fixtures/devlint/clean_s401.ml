@@ -1,0 +1,1 @@
+let hits reg = Metric.counter reg "core.solver.hits"

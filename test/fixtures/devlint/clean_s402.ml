@@ -1,0 +1,1 @@
+let named reg suffix = Metric.counter reg ("core.cache." ^ suffix)

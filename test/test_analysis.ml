@@ -27,6 +27,7 @@ let tally ds =
     ds;
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
+    (* devlint: allow RP-S204 — the fold's order is erased by the sort *)
     (Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl [])
 
 let pp_tally t =
@@ -55,9 +56,15 @@ let fixture_cases =
     ("defect_I011.relpipe", [ ("RP-I011", 1) ], Some ("RP-I011", Some 2));
     ("defect_I012.relpipe", [ ("RP-I012", 1) ], Some ("RP-I012", Some 8));
     ("defect_I013.relpipe", [ ("RP-I013", 1) ], Some ("RP-I013", None));
+    ( "defect_I014.relpipe",
+      [ ("RP-I008", 3); ("RP-I014", 1) ],
+      Some ("RP-I014", Some 5) );
     ("defect_N001.relpipe", [ ("RP-N001", 1) ], Some ("RP-N001", None));
     ("defect_N002.relpipe", [ ("RP-N002", 1) ], Some ("RP-N002", Some 3));
     ("defect_N003.relpipe", [ ("RP-N003", 1) ], Some ("RP-N003", Some 4));
+    ( "defect_N004.relpipe",
+      [ ("RP-N001", 1); ("RP-N004", 1) ],
+      Some ("RP-N004", Some 4) );
     ("defect_P001.relpipe", [ ("RP-P001", 1) ], Some ("RP-P001", Some 2));
   ]
 
@@ -96,7 +103,7 @@ let fixture_tests =
 
 let test_registry () =
   let rules = Analysis.rules () in
-  Alcotest.(check int) "24 registered rules" 24 (List.length rules);
+  Alcotest.(check int) "26 registered rules" 26 (List.length rules);
   let ids = List.map (fun r -> r.Rule.id) rules in
   Alcotest.(check bool)
     "ids sorted and unique" true

@@ -62,7 +62,7 @@ let dijkstra_unreachable () =
   Alcotest.(check bool) "unreachable" true
     (Dijkstra.shortest_path g ~src:0 ~dst:2 = None);
   let dist = Dijkstra.distances g ~src:0 in
-  Alcotest.(check bool) "inf distance" true (dist.(2) = Float.infinity)
+  Alcotest.(check bool) "inf distance" true (Float.equal dist.(2) Float.infinity)
 
 let dijkstra_rejects_negative () =
   let g = Graph.of_edges 2 [ (0, 1, -1.0) ] in
@@ -196,8 +196,8 @@ let held_karp_matches_brute =
       with
       | Some (a, pa), Some (b, pb) ->
           F.approx_eq a b
-          && List.sort compare pa = List.init n Fun.id
-          && List.sort compare pb = List.init n Fun.id
+          && List.sort Int.compare pa = List.init n Fun.id
+          && List.sort Int.compare pb = List.init n Fun.id
       | None, None -> true
       | _ -> false)
 

@@ -58,7 +58,7 @@ let test_clock_fork () =
 
 let test_counter_parallel_no_lost_updates () =
   let reg = Metric.create () in
-  let c = Metric.counter reg "par.counter" in
+  let c = Metric.counter reg "pool.counter" in
   let per_domain = 25_000 in
   let domains =
     List.init 4 (fun _ ->
@@ -70,25 +70,25 @@ let test_counter_parallel_no_lost_updates () =
   List.iter Domain.join domains;
   check_int "no lost updates" (4 * per_domain) (Metric.Counter.value c);
   (* The registered counter and a fresh lookup are the same instrument. *)
-  Metric.Counter.add (Metric.counter reg "par.counter") 5;
+  Metric.Counter.add (Metric.counter reg "pool.counter") 5;
   check_int "lookup aliases" ((4 * per_domain) + 5) (Metric.Counter.value c)
 
 let test_registry_kind_mismatch () =
   let reg = Metric.create () in
-  ignore (Metric.counter reg "x");
-  (match Metric.gauge reg "x" with
+  ignore (Metric.counter reg "core.x");
+  (match Metric.gauge reg "core.x" with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected a kind error for counter-vs-gauge");
-  (match Metric.histogram reg "x" with
+  (match Metric.histogram reg "core.x" with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "expected a kind error for counter-vs-histogram")
 
 let test_noop_registry_is_silent () =
   let reg = Metric.noop () in
   check_bool "not live" false (Metric.is_live reg);
-  Metric.Counter.add (Metric.counter reg "c") 7;
-  Metric.Gauge.record_max (Metric.gauge reg "g") 9;
-  Metric.Histogram.observe (Metric.histogram reg "h") 3.0;
+  Metric.Counter.add (Metric.counter reg "core.c") 7;
+  Metric.Gauge.record_max (Metric.gauge reg "core.g") 9;
+  Metric.Histogram.observe (Metric.histogram reg "core.h") 3.0;
   check_str "renders empty" "" (Metric.render_jsonl reg);
   check_int "no bindings" 0 (List.length (Metric.bindings reg))
 
@@ -172,34 +172,34 @@ let test_trace_span_timing () =
   let clock = Clock.virtual_ () in
   let t = Trace.create ~clock in
   let v =
-    Trace.span t ~attrs:[ ("k", "v") ] "outer" (fun () ->
-        Trace.instant t "mark";
+    Trace.span t ~attrs:[ ("k", "v") ] "core.outer" (fun () ->
+        Trace.instant t "core.mark";
         42)
   in
   check_int "span returns the body's value" 42 v;
   match Trace.events t with
   | [ mark; outer ] ->
       (* Completion order: the instant fires inside the span. *)
-      check_str "instant name" "mark" mark.Trace.name;
+      check_str "instant name" "core.mark" mark.Trace.name;
       check_int "instant ts" 1000 mark.Trace.ts;
       check_bool "instant has no duration" true (Option.is_none mark.Trace.dur);
-      check_str "span name" "outer" outer.Trace.name;
+      check_str "span name" "core.outer" outer.Trace.name;
       check_int "span start" 0 outer.Trace.ts;
       (match outer.Trace.dur with
       | Some 2000 -> ()
       | _ -> Alcotest.fail "span duration should cover both inner reads");
       check_str "jsonl rendering"
-        ("{\"ts\":1000,\"name\":\"mark\"}\n"
-       ^ "{\"ts\":0,\"dur\":2000,\"name\":\"outer\",\"attrs\":{\"k\":\"v\"}}\n")
+        ("{\"ts\":1000,\"name\":\"core.mark\"}\n"
+       ^ "{\"ts\":0,\"dur\":2000,\"name\":\"core.outer\",\"attrs\":{\"k\":\"v\"}}\n")
         (Trace.to_jsonl t)
   | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
 
 let test_trace_span_records_on_exception () =
   let t = Trace.create ~clock:(Clock.virtual_ ()) in
-  (try Trace.span t "boom" (fun () -> failwith "boom") with Failure _ -> ());
+  (try Trace.span t "core.boom" (fun () -> failwith "boom") with Failure _ -> ());
   match Trace.events t with
   | [ e ] ->
-      check_str "event recorded" "boom" e.Trace.name;
+      check_str "event recorded" "core.boom" e.Trace.name;
       check_bool "has duration" true (Option.is_some e.Trace.dur)
   | _ -> Alcotest.fail "span must record on exception"
 
@@ -208,14 +208,14 @@ let test_trace_append_in_job_order () =
   let children =
     List.init 3 (fun i ->
         let c = Trace.create ~clock:(Clock.virtual_ ~start:(i * 100) ()) in
-        Trace.instant c (Printf.sprintf "job-%d" i);
+        Trace.instant c ("core.job_" ^ string_of_int i);
         c)
   in
   List.iter (fun c -> Trace.append ~into:parent c) children;
   let names = List.map (fun e -> e.Trace.name) (Trace.events parent) in
   Alcotest.(check (list string))
     "merged in append order"
-    [ "job-0"; "job-1"; "job-2" ]
+    [ "core.job_0"; "core.job_1"; "core.job_2" ]
     names
 
 (* ------------------------------------------------------------------ *)

@@ -127,10 +127,10 @@ let test_json_non_finite () =
     | Error e -> Alcotest.failf "parse failed: %s" e
   in
   (match back infinity with
-  | Some f when f = infinity -> ()
+  | Some f when Float.equal f infinity -> ()
   | _ -> Alcotest.fail "inf round trip");
   (match back neg_infinity with
-  | Some f when f = neg_infinity -> ()
+  | Some f when Float.equal f neg_infinity -> ()
   | _ -> Alcotest.fail "-inf round trip");
   match back nan with
   | Some f when Float.is_nan f -> ()

@@ -72,7 +72,7 @@ let rng_permutation_valid =
       let n = 1 + (seed mod 20) in
       let p = Rng.permutation rng n in
       let sorted = Array.copy p in
-      Array.sort compare sorted;
+      Array.sort Int.compare sorted;
       sorted = Array.init n Fun.id)
 
 let rng_split_independent () =
@@ -279,7 +279,12 @@ let pqueue_oracle_stress () =
       incr seq
     end
     else begin
-      let sorted = List.sort compare !oracle in
+      let sorted =
+        List.sort
+          (fun (p, s) (p', s') ->
+            match Float.compare p p' with 0 -> Int.compare s s' | c -> c)
+          !oracle
+      in
       match sorted, Pqueue.pop q with
       | (p, s) :: rest, Some (p', s') ->
           Alcotest.(check (float 0.0)) "priority" p p';
@@ -302,7 +307,7 @@ let bitset_model =
       let set, model =
         List.fold_left
           (fun (set, model) (i, add) ->
-            if add then (Bitset.add i set, List.sort_uniq compare (i :: model))
+            if add then (Bitset.add i set, List.sort_uniq Int.compare (i :: model))
             else (Bitset.remove i set, List.filter (( <> ) i) model))
           (Bitset.empty, []) ops
       in
@@ -381,10 +386,10 @@ let combin_subsets_of_size () =
   Alcotest.(check int) "C(5,3)" 10 (List.length subsets);
   Alcotest.(check bool) "sorted & distinct" true
     (List.for_all
-       (fun s -> List.length s = 3 && List.sort_uniq compare s = s)
+       (fun s -> List.length s = 3 && List.sort_uniq Int.compare s = s)
        subsets);
   Alcotest.(check int) "all unique" 10
-    (List.length (List.sort_uniq compare subsets))
+    (List.length (List.sort_uniq (List.compare Int.compare) subsets))
 
 let combin_permutations_count () =
   Alcotest.(check int) "4! perms" 24
@@ -393,9 +398,9 @@ let combin_permutations_count () =
 
 let combin_permutations_distinct () =
   let perms = List.of_seq (Combin.permutations [ 1; 2; 3; 4 ]) in
-  Alcotest.(check int) "distinct" 24 (List.length (List.sort_uniq compare perms));
+  Alcotest.(check int) "distinct" 24 (List.length (List.sort_uniq (List.compare Int.compare) perms));
   Alcotest.(check bool) "each is a permutation" true
-    (List.for_all (fun p -> List.sort compare p = [ 1; 2; 3; 4 ]) perms)
+    (List.for_all (fun p -> List.sort Int.compare p = [ 1; 2; 3; 4 ]) perms)
 
 let combin_disjoint_assignments () =
   let pool = Relpipe_util.Bitset.full 3 in
@@ -438,7 +443,7 @@ let combin_injections () =
   Alcotest.(check int) "3*2 injections" 6 (List.length inj);
   Alcotest.(check bool) "entries distinct" true
     (List.for_all
-       (fun l -> List.length (List.sort_uniq compare l) = List.length l)
+       (fun l -> List.length (List.sort_uniq Int.compare l) = List.length l)
        inj)
 
 (* ------------------------------------------------------------------ *)

@@ -18,6 +18,11 @@ tools/forbid.sh
 
 relpipe=_build/default/bin/relpipe_cli.exe
 
+echo "== relpipe devlint: repository sources =="
+# The AST-grounded source linter must be fully clean (exit 0) on the
+# shipped tree: hints are fine, warnings and errors are not vetted.
+"$relpipe" devlint
+
 lint() {
   # Accept exit 0 (clean) and 1 (warnings); 2+ (errors) fails.
   "$@" && rc=0 || rc=$?

@@ -1,47 +1,29 @@
 #!/bin/sh
-# Grep-lint: ban polymorphic comparison in lib/.
+# Lint: ban polymorphic comparison in the shipped sources.
 #
 # Structural compare on floats silently mis-handles NaN (compare nan nan
 # = 0 but nan <> nan) and on abstract types it depends on representation;
-# every comparator in lib/ must be a typed one (Int.compare,
-# Float.compare, String.compare, a module's own compare, or
-# Relpipe_util.Float_cmp for tolerant float ordering).
+# every comparator must be a typed one (Int.compare, Float.compare,
+# String.compare, a module's own compare, or Relpipe_util.Float_cmp for
+# tolerant float ordering).
 #
-# Exit 0 when clean, 1 with the offending lines otherwise.
+# Since the devlint PR this is a thin wrapper over the AST-grounded
+# checker (`relpipe devlint --family compare`), which also catches the
+# shadowed and float-equality forms the old grep missed.  The contract
+# is unchanged: exit 0 when clean, 1 with the offending lines otherwise.
 
 set -u
 cd "$(dirname "$0")/.."
 
-status=0
-
-fail() {
-  echo "forbid.sh: $1" >&2
-  echo "$2" | sed 's/^/  /' >&2
-  status=1
-}
-
-# Files under scrutiny: library sources, minus the one module allowed to
-# touch Stdlib.compare (it implements the tolerant comparator).
-files=$(find lib -name '*.ml' ! -path 'lib/util/float_cmp.ml')
-
-# 1. Explicit Stdlib/Pervasives polymorphic compare.
-hits=$(grep -n 'Stdlib\.compare\|Pervasives\.compare' $files /dev/null)
-[ -n "$hits" ] && fail "Stdlib.compare is banned in lib/ (use a typed comparator)" "$hits"
-
-# 2. Bare `compare` handed to a sort/uniq as the comparator.
-hits=$(grep -nE '(List\.sort|List\.stable_sort|List\.sort_uniq|Array\.sort|Array\.stable_sort)[[:space:]]+compare\b' $files /dev/null)
-[ -n "$hits" ] && fail "bare polymorphic compare used as a sort comparator" "$hits"
-
-# 3. Bare `compare` applied to arguments (e.g. `compare (Platform.speed ...`)
-#    or left dangling at end of line in a multi-line application.  Typed
-#    comparators are Module.compare and never match \bcompare with no dot.
-hits=$(grep -nE '(^|[^.A-Za-z_])compare[[:space:]]+\(' $files /dev/null | grep -v 'let compare')
-[ -n "$hits" ] && fail "bare polymorphic compare applied to expressions" "$hits"
-
-hits=$(grep -nE '(^|[^.A-Za-z_])compare[[:space:]]*$' $files /dev/null)
-[ -n "$hits" ] && fail "bare polymorphic compare (dangling application)" "$hits"
-
-if [ $status -eq 0 ]; then
-  echo "forbid.sh: clean"
+relpipe=_build/default/bin/relpipe_cli.exe
+if [ ! -x "$relpipe" ]; then
+  dune build bin/relpipe_cli.exe || exit 1
 fi
-exit $status
+
+if "$relpipe" devlint --family compare lib bin bench test; then
+  echo "forbid.sh: clean"
+  exit 0
+else
+  echo "forbid.sh: polymorphic/float comparison findings above" >&2
+  exit 1
+fi
