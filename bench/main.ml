@@ -432,7 +432,102 @@ let batch_throughput () =
   if not identical then failwith "batch engine nondeterminism detected";
   { t_requests = 200; t_workers_par = par; t_sec_seq = sec_seq; t_sec_par = sec_par }
 
-let write_json path ~virtual_clock ~twins kernels throughput =
+(* Serve-daemon throughput: the same style of sweep pushed through a live
+   [relpipe serve] daemon on a Unix socket by one pipelined client — so
+   the figure includes framing, admission batching and the per-session
+   window, not just the engine.  Run at 1 worker and at [par] workers;
+   the reply stream must be byte-identical across the two (200 distinct
+   instances, single session: admission order is send order). *)
+type serve_point = { s_workers : int; s_sec : float; s_requests : int }
+
+let serve_throughput () =
+  let module Protocol = Relpipe_service.Protocol in
+  let module Engine = Relpipe_service.Engine in
+  let module Server = Relpipe_serve.Server in
+  let module Client = Relpipe_serve.Client in
+  let n_requests = 200 in
+  let requests =
+    Array.init n_requests (fun k ->
+        let inst = make_fully_hetero (2000 + k) ~n:8 ~m:5 in
+        Protocol.encode_request
+          (Protocol.request
+             ~id:(Printf.sprintf "serve-%03d" k)
+             ~instance:(Protocol.Inline (Textio.to_string inst))
+             (Instance.Min_failure { max_latency = 50.0 })))
+  in
+  let run_at workers =
+    let dir = Filename.temp_file "relpipe-bench-serve" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let sock = Filename.concat dir "bench.sock" in
+    let engine = Engine.create ~workers ~cap_to_cpus:false ~cache_shards:4 () in
+    let config =
+      { Server.default_config with Server.endpoints = [ Server.Unix_sock sock ] }
+    in
+    let ready = Atomic.make false in
+    let srv =
+      Thread.create
+        (fun () ->
+          ignore
+            (Server.run ~engine ~config
+               ~on_ready:(fun _ -> Atomic.set ready true)
+               ()))
+        ()
+    in
+    while not (Atomic.get ready) do
+      Thread.yield ()
+    done;
+    let c = Client.connect (`Unix sock) in
+    ignore (Client.call c (Protocol.encode_control (Protocol.hello ())));
+    let t0 = Unix.gettimeofday () in
+    let sender =
+      Thread.create
+        (fun () ->
+          Array.iter (Client.send c) requests;
+          Client.finish_sending c)
+        ()
+    in
+    let replies = ref [] in
+    let rec pump () =
+      match Client.recv c with
+      | None -> ()
+      | Some line ->
+          replies := line :: !replies;
+          pump ()
+    in
+    pump ();
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Thread.join sender;
+    Client.close c;
+    Server.signal_drain ();
+    Thread.join srv;
+    (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+    (elapsed, List.rev !replies)
+  in
+  let par = max 4 (Relpipe_service.Pool.cpu_count ()) in
+  let sec_seq, r_seq = run_at 1 in
+  let sec_par, r_par = run_at par in
+  if List.length r_seq <> n_requests then
+    failwith "serve throughput: missing replies";
+  if not (List.equal String.equal r_seq r_par) then
+    failwith "serve daemon nondeterminism detected";
+  print_endline "Serve-daemon throughput (200-request stream, Unix socket)";
+  print_endline "=========================================================";
+  Printf.printf "  1 worker : %6.2f s  (%7.1f req/s)\n" sec_seq
+    (float_of_int n_requests /. sec_seq);
+  Printf.printf
+    "  %d workers: %6.2f s  (%7.1f req/s)  speedup %.2fx on %d cpus\n" par
+    sec_par
+    (float_of_int n_requests /. sec_par)
+    (sec_seq /. sec_par)
+    (Relpipe_service.Pool.cpu_count ());
+  Printf.printf "  replies byte-identical across worker counts: true\n\n";
+  [
+    { s_workers = 1; s_sec = sec_seq; s_requests = n_requests };
+    { s_workers = par; s_sec = sec_par; s_requests = n_requests };
+  ]
+
+let write_json path ~virtual_clock ~twins ?(serve = []) kernels throughput =
   let module J = Relpipe_service.Json in
   let date =
     (* The virtual-clock report must be byte-stable across runs, so it
@@ -486,6 +581,23 @@ let write_json path ~virtual_clock ~twins kernels throughput =
             ("speedup", J.float (tp.t_sec_seq /. tp.t_sec_par));
           ]
   in
+  let serve_json =
+    match serve with
+    | [] -> J.Null
+    | points ->
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("workers", J.Int p.s_workers);
+                   ("requests", J.Int p.s_requests);
+                   ("sec", J.float p.s_sec);
+                   ( "req_per_sec",
+                     J.float (float_of_int p.s_requests /. p.s_sec) );
+                 ])
+             points)
+  in
   let json =
     J.Obj
       [
@@ -496,6 +608,7 @@ let write_json path ~virtual_clock ~twins kernels throughput =
         ("twins", J.List (List.map twin_json twins));
         ("benchmarks", J.List (List.map kernel_json kernels));
         ("batch_throughput", throughput_json);
+        ("serve_throughput", serve_json);
       ]
   in
   Out_channel.with_open_text path (fun oc ->
@@ -695,10 +808,12 @@ let () =
      only run on the real clock. *)
   let kernels = if !virtual_clock then [] else run_benchmarks () in
   let throughput = if !virtual_clock then None else Some (batch_throughput ()) in
+  let serve = if !virtual_clock then [] else serve_throughput () in
   (match !json_path with
   | None -> ()
   | Some path ->
-      write_json path ~virtual_clock:!virtual_clock ~twins kernels throughput);
+      write_json path ~virtual_clock:!virtual_clock ~twins ~serve kernels
+        throughput);
   match !against with
   | None -> ()
   | Some baseline -> check_against ~baseline twins

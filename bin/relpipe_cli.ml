@@ -6,6 +6,8 @@
      simulate     Monte-Carlo-validate a solved mapping
      pareto       print the latency/reliability trade-off front
      batch        answer a JSONL stream of solve requests (cached, parallel)
+     serve        daemon: the batch protocol over Unix/TCP sockets
+     call         scripted client for a running serve daemon
      sweep        generate synthetic scenarios and batch-solve them
      experiments  regenerate every paper experiment (E1-E14)
      demo         write a sample instance file (the paper's Fig. 5) *)
@@ -580,17 +582,34 @@ let output_arg =
   let doc = "Write JSONL responses here ($(b,-) = stdout)." in
   Arg.(value & opt string "-" & info [ "o"; "output" ] ~doc)
 
-let make_engine ?obs ~workers ~exact_workers ~cache_size () =
+let make_engine ?obs ?(cache_shards = 1) ~workers ~exact_workers ~cache_size ()
+    =
   let workers =
     if workers <= 0 then Service.Pool.cpu_count () else workers
   in
   Service.Engine.create ?obs ~workers ~cap_to_cpus:(not exact_workers)
-    ~cache_capacity:cache_size ()
+    ~cache_capacity:cache_size ~cache_shards ()
 
+(* Write failures on the response sink (unwritable path, ENOSPC, a
+   closed pipe) surface as a typed CLI error naming the path, never an
+   uncaught Sys_error — and never a silently truncated batch. *)
 let with_output path f =
-  match path with
-  | "-" -> f stdout
-  | path -> Out_channel.with_open_text path f
+  let name = if path = "-" then "stdout" else path in
+  match
+    match path with
+    | "-" ->
+        f stdout;
+        flush stdout
+    | path ->
+        (* Flush inside the guarded region: with_open_text closes with
+           close_noerr, which would swallow an ENOSPC at close time. *)
+        Out_channel.with_open_text path (fun oc ->
+            f oc;
+            Out_channel.flush oc)
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      Error (Printf.sprintf "cannot write %s: %s" name msg)
 
 let finish_batch engine stats =
   if stats then
@@ -663,7 +682,7 @@ let batch_cmd =
             close_sink metrics_sink;
             close_sink trace_sink;
             `Error (false, msg)
-        | lines ->
+        | lines -> (
             let obs =
               match (metrics_sink, trace_sink) with
               | None, None -> None
@@ -675,19 +694,26 @@ let batch_cmd =
             in
             let engine = make_engine ?obs ~workers ~exact_workers ~cache_size () in
             let responses = Service.Engine.run_lines engine lines in
-            with_output output (fun oc ->
-                List.iter
-                  (fun line ->
-                    Out_channel.output_string oc line;
-                    Out_channel.output_char oc '\n')
-                  responses);
-            (match obs with
-            | None -> ()
-            | Some o ->
-                write_sink metrics_sink (Relpipe_obs.Obs.metrics_jsonl o);
-                write_sink trace_sink (Relpipe_obs.Obs.trace_jsonl o));
-            finish_batch engine stats;
-            `Ok ())
+            match
+              with_output output (fun oc ->
+                  List.iter
+                    (fun line ->
+                      Out_channel.output_string oc line;
+                      Out_channel.output_char oc '\n')
+                    responses)
+            with
+            | Error msg ->
+                close_sink metrics_sink;
+                close_sink trace_sink;
+                `Error (false, msg)
+            | Ok () ->
+                (match obs with
+                | None -> ()
+                | Some o ->
+                    write_sink metrics_sink (Relpipe_obs.Obs.metrics_jsonl o);
+                    write_sink trace_sink (Relpipe_obs.Obs.trace_jsonl o));
+                finish_batch engine stats;
+                `Ok ()))
   in
   let doc = "Batch-solve a JSON-lines request stream." in
   let man =
@@ -906,15 +932,19 @@ let sweep_cmd =
       else begin
         let engine = make_engine ~workers ~exact_workers ~cache_size () in
         let responses = Service.Engine.run_requests engine requests in
-        with_output output (fun oc ->
-            Array.iter
-              (fun r ->
-                Out_channel.output_string oc
-                  (Service.Protocol.encode_response r);
-                Out_channel.output_char oc '\n')
-              responses);
-        finish_batch engine stats;
-        `Ok ()
+        match
+          with_output output (fun oc ->
+              Array.iter
+                (fun r ->
+                  Out_channel.output_string oc
+                    (Service.Protocol.encode_response r);
+                  Out_channel.output_char oc '\n')
+                responses)
+        with
+        | Error msg -> `Error (false, msg)
+        | Ok () ->
+            finish_batch engine stats;
+            `Ok ()
       end
     end
   in
@@ -1252,6 +1282,288 @@ let devlint_cmd =
         (const run $ paths_arg $ format_arg $ list_rules_flag $ baseline_arg
        $ no_baseline_flag $ family_arg))
 
+(* ------------------------------------------------------------------ *)
+(* Serve daemon and its client                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Relpipe_serve
+
+let unix_sock_arg =
+  let doc = "Listen on (or connect to) this Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+
+let tcp_port_arg =
+  let doc = "Listen on (or connect to) this TCP port (0 picks a free port)." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Host for $(b,--tcp)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc)
+
+let sockaddr_to_string = function
+  | Unix.ADDR_UNIX p -> "unix:" ^ p
+  | Unix.ADDR_INET (a, p) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr a) p
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Global admission-queue bound; readers block (backpressure) when \
+       the dispatcher is this many events behind."
+    in
+    Arg.(value & opt int 256 & info [ "queue-size" ] ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Per-session in-flight window: a session's reader blocks while \
+       this many of its lines are unanswered or unwritten."
+    in
+    Arg.(value & opt int 32 & info [ "session-window" ] ~doc)
+  in
+  let shards_arg =
+    let doc =
+      "Shards of the result cache (per-shard locks; concurrent sessions \
+       contend less).  Replays must use the recording's shard count."
+    in
+    Arg.(value & opt int 4 & info [ "cache-shards" ] ~doc)
+  in
+  let record_arg =
+    let doc =
+      "Append every dispatch batch to this $(b,.session) transcript, \
+       replayable with $(b,--replay)."
+    in
+    Arg.(value & opt (some string) None & info [ "record" ] ~docv:"FILE" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Replay a recorded $(b,.session) transcript instead of listening; \
+       prints each reply as \"SESSION<TAB>LINE\" to $(b,-o).  With \
+       $(b,--virtual-clock) the output is byte-identical for every \
+       $(b,-w)."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let run unix_path tcp_port host queue window shards record replay output
+      workers exact_workers cache_size stats virtual_clock =
+    if shards < 1 then `Error (false, "--cache-shards must be positive")
+    else
+      match replay with
+      | Some path -> (
+          match Serve.Script.load path with
+          | Error msg -> `Error (false, msg)
+          | Ok script -> (
+              let obs = make_obs ~tracing:false ~virtual_clock in
+              let engine =
+                make_engine ~obs ~cache_shards:shards ~workers ~exact_workers
+                  ~cache_size ()
+              in
+              let replies = Serve.Replay.run ~obs ~engine script in
+              match
+                with_output output (fun oc ->
+                    Out_channel.output_string oc (Serve.Replay.render replies))
+              with
+              | Error msg -> `Error (false, msg)
+              | Ok () ->
+                  finish_batch engine stats;
+                  `Ok ()))
+      | None -> (
+          let endpoints =
+            (match unix_path with
+            | Some p -> [ Serve.Server.Unix_sock p ]
+            | None -> [])
+            @
+            match tcp_port with
+            | Some port -> [ Serve.Server.Tcp (host, port) ]
+            | None -> []
+          in
+          match endpoints with
+          | [] ->
+              `Error
+                (true, "pass --unix PATH and/or --tcp PORT (or --replay FILE)")
+          | _ :: _ ->
+              let obs = make_obs ~tracing:false ~virtual_clock in
+              let engine =
+                make_engine ~obs ~cache_shards:shards ~workers ~exact_workers
+                  ~cache_size ()
+              in
+              let config =
+                {
+                  Serve.Server.endpoints;
+                  queue_capacity = queue;
+                  session_window = window;
+                  max_line = Serve.Frame.default_max_line;
+                  record;
+                }
+              in
+              (* A Signal_handle callback only runs at an OCaml
+                 safepoint, and an idle daemon has every thread parked
+                 in C waits — the handler could be delayed forever.
+                 Block the signals in every thread (the mask is
+                 inherited) and receive them synchronously on a
+                 dedicated thread instead. *)
+              ignore
+                (Thread.sigmask Unix.SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+              let (_ : Thread.t) =
+                Thread.create
+                  (fun () ->
+                    ignore (Thread.wait_signal [ Sys.sigterm; Sys.sigint ]);
+                    Serve.Server.signal_drain ())
+                  ()
+              in
+              let on_ready addrs =
+                List.iter
+                  (fun a ->
+                    Format.eprintf "listening on %s@." (sockaddr_to_string a))
+                  addrs
+              in
+              let report = Serve.Server.run ~obs ~engine ~config ~on_ready () in
+              Format.eprintf "drained: %d sessions, %d ticks, %d replies@."
+                report.Serve.Server.accepted report.Serve.Server.ticks
+                report.Serve.Server.answered;
+              finish_batch engine stats;
+              `Ok ())
+  in
+  let doc = "Serve the batch protocol to concurrent clients (daemon)." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Listens on a Unix socket and/or TCP port and answers the \
+         $(b,relpipe batch) JSONL protocol, multiplexing every connected \
+         session onto one shared engine (result cache included) and its \
+         Domain worker pool.  Sessions start with a \
+         {\"v\":1,\"op\":\"hello\"} handshake; \"stats\" renders the live \
+         metric registry; \"shutdown\" — or SIGTERM — drains: the server \
+         stops accepting, answers everything already admitted, flushes \
+         and exits 0.";
+      `P
+        "Backpressure is two-stage (per-session window, global admission \
+         queue), so a slow or flooding client never stalls the solver \
+         pool.";
+      `P
+        "With $(b,--record) the daemon writes a $(b,.session) transcript \
+         of every dispatch batch; $(b,--replay) pushes a transcript back \
+         through the same deterministic core, producing byte-identical \
+         replies for every worker count under $(b,--virtual-clock) — the \
+         CI gate diffs $(b,-w 1) against $(b,-w 8).";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      ret
+        (const run $ unix_sock_arg $ tcp_port_arg $ host_arg $ queue_arg
+       $ window_arg $ shards_arg $ record_arg $ replay_arg $ output_arg
+       $ workers_arg $ exact_workers_arg $ cache_size_arg $ stats_flag
+       $ virtual_clock_flag))
+
+let call_cmd =
+  let input_arg =
+    let doc = "JSONL request file ($(b,-) = stdin), one line per request." in
+    Arg.(value & pos 0 string "-" & info [] ~docv:"REQUESTS" ~doc)
+  in
+  let client_arg =
+    let doc = "Client name sent in the hello handshake." in
+    Arg.(value & opt string "relpipe-call" & info [ "client" ] ~doc)
+  in
+  let no_hello_flag =
+    let doc = "Skip the handshake (to exercise the server's hello gate)." in
+    Arg.(value & flag & info [ "no-hello" ] ~doc)
+  in
+  let op_arg =
+    let doc =
+      "Send a single control operation instead of reading requests: \
+       $(b,stats) or $(b,shutdown)."
+    in
+    Arg.(
+      value
+      & opt (some (enum [ ("stats", `Stats); ("shutdown", `Shutdown) ])) None
+      & info [ "op" ] ~docv:"OP" ~doc)
+  in
+  let run unix_path tcp_port host input client no_hello op =
+    let endpoint =
+      match (unix_path, tcp_port) with
+      | Some p, _ -> Ok (`Unix p)
+      | None, Some port -> Ok (`Tcp (host, port))
+      | None, None -> Error "pass --unix PATH or --tcp PORT"
+    in
+    match endpoint with
+    | Error msg -> `Error (true, msg)
+    | Ok endpoint -> (
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        match
+          match input with
+          | _ when op <> None -> []
+          | "-" -> In_channel.input_lines stdin
+          | path -> In_channel.with_open_text path In_channel.input_lines
+        with
+        | exception Sys_error msg -> `Error (false, msg)
+        | request_lines -> (
+            match Serve.Client.connect endpoint with
+            | exception Unix.Unix_error (e, _, _) ->
+                `Error (false, "connect: " ^ Unix.error_message e)
+            | c ->
+                let lines =
+                  (if no_hello then []
+                   else
+                     [
+                       Service.Protocol.encode_control
+                         (Service.Protocol.hello ~client ());
+                     ])
+                  @ (match op with
+                    | Some `Stats ->
+                        [ Service.Protocol.encode_control Service.Protocol.Stats ]
+                    | Some `Shutdown ->
+                        [
+                          Service.Protocol.encode_control
+                            Service.Protocol.Shutdown;
+                        ]
+                    | None -> [])
+                  @ (if op = None then request_lines else [])
+                in
+                (* Send from a helper thread so deep pipelines cannot
+                   deadlock on two full socket buffers. *)
+                let sender =
+                  Thread.create
+                    (fun () ->
+                      (* A draining server cuts the receive side; stop
+                         sending but keep pumping the replies it still
+                         owes for everything it admitted. *)
+                      try
+                        List.iter (Serve.Client.send c) lines;
+                        Serve.Client.finish_sending c
+                      with Unix.Unix_error _ -> ())
+                    ()
+                in
+                let rec pump () =
+                  match Serve.Client.recv c with
+                  | None -> ()
+                  | Some line ->
+                      print_endline line;
+                      pump ()
+                in
+                pump ();
+                Thread.join sender;
+                Serve.Client.close c;
+                flush stdout;
+                `Ok ()))
+  in
+  let doc = "Send requests to a running $(b,relpipe serve) daemon." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Connects, performs the hello handshake, streams the given JSONL \
+         requests and prints every reply line to stdout — the scripted \
+         client the smoke tests drive concurrently.  $(b,--op stats) and \
+         $(b,--op shutdown) send a single control message instead.";
+    ]
+  in
+  Cmd.v (Cmd.info "call" ~doc ~man)
+    Term.(
+      ret
+        (const run $ unix_sock_arg $ tcp_port_arg $ host_arg $ input_arg
+       $ client_arg $ no_hello_flag $ op_arg))
+
 let demo_cmd =
   let out_arg =
     let doc = "Where to write the sample instance." in
@@ -1283,5 +1595,6 @@ let () =
           [
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
-            batch_cmd; prof_cmd; sweep_cmd; fuzz_cmd; devlint_cmd; demo_cmd;
+            batch_cmd; serve_cmd; call_cmd; prof_cmd; sweep_cmd; fuzz_cmd;
+            devlint_cmd; demo_cmd;
           ]))

@@ -1,0 +1,67 @@
+(* Bounded multi-producer / single-consumer admission queue.
+
+   Producers (per-session reader threads) block in [push] while the
+   queue is at capacity — that stall propagates to the client socket,
+   which is exactly the backpressure contract: a flood of requests slows
+   its senders down, never the solver pool.  The single consumer (the
+   dispatcher) takes everything pending at once with [drain], forming
+   one dispatch batch ("tick") per wakeup. *)
+
+type 'a t = {
+  q : 'a Queue.t;
+  mu : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  capacity : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  {
+    q = Queue.create ();
+    mu = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    capacity;
+    closed = false;
+  }
+
+let capacity t = t.capacity
+
+let push t x =
+  Mutex.lock t.mu;
+  while Queue.length t.q >= t.capacity && not t.closed do
+    Condition.wait t.not_full t.mu
+  done;
+  let accepted = not t.closed in
+  if accepted then begin
+    Queue.push x t.q;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.mu;
+  accepted
+
+let drain t =
+  Mutex.lock t.mu;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.mu
+  done;
+  let items = List.of_seq (Queue.to_seq t.q) in
+  Queue.clear t.q;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mu;
+  items
+
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.mu
+
+let length t =
+  Mutex.lock t.mu;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mu;
+  n

@@ -1,0 +1,29 @@
+(** Bounded multi-producer / single-consumer queue between session
+    readers and the dispatcher.
+
+    [push] blocks while the queue is at capacity, so the stall reaches
+    the flooding client's socket (backpressure) instead of the solver
+    pool; [drain] hands the single consumer everything pending in
+    admission order — one dispatch batch per wakeup.  After {!close},
+    [push] returns [false] immediately and [drain] returns whatever is
+    left (then [[]] forever). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> bool
+(** Blocks while full; [false] iff the queue was closed (the item was
+    not enqueued). *)
+
+val drain : 'a t -> 'a list
+(** Blocks until at least one item is pending or the queue is closed;
+    returns all pending items in arrival order ([[]] only when closed
+    and empty). *)
+
+val close : 'a t -> unit
+
+val length : 'a t -> int

@@ -1,0 +1,60 @@
+(* A small blocking client for the serve protocol — what `relpipe call`
+   and the tests use.  Send and receive are independent (the socket is
+   full duplex); callers that pipeline deeply should recv from another
+   thread to avoid filling both socket buffers. *)
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  mutable sent : int;
+  mutable received : int;
+}
+
+let connect endpoint =
+  let fd =
+    match endpoint with
+    | `Unix path ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | `Tcp (host, port) ->
+        let addr =
+          match Unix.inet_addr_of_string host with
+          | a -> a
+          | exception Failure _ -> (
+              match (Unix.gethostbyname host).Unix.h_addr_list with
+              | addrs when Array.length addrs > 0 -> addrs.(0)
+              | _ -> invalid_arg (Printf.sprintf "call: cannot resolve %S" host)
+              | exception Not_found ->
+                  invalid_arg (Printf.sprintf "call: cannot resolve %S" host))
+        in
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        fd
+  in
+  { fd; reader = Frame.reader fd; sent = 0; received = 0 }
+
+let send t line =
+  Frame.write_line t.fd line;
+  t.sent <- t.sent + 1
+
+let recv t =
+  match Frame.read_line t.reader with
+  | Frame.Line l ->
+      t.received <- t.received + 1;
+      Some l
+  | Frame.Eof | Frame.Too_long -> None
+
+let sent t = t.sent
+let received t = t.received
+
+let finish_sending t =
+  try Unix.shutdown t.fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* One request, one reply — the protocol answers every line exactly
+   once, in order, so a lockstep exchange needs no concurrency. *)
+let call t line =
+  send t line;
+  recv t

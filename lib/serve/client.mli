@@ -1,0 +1,29 @@
+(** A minimal blocking client for the serve protocol ([relpipe call]
+    and the tests).
+
+    The server answers every inbound line exactly once, in order, so a
+    lockstep {!call} needs no concurrency; deep pipelining (many
+    {!send}s before the {!recv}s) should read from a separate thread to
+    keep both socket buffers draining. *)
+
+type t
+
+val connect : [ `Unix of string | `Tcp of string * int ] -> t
+(** @raise Unix.Unix_error when the endpoint refuses;
+    @raise Invalid_argument on an unresolvable host. *)
+
+val send : t -> string -> unit
+val recv : t -> string option
+(** Next reply line; [None] once the server closed the stream. *)
+
+val call : t -> string -> string option
+(** [send] then [recv]. *)
+
+val sent : t -> int
+val received : t -> int
+
+val finish_sending : t -> unit
+(** Half-close: tells the server this session is done (its reader sees
+    EOF and the session flushes); replies can still be {!recv}'d. *)
+
+val close : t -> unit

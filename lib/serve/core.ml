@@ -1,0 +1,144 @@
+(* The deterministic heart of the daemon: session bookkeeping plus the
+   tick processor shared by the live server and the replayer.
+
+   A tick is one dispatch batch of session events in global admission
+   order.  Processing is two-pass:
+
+   - pass 1 walks the events in order, mutating session state (opens,
+     closes, handshakes, the draining flag) and answering control
+     messages immediately, while collecting solve requests — so
+     hello-gating and shutdown see exactly the prefix of the tick that
+     precedes them;
+   - pass 2 hands the collected solves to [Engine.run_batch] (the
+     already-deterministic parallel path) and splices the responses back
+     into event order, rewriting each [r_index] from its batch position
+     to the session's own solve sequence number — a client sees the same
+     indices it would get from a private [relpipe batch].
+
+   Everything here runs on the single dispatcher thread; only the engine
+   fans out.  Given the same tick sequence, the reply stream is
+   byte-identical for every worker count. *)
+
+open Relpipe_service
+module Obs = Relpipe_obs.Obs
+module Metric = Relpipe_obs.Metric
+
+type session = { mutable greeted : bool; mutable solves : int }
+
+type t = {
+  engine : Engine.t;
+  obs : Obs.t option;
+  sessions : (int, session) Hashtbl.t;
+  mutable draining : bool;
+}
+
+type reply = int * string
+
+let create ?obs ~engine () =
+  { engine; obs; sessions = Hashtbl.create 16; draining = false }
+
+let engine t = t.engine
+let draining t = t.draining
+let request_drain t = t.draining <- true
+let active_sessions t = Hashtbl.length t.sessions
+
+let stats_bindings t =
+  match t.obs with
+  | None -> []
+  | Some { Obs.metrics; _ } -> Metric.bindings metrics
+
+let set_active_gauge t =
+  Obs.gauge_set t.obs "serve.sessions.active" (Hashtbl.length t.sessions)
+
+let open_session t sid =
+  if not (Hashtbl.mem t.sessions sid) then begin
+    Hashtbl.replace t.sessions sid { greeted = false; solves = 0 };
+    Obs.incr t.obs "serve.sessions.opened";
+    set_active_gauge t
+  end
+
+let close_session t sid =
+  if Hashtbl.mem t.sessions sid then begin
+    Hashtbl.remove t.sessions sid;
+    Obs.incr t.obs "serve.sessions.closed";
+    set_active_gauge t
+  end
+
+(* A transcript may carry a [send] with no prior [open] (hand-edited
+   fixtures); treat it as an implicit open so replies still line up. *)
+let session t sid =
+  match Hashtbl.find_opt t.sessions sid with
+  | Some st -> st
+  | None ->
+      open_session t sid;
+      Hashtbl.find t.sessions sid
+
+(* One slot per [Send], in event order. *)
+type slot =
+  | Immediate of int * string  (* session, encoded reply line *)
+  | Pending of int * int * int  (* session, batch position, session index *)
+
+let answer_control t st control =
+  let reply =
+    match (control : Protocol.control) with
+    | Hello _ ->
+        st.greeted <- true;
+        Protocol.Hello_ok { protocol = Protocol.version }
+    | Stats -> Protocol.Stats_ok (stats_bindings t)
+    | Shutdown ->
+        t.draining <- true;
+        Protocol.Shutdown_ok { draining = true }
+  in
+  Protocol.encode_control_reply reply
+
+let classify t solves n_solves ev =
+  match (ev : Script.event) with
+  | Open sid ->
+      open_session t sid;
+      None
+  | Close sid ->
+      close_session t sid;
+      None
+  | Send (sid, line) -> (
+      let st = session t sid in
+      match Protocol.decode_inbound line with
+      | Error e ->
+          Obs.incr t.obs "serve.refused";
+          Some (Immediate (sid, Protocol.encode_control_reply (Refused e)))
+      | Ok (Control c) ->
+          Obs.incr t.obs "serve.control";
+          Some (Immediate (sid, answer_control t st c))
+      | Ok (Solve res) ->
+          if not st.greeted then begin
+            Obs.incr t.obs "serve.refused";
+            Some
+              (Immediate
+                 (sid, Protocol.encode_control_reply (Refused Hello_required)))
+          end
+          else begin
+            Obs.incr t.obs "serve.requests";
+            let pos = !n_solves in
+            incr n_solves;
+            solves := res :: !solves;
+            let idx = st.solves in
+            st.solves <- idx + 1;
+            Some (Pending (sid, pos, idx))
+          end)
+
+let process_tick t events =
+  Obs.incr t.obs "serve.ticks";
+  let solves = ref [] and n_solves = ref 0 in
+  let slots = List.filter_map (classify t solves n_solves) events in
+  Obs.observe t.obs "serve.tick.batch" (float_of_int !n_solves);
+  let batch = Array.of_list (List.rev !solves) in
+  let responses =
+    if Array.length batch = 0 then [||] else Engine.run_batch t.engine batch
+  in
+  List.map
+    (fun slot ->
+      match slot with
+      | Immediate (sid, line) -> (sid, line)
+      | Pending (sid, pos, idx) ->
+          let r = responses.(pos) in
+          (sid, Protocol.encode_response { r with r_index = idx }))
+    slots

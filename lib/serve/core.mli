@@ -1,0 +1,46 @@
+(** The daemon's deterministic tick processor, shared by the live
+    server and the {!Replay}er.
+
+    State is per-session handshake/sequence bookkeeping plus a draining
+    flag; {!process_tick} consumes one dispatch batch of events in
+    global admission order and returns one reply line per [Send], in
+    event order.  Solve requests are batched through
+    {!Relpipe_service.Engine.run_batch} — the already-deterministic
+    parallel path — and each response's [index] is rewritten to the
+    session's own solve sequence, so a client sees the same indices a
+    private [relpipe batch] would give it.
+
+    Runs on a single thread (the dispatcher); given the same tick
+    sequence the reply stream is byte-identical at every worker count.
+
+    Metrics (root [serve.]): counters [serve.ticks], [serve.requests]
+    (admitted solve lines), [serve.control], [serve.refused],
+    [serve.sessions.opened], [serve.sessions.closed]; gauge
+    [serve.sessions.active]; histogram [serve.tick.batch] (solves per
+    tick). *)
+
+open Relpipe_service
+
+type t
+
+val create : ?obs:Relpipe_obs.Obs.t -> engine:Engine.t -> unit -> t
+(** Pass the {e same} [obs] the engine was created with — it is the
+    registry the [stats] protocol method renders. *)
+
+val engine : t -> Engine.t
+val draining : t -> bool
+
+val request_drain : t -> unit
+(** What a [shutdown] control message does, callable from the outside
+    (SIGTERM path). *)
+
+val active_sessions : t -> int
+
+type reply = int * string
+(** Session id, encoded reply line (no newline). *)
+
+val process_tick : t -> Script.event list -> reply list
+(** Process one dispatch batch.  Every [Send] yields exactly one reply:
+    a control answer, a typed refusal ([hello-required] before the
+    handshake, decode refusals for op-shaped lines), or a solve
+    response.  [Open]/[Close] only mutate session state. *)

@@ -1,0 +1,73 @@
+(* Per-session line framing over a file descriptor.
+
+   The protocol is JSONL, so framing is newline-delimited with a
+   hard per-line size guard: a client that streams an unbounded line
+   is cut off (Too_long) before it can balloon the session buffer. *)
+
+let default_max_line = 16 * 1024 * 1024
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  chunk : Bytes.t;
+  max_line : int;
+  (* Bytes read past the last returned line, scanned-from offset. *)
+  mutable scanned : int;
+  mutable eof : bool;
+}
+
+type read_result = Line of string | Eof | Too_long
+
+let reader ?(max_line = default_max_line) fd =
+  { fd; buf = Buffer.create 4096; chunk = Bytes.create 65536; max_line; scanned = 0; eof = false }
+
+let take_line r newline_at =
+  let all = Buffer.contents r.buf in
+  let line = String.sub all 0 newline_at in
+  let rest = String.sub all (newline_at + 1) (String.length all - newline_at - 1) in
+  Buffer.clear r.buf;
+  Buffer.add_string r.buf rest;
+  r.scanned <- 0;
+  (* Tolerate CRLF clients. *)
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  Line line
+
+let rec read_line r =
+  let pending = Buffer.contents r.buf in
+  match String.index_from_opt pending r.scanned '\n' with
+  | Some i -> take_line r i
+  | None ->
+      r.scanned <- String.length pending;
+      if r.scanned > r.max_line then Too_long
+      else if r.eof then
+        if r.scanned = 0 then Eof
+        else begin
+          (* A final unterminated line still counts. *)
+          Buffer.clear r.buf;
+          r.scanned <- 0;
+          Line pending
+        end
+      else begin
+        (match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+        | 0 -> r.eof <- true
+        | n -> Buffer.add_subbytes r.buf r.chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _)
+          ->
+            r.eof <- true);
+        read_line r
+      end
+
+let write_line fd line =
+  let payload = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length payload in
+  let rec go off =
+    if off < len then
+      match Unix.write fd payload off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0

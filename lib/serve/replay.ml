@@ -1,0 +1,43 @@
+(* Replaying a recorded .session transcript through the tick processor.
+
+   The transcript pins the dispatch-batch boundaries, so the replay
+   walks tick by tick through a fresh Core and collects the reply
+   stream; because Core + Engine are deterministic per tick, the result
+   is byte-identical for every worker count. *)
+
+open Relpipe_service
+
+let run ?obs ~engine script =
+  let core = Core.create ?obs ~engine () in
+  List.concat_map (Core.process_tick core) script.Script.ticks
+
+let streams replies =
+  let tbl : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (sid, line) ->
+      match Hashtbl.find_opt tbl sid with
+      | Some acc -> acc := line :: !acc
+      | None ->
+          Hashtbl.replace tbl sid (ref [ line ]);
+          order := sid :: !order)
+    replies;
+  let sids = List.sort Int.compare (List.rev !order) in
+  List.map (fun sid -> (sid, List.rev !(Hashtbl.find tbl sid))) sids
+
+let render replies =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (sid, line) ->
+      Buffer.add_string buf (string_of_int sid);
+      Buffer.add_char buf '\t';
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    replies;
+  Buffer.contents buf
+
+let run_script ?obs ~workers ?(cache_shards = 1) script =
+  let engine =
+    Engine.create ?obs ~workers ~cap_to_cpus:false ~cache_shards ()
+  in
+  run ?obs ~engine script

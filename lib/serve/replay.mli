@@ -1,0 +1,32 @@
+(** Deterministic replay of a recorded [.session] transcript.
+
+    The transcript's [tick] lines pin the dispatch-batch boundaries the
+    live daemon actually formed, so a replay reproduces the recorded
+    run's cache-state evolution — and therefore its exact reply bytes —
+    for {e every} worker count.  This is the headline determinism
+    contract: [render (run ~engine script)] is byte-identical at
+    workers 1, 2 and 8. *)
+
+open Relpipe_service
+
+val run :
+  ?obs:Relpipe_obs.Obs.t -> engine:Engine.t -> Script.t -> Core.reply list
+(** Replay through a fresh {!Core} on [engine]; replies in global event
+    order. *)
+
+val run_script :
+  ?obs:Relpipe_obs.Obs.t ->
+  workers:int ->
+  ?cache_shards:int ->
+  Script.t ->
+  Core.reply list
+(** {!run} on a fresh engine with [cap_to_cpus:false] (so worker counts
+    above the core count still exercise real parallelism). *)
+
+val streams : Core.reply list -> (int * string list) list
+(** Per-session reply streams, sessions sorted ascending, lines in
+    reply order. *)
+
+val render : Core.reply list -> string
+(** The flattened ["SESSION\tLINE\n"] form the CLI prints and the CI
+    gate diffs across worker counts. *)

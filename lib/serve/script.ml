@@ -1,0 +1,119 @@
+(* The .session recording format: a line-oriented transcript of a
+   multi-client serve run, precise enough to replay bit-for-bit.
+
+   Events carry the global admission order; `tick` lines mark the
+   dispatch-batch boundaries the live daemon actually used, so a replay
+   reproduces the exact cache-state evolution (hits, misses, shared
+   jobs) of the recorded run. *)
+
+type event =
+  | Open of int
+  | Send of int * string
+  | Close of int
+
+type t = { ticks : event list list }
+
+let magic = "#relpipe-session v1"
+
+let session_of_event = function Open s | Send (s, _) | Close s -> s
+
+let events t = List.concat t.ticks
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_id lineno word =
+  match int_of_string_opt word with
+  | Some s when s >= 0 -> Ok s
+  | _ ->
+      Error
+        (Printf.sprintf "line %d: session id must be a non-negative integer, got %S"
+           lineno word)
+
+let ( let* ) = Result.bind
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno ticks current = function
+    | [] ->
+        (* An implicit final tick collects trailing events. *)
+        let ticks =
+          if current = [] then ticks else List.rev current :: ticks
+        in
+        Ok { ticks = List.rev ticks }
+    | line :: rest -> (
+        let lineno = lineno + 1 in
+        let trimmed = String.trim line in
+        if trimmed = "" then go lineno ticks current rest
+        else if String.length trimmed > 0 && trimmed.[0] = '#' then
+          if
+            String.length trimmed >= 16
+            && String.sub trimmed 0 16 = "#relpipe-session"
+            && trimmed <> magic
+          then Error (Printf.sprintf "line %d: unsupported session format %S" lineno trimmed)
+          else go lineno ticks current rest
+        else if trimmed = "tick" then
+          go lineno (List.rev current :: ticks) [] rest
+        else
+          match String.index_opt trimmed ' ' with
+          | None -> Error (Printf.sprintf "line %d: malformed event %S" lineno trimmed)
+          | Some sp -> (
+              let verb = String.sub trimmed 0 sp in
+              let arg =
+                String.sub trimmed (sp + 1) (String.length trimmed - sp - 1)
+              in
+              match verb with
+              | "open" ->
+                  let* s = parse_id lineno arg in
+                  go lineno ticks (Open s :: current) rest
+              | "close" ->
+                  let* s = parse_id lineno arg in
+                  go lineno ticks (Close s :: current) rest
+              | "send" -> (
+                  match String.index_opt arg ' ' with
+                  | None ->
+                      Error
+                        (Printf.sprintf "line %d: send needs \"send ID LINE\"" lineno)
+                  | Some sp2 ->
+                      let* s = parse_id lineno (String.sub arg 0 sp2) in
+                      let payload =
+                        String.sub arg (sp2 + 1) (String.length arg - sp2 - 1)
+                      in
+                      go lineno ticks (Send (s, payload) :: current) rest)
+              | other ->
+                  Error
+                    (Printf.sprintf
+                       "line %d: unknown verb %S (expected open/send/close/tick)"
+                       lineno other)))
+  in
+  go 0 [] [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_event = function
+  | Open s -> Printf.sprintf "open %d" s
+  | Close s -> Printf.sprintf "close %d" s
+  | Send (s, line) -> Printf.sprintf "send %d %s" s line
+
+let render t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun tick ->
+      List.iter
+        (fun ev ->
+          Buffer.add_string buf (render_event ev);
+          Buffer.add_char buf '\n')
+        tick;
+      Buffer.add_string buf "tick\n")
+    t.ticks;
+  Buffer.contents buf

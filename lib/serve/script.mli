@@ -1,0 +1,57 @@
+(** The [.session] recording format: a replayable transcript of a
+    multi-client serve run.
+
+    A recording is a sequence of {e ticks} — the dispatch batches the
+    daemon actually formed — each holding events in global admission
+    order:
+
+    {v
+#relpipe-session v1
+open 0
+send 0 {"v":1,"op":"hello","client":"a"}
+tick
+open 1
+send 0 {"v":1,"id":"a-0","instance":"...","objective":{...}}
+send 1 {"v":1,"op":"hello","client":"b"}
+tick
+close 0
+close 1
+tick
+    v}
+
+    [open]/[close] mark connections (ids are connect-order integers),
+    [send ID LINE] carries one raw inbound JSONL line, and [tick] closes
+    a batch.  Blank lines and [#] comments are ignored; a leading
+    [#relpipe-session v1] header is written by {!render} and enforced on
+    parse when present.  Because ticks pin the batch boundaries, a
+    replay reproduces the recorded run's cache-state evolution — and
+    therefore its exact response bytes — for every worker count. *)
+
+type event =
+  | Open of int  (** a client connected (connect-order id) *)
+  | Send of int * string  (** one raw inbound line from that session *)
+  | Close of int  (** the session ended *)
+
+type t = { ticks : event list list }
+
+val magic : string
+(** ["#relpipe-session v1"]. *)
+
+val session_of_event : event -> int
+
+val events : t -> event list
+(** All events, tick structure flattened. *)
+
+val parse : string -> (t, string) result
+(** Errors name the offending 1-based line. *)
+
+val load : string -> (t, string) result
+(** [parse] over a file; I/O failures become [Error]. *)
+
+val render_event : event -> string
+(** One transcript line (no trailing newline) — the incremental-recording
+    building block of {!render}. *)
+
+val render : t -> string
+(** Inverse of {!parse} (modulo comments/blank lines); every tick is
+    terminated explicitly. *)

@@ -17,7 +17,7 @@ type entry = {
 type t = {
   eff_workers : int;
   exact_budget : int;
-  cache : entry Lru.t;
+  cache : entry Lru.Sharded.t;
   obs : Obs.t option;
   mutable n_requests : int;
   mutable n_solved : int;
@@ -28,14 +28,14 @@ type t = {
 }
 
 let create ?obs ?workers ?(cap_to_cpus = true) ?(cache_capacity = 1024)
-    ?(exact_budget = 200_000) () =
+    ?(cache_shards = 1) ?(exact_budget = 200_000) () =
   let requested = match workers with Some w -> w | None -> Pool.cpu_count () in
   let cache =
     match obs with
     | Some o ->
-        Lru.create_in ~metrics:o.Obs.metrics ~name:"engine.cache"
-          ~capacity:cache_capacity
-    | None -> Lru.create ~capacity:cache_capacity
+        Lru.Sharded.create_in ~metrics:o.Obs.metrics ~name:"engine.cache"
+          ~shards:cache_shards ~capacity:cache_capacity
+    | None -> Lru.Sharded.create ~shards:cache_shards ~capacity:cache_capacity
   in
   {
     eff_workers = Pool.effective_workers ~cap:cap_to_cpus requested;
@@ -173,7 +173,7 @@ let run_batch t reqs =
             | Bad (id, msg) -> Answer_bad (id, msg)
             | Ready r -> (
                 let key = r.norm.Canon.key in
-                match Lru.find t.cache key with
+                match Lru.Sharded.find t.cache key with
                 | Some entry -> From_cache (r, entry)
                 | None -> (
                     match Hashtbl.find_opt pending key with
@@ -239,7 +239,7 @@ let run_batch t reqs =
             let entry =
               { e_outcome = outcome; e_perm = jobs.(j).norm.Canon.perm }
             in
-            Lru.add t.cache jobs.(j).norm.Canon.key entry;
+            Lru.Sharded.add t.cache jobs.(j).norm.Canon.key entry;
             entry)
           outcomes
       in
@@ -328,9 +328,9 @@ let stats t =
     failed = t.n_failed;
     jobs = t.n_jobs;
     shared = t.n_shared;
-    cache = Lru.stats t.cache;
-    cache_len = Lru.length t.cache;
-    cache_capacity = Lru.capacity t.cache;
+    cache = Lru.Sharded.stats t.cache;
+    cache_len = Lru.Sharded.length t.cache;
+    cache_capacity = Lru.Sharded.capacity t.cache;
     effective_workers = t.eff_workers;
   }
 

@@ -31,14 +31,19 @@ val create :
   ?workers:int ->
   ?cap_to_cpus:bool ->
   ?cache_capacity:int ->
+  ?cache_shards:int ->
   ?exact_budget:int ->
   unit ->
   t
 (** [workers] defaults to {!Pool.cpu_count}[ ()] and is clamped by
     [min(requested, cpu_count)] unless [cap_to_cpus] is [false] (testing:
     oversubscribe a small machine).  [cache_capacity] (default [1024])
-    bounds the LRU; [exact_budget] (default [200_000]) is used when a
-    request carries none.
+    bounds the LRU; [cache_shards] (default [1]) splits it into that many
+    independently locked shards ({!Relpipe_util.Lru.Sharded}) so a serve
+    daemon can share one engine across concurrent sessions — with one
+    shard the hit/miss/eviction sequence is exactly the historical
+    single-cache behaviour; [exact_budget] (default [200_000]) is used
+    when a request carries none.
 
     With [obs], the engine records phase spans
     ([engine.phase.prepare/plan/solve/emit]), one [engine.job] span per

@@ -232,3 +232,234 @@ let decode_response line =
     | None -> Error "missing \"status\""
   in
   Ok { r_id = str "id"; r_index; r_cache; r_outcome }
+
+(* ------------------------------------------------------------------ *)
+(* Control messages (the serve daemon's session vocabulary)            *)
+(* ------------------------------------------------------------------ *)
+
+type control =
+  | Hello of { client : string option; protocols : int list }
+  | Stats
+  | Shutdown
+
+let hello ?client () = Hello { client; protocols = [ version ] }
+
+type server_error =
+  | Version_mismatch of { offered : int list }
+  | Unknown_op of string
+  | Invalid_control of string
+  | Hello_required
+
+let error_code = function
+  | Version_mismatch _ -> "version-mismatch"
+  | Unknown_op _ -> "unknown-op"
+  | Invalid_control _ -> "invalid-control"
+  | Hello_required -> "hello-required"
+
+let server_error_to_string = function
+  | Version_mismatch { offered } ->
+      Printf.sprintf "no common protocol version: server speaks %d, client offered %s"
+        version
+        (String.concat ", " (List.map string_of_int offered))
+  | Unknown_op op -> Printf.sprintf "unknown method %S (expected hello, stats or shutdown)" op
+  | Invalid_control msg -> msg
+  | Hello_required -> "session must open with a hello handshake before sending requests"
+
+type inbound =
+  | Control of control
+  | Solve of (request, string) result
+
+let decode_inbound line =
+  match Json.parse line with
+  | Error _ ->
+      (* Malformed JSON is answered on the solve path (a per-request
+         [error] response), exactly as `relpipe batch` answers it. *)
+      Ok (Solve (decode_request line))
+  | Ok j -> (
+      match Json.member "op" j with
+      | None -> Ok (Solve (decode_request line))
+      | Some op_j -> (
+          match Json.to_str op_j with
+          | None -> Error (Invalid_control "\"op\" must be a string")
+          | Some op -> (
+              match Option.bind (Json.member "v" j) Json.to_int with
+              | None -> Error (Invalid_control "missing integer \"v\" (protocol version)")
+              | Some n when n <> version -> Error (Version_mismatch { offered = [ n ] })
+              | Some _ -> (
+                  match op with
+                  | "hello" -> (
+                      let client = Option.bind (Json.member "client" j) Json.to_str in
+                      let protocols =
+                        match Json.member "protocols" j with
+                        | None -> Ok [ version ]
+                        | Some l -> (
+                            match
+                              Option.map
+                                (List.map Json.to_int)
+                                (Json.to_list l)
+                            with
+                            | Some items when List.for_all Option.is_some items
+                              ->
+                                Ok (List.filter_map Fun.id items)
+                            | _ ->
+                                Error
+                                  (Invalid_control
+                                     "\"protocols\" must be a list of integers"))
+                      in
+                      match protocols with
+                      | Error e -> Error e
+                      | Ok ps when not (List.exists (fun p -> p = version) ps)
+                        ->
+                          Error (Version_mismatch { offered = ps })
+                      | Ok ps -> Ok (Control (Hello { client; protocols = ps })))
+                  | "stats" -> Ok (Control Stats)
+                  | "shutdown" -> Ok (Control Shutdown)
+                  | other -> Error (Unknown_op other)))))
+
+let encode_control c =
+  let fields = [ ("v", Json.Int version) ] in
+  let fields =
+    match c with
+    | Hello { client; protocols } ->
+        fields
+        @ [ ("op", Json.Str "hello") ]
+        @ (match client with Some c -> [ ("client", Json.Str c) ] | None -> [])
+        @ (match protocols with
+          | [ p ] when p = version -> []  (* the default; keep the line short *)
+          | ps -> [ ("protocols", Json.List (List.map (fun p -> Json.Int p) ps)) ])
+    | Stats -> fields @ [ ("op", Json.Str "stats") ]
+    | Shutdown -> fields @ [ ("op", Json.Str "shutdown") ]
+  in
+  Json.to_string (Json.Obj fields)
+
+(* ------------------------------------------------------------------ *)
+(* Control replies                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type control_reply =
+  | Hello_ok of { protocol : int }
+  | Stats_ok of (string * Relpipe_obs.Metric.view) list
+  | Shutdown_ok of { draining : bool }
+  | Refused of server_error
+
+let metric_to_json (name, view) =
+  let module M = Relpipe_obs.Metric in
+  Json.Obj
+    (("name", Json.Str name)
+    ::
+    (match view with
+    | M.Counter_v v -> [ ("kind", Json.Str "counter"); ("value", Json.Int v) ]
+    | M.Gauge_v v -> [ ("kind", Json.Str "gauge"); ("value", Json.Int v) ]
+    | M.Histogram_v { count; sum } ->
+        [
+          ("kind", Json.Str "histogram");
+          ("count", Json.Int count);
+          ("sum", Json.float sum);
+        ]))
+
+let encode_control_reply r =
+  let obj fields = Json.to_string (Json.Obj (("v", Json.Int version) :: fields)) in
+  match r with
+  | Hello_ok { protocol } ->
+      obj
+        [
+          ("op", Json.Str "hello"); ("ok", Json.Bool true);
+          ("protocol", Json.Int protocol);
+        ]
+  | Stats_ok metrics ->
+      obj
+        [
+          ("op", Json.Str "stats"); ("ok", Json.Bool true);
+          ("metrics", Json.List (List.map metric_to_json metrics));
+        ]
+  | Shutdown_ok { draining } ->
+      obj
+        [
+          ("op", Json.Str "shutdown"); ("ok", Json.Bool true);
+          ("draining", Json.Bool draining);
+        ]
+  | Refused err ->
+      obj
+        ([
+           ("op", Json.Str "error"); ("ok", Json.Bool false);
+           ("code", Json.Str (error_code err));
+         ]
+        @ (match err with
+          | Version_mismatch { offered } ->
+              [ ("offered", Json.List (List.map (fun p -> Json.Int p) offered)) ]
+          | Unknown_op op -> [ ("method", Json.Str op) ]
+          | Invalid_control _ | Hello_required -> [])
+        @ [ ("error", Json.Str (server_error_to_string err)) ])
+
+let decode_control_reply line =
+  let* j =
+    match Json.parse line with
+    | Ok j -> Ok j
+    | Error msg -> Error ("malformed JSON: " ^ msg)
+  in
+  let* () = check_version j in
+  let str name = Option.bind (Json.member name j) Json.to_str in
+  let int_ name = Option.bind (Json.member name j) Json.to_int in
+  match str "op" with
+  | Some "hello" -> (
+      match int_ "protocol" with
+      | Some protocol -> Ok (Hello_ok { protocol })
+      | None -> Error "hello reply: missing integer \"protocol\"")
+  | Some "stats" -> (
+      let module M = Relpipe_obs.Metric in
+      let metric_of_json m =
+        let mstr name = Option.bind (Json.member name m) Json.to_str in
+        let mint name = Option.bind (Json.member name m) Json.to_int in
+        match (mstr "name", mstr "kind") with
+        | Some name, Some "counter" -> (
+            match mint "value" with
+            | Some v -> Ok (name, M.Counter_v v)
+            | None -> Error "stats reply: counter without integer \"value\"")
+        | Some name, Some "gauge" -> (
+            match mint "value" with
+            | Some v -> Ok (name, M.Gauge_v v)
+            | None -> Error "stats reply: gauge without integer \"value\"")
+        | Some name, Some "histogram" -> (
+            match (mint "count", Option.bind (Json.member "sum" m) Json.to_float)
+            with
+            | Some count, Some sum -> Ok (name, M.Histogram_v { count; sum })
+            | _ -> Error "stats reply: histogram without count/sum")
+        | Some _, Some other ->
+            Error (Printf.sprintf "stats reply: unknown metric kind %S" other)
+        | _ -> Error "stats reply: metric without name/kind"
+      in
+      match Option.bind (Json.member "metrics" j) Json.to_list with
+      | None -> Error "stats reply: missing \"metrics\" list"
+      | Some items ->
+          let rec go acc = function
+            | [] -> Ok (Stats_ok (List.rev acc))
+            | m :: rest -> (
+                match metric_of_json m with
+                | Ok binding -> go (binding :: acc) rest
+                | Error e -> Error e)
+          in
+          go [] items)
+  | Some "shutdown" -> (
+      match Option.bind (Json.member "draining" j) Json.to_bool with
+      | Some draining -> Ok (Shutdown_ok { draining })
+      | None -> Error "shutdown reply: missing boolean \"draining\"")
+  | Some "error" -> (
+      let msg = Option.value ~default:"" (str "error") in
+      match str "code" with
+      | Some "version-mismatch" ->
+          let offered =
+            match Option.bind (Json.member "offered" j) Json.to_list with
+            | Some items -> List.filter_map Json.to_int items
+            | None -> []
+          in
+          Ok (Refused (Version_mismatch { offered }))
+      | Some "unknown-op" -> (
+          match str "method" with
+          | Some op -> Ok (Refused (Unknown_op op))
+          | None -> Error "error reply: unknown-op without \"method\"")
+      | Some "invalid-control" -> Ok (Refused (Invalid_control msg))
+      | Some "hello-required" -> Ok (Refused Hello_required)
+      | Some other -> Error (Printf.sprintf "error reply: unknown code %S" other)
+      | None -> Error "error reply: missing \"code\"")
+  | Some other -> Error (Printf.sprintf "invalid reply \"op\" value %S" other)
+  | None -> Error "missing \"op\""

@@ -92,3 +92,74 @@ val mapping_to_syntax : Mapping.t -> string
 val encode_response : response -> string
 
 val decode_response : string -> (response, string) result
+
+(** {1 Control messages}
+
+    The serve daemon's session vocabulary, sharing the JSONL framing and
+    version field with solve requests.  A control message is any line
+    whose object carries an ["op"] field:
+
+    - [{"v":1,"op":"hello","client":C?,"protocols":[1,...]?}] — the
+      mandatory handshake.  [protocols] (default [[1]]) lists the
+      versions the client speaks; the server accepts when it contains
+      {!version} and answers
+      [{"v":1,"op":"hello","ok":true,"protocol":1}], else it refuses
+      with a typed [version-mismatch] error.
+    - [{"v":1,"op":"stats"}] — answered with the server's live metric
+      registry, [{"v":1,"op":"stats","ok":true,"metrics":[...]}].
+    - [{"v":1,"op":"shutdown"}] — asks the server to drain; answered
+      [{"v":1,"op":"shutdown","ok":true,"draining":true}].
+
+    Refusals are
+    [{"v":1,"op":"error","ok":false,"code":CODE,...,"error":MSG}] with
+    [code] one of [version-mismatch] (plus [offered]), [unknown-op]
+    (plus [method]), [invalid-control] and [hello-required]. *)
+
+type control =
+  | Hello of { client : string option; protocols : int list }
+  | Stats
+  | Shutdown
+
+val hello : ?client:string -> unit -> control
+(** A handshake offering exactly [{!version}]. *)
+
+type server_error =
+  | Version_mismatch of { offered : int list }
+      (** no common version; [offered] echoes the client's list (or its
+          ["v"] field when that was already foreign) *)
+  | Unknown_op of string
+  | Invalid_control of string  (** op message with missing/ill-typed fields *)
+  | Hello_required  (** a solve request arrived before the handshake *)
+
+val error_code : server_error -> string
+
+val server_error_to_string : server_error -> string
+
+(** An inbound session line: a control message, or a solve request whose
+    decode result is carried through so request-level errors keep being
+    answered on the per-request path (like [relpipe batch]). *)
+type inbound =
+  | Control of control
+  | Solve of (request, string) result
+
+val decode_inbound : string -> (inbound, server_error) result
+(** Classify one session line.  [Error] only for op-shaped (control)
+    lines — version gate first, then op dispatch; never raises. *)
+
+val encode_control : control -> string
+
+(** {1 Control replies} *)
+
+type control_reply =
+  | Hello_ok of { protocol : int }
+  | Stats_ok of (string * Relpipe_obs.Metric.view) list
+      (** metric bindings, sorted by name as
+          {!Relpipe_obs.Metric.bindings} yields them *)
+  | Shutdown_ok of { draining : bool }
+  | Refused of server_error
+
+val encode_control_reply : control_reply -> string
+
+val decode_control_reply : string -> (control_reply, string) result
+(** Inverse of {!encode_control_reply} (modulo the human-readable
+    [error] text of [Invalid_control], which round-trips as itself). *)

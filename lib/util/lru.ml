@@ -110,3 +110,104 @@ let clear t =
   Hashtbl.reset t.table;
   t.head <- None;
   t.tail <- None
+
+(* ------------------------------------------------------------------ *)
+(* Sharded variant                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Sharded = struct
+  type 'v plain = 'v t
+
+  type 'v t = {
+    lrus : 'v plain array;  (* per-shard single-lock caches *)
+    locks : Mutex.t array;
+    total_cap : int;
+    (* The three counters are shared by every shard (Counter is atomic),
+       so stats aggregate across shards under the same names. *)
+    s_hits : Counter.t;
+    s_misses : Counter.t;
+    s_evictions : Counter.t;
+  }
+
+  (* FNV-1a (32-bit), written out so the shard of a key is a documented
+     pure function of its bytes — never of OCaml's polymorphic hash. *)
+  let hash_key key =
+    let h = ref 0x811c9dc5 in
+    String.iter
+      (fun c ->
+        h := (!h lxor Char.code c) * 0x01000193 land 0xffffffff)
+      key;
+    !h
+
+  let create_with counter ~shards ~capacity =
+    if shards < 1 then invalid_arg "Lru.Sharded.create: shards must be >= 1";
+    let capacity = max 0 capacity in
+    let c_hits, c_misses, c_evictions = make_counters counter in
+    let shared = function
+      | "hits" -> c_hits
+      | "misses" -> c_misses
+      | _ -> c_evictions
+    in
+    (* Distribute the capacity across shards, the first [capacity mod
+       shards] shards getting one extra slot, so the total is exact. *)
+    let lrus =
+      Array.init shards (fun i ->
+          let cap = (capacity / shards) + (if i < capacity mod shards then 1 else 0) in
+          create_with shared ~capacity:cap)
+    in
+    {
+      lrus;
+      locks = Array.init shards (fun _ -> Mutex.create ());
+      total_cap = capacity;
+      s_hits = c_hits;
+      s_misses = c_misses;
+      s_evictions = c_evictions;
+    }
+
+  let create ~shards ~capacity =
+    create_with (fun _ -> Counter.make ()) ~shards ~capacity
+
+  let create_in ~metrics ~name ~shards ~capacity =
+    create_with
+      (fun suffix -> Relpipe_obs.Metric.counter metrics (name ^ "." ^ suffix))
+      ~shards ~capacity
+
+  let shards t = Array.length t.lrus
+  let capacity t = t.total_cap
+  let shard_of_key t key = hash_key key mod Array.length t.lrus
+
+  let with_shard t key f =
+    let i = shard_of_key t key in
+    let mu = t.locks.(i) in
+    Mutex.lock mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mu) (fun () -> f t.lrus.(i))
+
+  let find t key = with_shard t key (fun lru -> find lru key)
+  let mem t key = with_shard t key (fun lru -> mem lru key)
+  let add t key value = with_shard t key (fun lru -> add lru key value)
+
+  let length t =
+    let n = ref 0 in
+    Array.iteri
+      (fun i lru ->
+        Mutex.lock t.locks.(i);
+        n := !n + length lru;
+        Mutex.unlock t.locks.(i))
+      t.lrus;
+    !n
+
+  let stats t =
+    {
+      hits = Counter.value t.s_hits;
+      misses = Counter.value t.s_misses;
+      evictions = Counter.value t.s_evictions;
+    }
+
+  let clear t =
+    Array.iteri
+      (fun i lru ->
+        Mutex.lock t.locks.(i);
+        clear lru;
+        Mutex.unlock t.locks.(i))
+      t.lrus
+end

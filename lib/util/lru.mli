@@ -50,3 +50,53 @@ val stats : 'v t -> stats
 
 val clear : 'v t -> unit
 (** Drop every entry; counters are preserved. *)
+
+(** {1 Sharded variant}
+
+    A thread-safe LRU split into [shards] independent single-lock
+    caches.  A key's shard is a pure function of its bytes (FNV-1a),
+    so lookups from concurrent sessions contend only when they touch
+    the same shard — the serve daemon shares one of these across every
+    client session.  With [shards = 1] the behaviour (hit/miss/eviction
+    sequence) is exactly that of the plain cache above, plus the lock.
+
+    Counters are shared across shards: {!Sharded.stats} aggregates all
+    shards under the same [hits]/[misses]/[evictions] names, and
+    {!Sharded.create_in} registers the same [<name>.hits] (etc.)
+    instruments as the unsharded {!create_in}. *)
+
+module Sharded : sig
+  type 'v t
+
+  val create : shards:int -> capacity:int -> 'v t
+  (** [capacity] is the {e total} across shards (shard [i] holds
+      [capacity/shards], the remainder spread one-per-shard from shard
+      0).  @raise Invalid_argument when [shards < 1]. *)
+
+  val create_in :
+    metrics:Relpipe_obs.Metric.t ->
+    name:string ->
+    shards:int ->
+    capacity:int ->
+    'v t
+
+  val shards : 'v t -> int
+
+  val capacity : 'v t -> int
+
+  val shard_of_key : 'v t -> string -> int
+  (** The shard a key maps to — exposed so tests can model eviction. *)
+
+  val find : 'v t -> string -> 'v option
+
+  val mem : 'v t -> string -> bool
+
+  val add : 'v t -> string -> 'v -> unit
+
+  val length : 'v t -> int
+
+  val stats : 'v t -> stats
+  (** Aggregated across shards. *)
+
+  val clear : 'v t -> unit
+end

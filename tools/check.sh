@@ -64,6 +64,86 @@ for f in examples/requests/*.jsonl; do
   "$relpipe" batch "$f" -o /dev/null
 done
 
+echo "== relpipe serve: daemon smoke (2 clients, stats, drain, replay) =="
+# A daemon on a Unix socket serves two concurrent scripted clients with
+# overlapping request sets (shared-cache hits), renders stats, drains on
+# SIGTERM answering every admitted request, and exits 0.  The recorded
+# transcript then replays byte-identically at -w 1 and -w 8.
+sock="$tmp/serve.sock"
+rec="$tmp/serve.session"
+"$relpipe" serve --unix "$sock" --record "$rec" --workers 2 \
+  --exact-workers --cache-shards 4 2>"$tmp/serve.err" &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "check.sh: serve socket never appeared" >&2
+    cat "$tmp/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+head -12 "$tmp/sweep.jsonl" > "$tmp/c1.jsonl"
+tail -12 "$tmp/sweep.jsonl" > "$tmp/c2.jsonl"
+"$relpipe" call --unix "$sock" --client one "$tmp/c1.jsonl" \
+  > "$tmp/c1.out" &
+c1_pid=$!
+"$relpipe" call --unix "$sock" --client two "$tmp/c2.jsonl" \
+  > "$tmp/c2.out" &
+c2_pid=$!
+wait "$c1_pid" && wait "$c2_pid" || {
+  echo "check.sh: serve client failed" >&2; exit 1; }
+[ "$(wc -l < "$tmp/c1.out")" -eq 13 ] || {
+  echo "check.sh: client one expected hello + 12 replies" >&2; exit 1; }
+[ "$(wc -l < "$tmp/c2.out")" -eq 13 ] || {
+  echo "check.sh: client two expected hello + 12 replies" >&2; exit 1; }
+"$relpipe" call --unix "$sock" --op stats > "$tmp/stats.out"
+grep -q '"name":"serve.requests"' "$tmp/stats.out" || {
+  echo "check.sh: stats reply is missing the serve namespace" >&2; exit 1; }
+# SIGTERM drain while a third client is mid-stream: once its handshake
+# is in the (per-tick-flushed) recording, signal the daemon, and require
+# one reply per admitted line — the recording is the ground truth.
+"$relpipe" call --unix "$sock" --client drain-probe "$tmp/sweep.jsonl" \
+  > "$tmp/c3.out" &
+c3_pid=$!
+i=0
+while ! grep -q 'drain-probe' "$rec" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "check.sh: drain probe never reached the daemon" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -TERM "$serve_pid"
+wait "$c3_pid" || { echo "check.sh: drain-probe client failed" >&2; exit 1; }
+if wait "$serve_pid"; then :; else
+  echo "check.sh: serve did not exit 0 on SIGTERM" >&2
+  cat "$tmp/serve.err" >&2
+  exit 1
+fi
+grep -q "drained:" "$tmp/serve.err" || {
+  echo "check.sh: serve did not report a drain" >&2; exit 1; }
+sid=$(sed -n 's/^send \([0-9][0-9]*\) .*drain-probe.*/\1/p' "$rec" | head -1)
+admitted=$(grep -c "^send $sid " "$rec")
+got=$(wc -l < "$tmp/c3.out")
+if [ "$admitted" -ne "$got" ]; then
+  echo "check.sh: drain dropped admitted requests ($admitted admitted, $got answered)" >&2
+  exit 1
+fi
+"$relpipe" serve --replay "$rec" --cache-shards 4 --virtual-clock \
+  -w 1 -o "$tmp/replay-w1.out"
+"$relpipe" serve --replay "$rec" --cache-shards 4 --virtual-clock \
+  -w 8 --exact-workers -o "$tmp/replay-w8.out"
+if ! diff -q "$tmp/replay-w1.out" "$tmp/replay-w8.out" >/dev/null; then
+  echo "check.sh: serve replay differs between -w 1 and -w 8" >&2
+  diff "$tmp/replay-w1.out" "$tmp/replay-w8.out" >&2 || true
+  exit 1
+fi
+[ -s "$tmp/replay-w1.out" ] || {
+  echo "check.sh: serve replay produced no replies" >&2; exit 1; }
+
 echo "== relpipe fuzz: smoke campaign =="
 # 200 seeded cases across every oracle (including opt-vs-reference, which
 # pins the optimized kernels to their frozen twins); any failure (exit 1)
