@@ -324,6 +324,88 @@ let run_twins ~clock () =
   print_newline ();
   results
 
+(* Churn replay: warm-started incremental re-solving vs cold
+   from-scratch re-solving of the same seeded scenario.  Both replays
+   include the identical initial solve; with 20 events the figure is
+   dominated by the per-event re-solves, which is where the carried DP
+   table and the surviving incumbent bound pay.  The per-event figures
+   are the time-to-repair claim of the churn engine: ci_warm_hi below
+   ci_cold_lo means the speedup is CI-separated, not noise. *)
+type churn_result = {
+  ch_shape : string;
+  ch_events : int;
+  ch_ns_warm : float;
+  ch_ci_warm : float * float;
+  ch_ns_cold : float;
+  ch_ci_cold : float * float;
+}
+
+let churn_specs () =
+  let module Churn = Relpipe_churn in
+  let mk shape inst ~seed ~events =
+    let world = Churn.World.of_instance inst in
+    let trace = Churn.Driver.trace ~cap:8 ~seed ~count:events world in
+    let objective = Instance.Min_latency { max_failure = 0.5 } in
+    (shape, events, world, trace, objective)
+  in
+  [
+    mk "n=6 m=6 fully-hetero" (make_fully_hetero 21 ~n:6 ~m:6) ~seed:11
+      ~events:20;
+    mk "n=8 m=5 comm-homog" (make_comm_homog 22 ~n:8 ~m:5) ~seed:12 ~events:20;
+  ]
+
+let churn_separated ch =
+  let _, warm_hi = ch.ch_ci_warm and cold_lo, _ = ch.ch_ci_cold in
+  warm_hi < cold_lo
+
+let run_churn ~clock () =
+  let module Churn = Relpipe_churn in
+  let rng = Rng.create 78 in
+  let results =
+    List.map
+      (fun (shape, events, world, trace, objective) ->
+        let warm () =
+          ignore (Sys.opaque_identity (Churn.Engine.run ~objective world trace))
+        in
+        let cold () =
+          ignore
+            (Sys.opaque_identity
+               (Churn.Engine.run ~cold:true ~objective world trace))
+        in
+        let ns_cold, ci_cold, _, _ = measure_kernel ~clock ~rng cold in
+        let ns_warm, ci_warm, _, _ = measure_kernel ~clock ~rng warm in
+        {
+          ch_shape = shape;
+          ch_events = events;
+          ch_ns_warm = ns_warm;
+          ch_ci_warm = ci_warm;
+          ch_ns_cold = ns_cold;
+          ch_ci_cold = ci_cold;
+        })
+      (churn_specs ())
+  in
+  let table =
+    Relpipe_util.Table.create
+      [ "scenario"; "events"; "warm ns"; "cold ns"; "speedup"; "CI-separated" ]
+  in
+  List.iter
+    (fun ch ->
+      Relpipe_util.Table.add_row table
+        [
+          ch.ch_shape;
+          string_of_int ch.ch_events;
+          Printf.sprintf "%.1f" ch.ch_ns_warm;
+          Printf.sprintf "%.1f" ch.ch_ns_cold;
+          Printf.sprintf "%.2fx" (ch.ch_ns_cold /. ch.ch_ns_warm);
+          (if churn_separated ch then "yes" else "no");
+        ])
+    results;
+  print_endline "Churn replay: warm-started vs cold re-solving (min-of-N, bootstrap CI)";
+  print_endline "======================================================================";
+  Relpipe_util.Table.print table;
+  print_newline ();
+  results
+
 (* Regression gate: compare this run's optimized timings against a
    baseline BENCH_*.json; >10% slower on any twin kernel is a failure. *)
 let check_against ~baseline twins =
@@ -527,7 +609,8 @@ let serve_throughput () =
     { s_workers = par; s_sec = sec_par; s_requests = n_requests };
   ]
 
-let write_json path ~virtual_clock ~twins ?(serve = []) kernels throughput =
+let write_json path ~virtual_clock ~twins ?(serve = []) ?(churn = []) kernels
+    throughput =
   let module J = Relpipe_service.Json in
   let date =
     (* The virtual-clock report must be byte-stable across runs, so it
@@ -598,6 +681,25 @@ let write_json path ~virtual_clock ~twins ?(serve = []) kernels throughput =
                  ])
              points)
   in
+  let churn_json ch =
+    let warm_lo, warm_hi = ch.ch_ci_warm and cold_lo, cold_hi = ch.ch_ci_cold in
+    let per_event ns = ns /. float_of_int ch.ch_events in
+    J.Obj
+      [
+        ("shape", J.Str ch.ch_shape);
+        ("events", J.Int ch.ch_events);
+        ("ns_warm", J.float ch.ch_ns_warm);
+        ("ci_warm_lo", J.float warm_lo);
+        ("ci_warm_hi", J.float warm_hi);
+        ("ns_cold", J.float ch.ch_ns_cold);
+        ("ci_cold_lo", J.float cold_lo);
+        ("ci_cold_hi", J.float cold_hi);
+        ("ttr_warm_ns_per_event", J.float (per_event ch.ch_ns_warm));
+        ("ttr_cold_ns_per_event", J.float (per_event ch.ch_ns_cold));
+        ("speedup", J.float (ch.ch_ns_cold /. ch.ch_ns_warm));
+        ("ci_separated", J.Bool (churn_separated ch));
+      ]
+  in
   let json =
     J.Obj
       [
@@ -606,6 +708,7 @@ let write_json path ~virtual_clock ~twins ?(serve = []) kernels throughput =
         ("cpus", J.Int (Relpipe_service.Pool.cpu_count ()));
         ("virtual_clock", J.Bool virtual_clock);
         ("twins", J.List (List.map twin_json twins));
+        ("churn", J.List (List.map churn_json churn));
         ("benchmarks", J.List (List.map kernel_json kernels));
         ("batch_throughput", throughput_json);
         ("serve_throughput", serve_json);
@@ -804,6 +907,7 @@ let () =
     else Relpipe_obs.Clock.monotonic ()
   in
   let twins = run_twins ~clock () in
+  let churn = run_churn ~clock () in
   (* Bechamel and the batch throughput read real time internally, so they
      only run on the real clock. *)
   let kernels = if !virtual_clock then [] else run_benchmarks () in
@@ -812,7 +916,7 @@ let () =
   (match !json_path with
   | None -> ()
   | Some path ->
-      write_json path ~virtual_clock:!virtual_clock ~twins ~serve kernels
+      write_json path ~virtual_clock:!virtual_clock ~twins ~serve ~churn kernels
         throughput);
   match !against with
   | None -> ()

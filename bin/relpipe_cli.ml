@@ -1564,6 +1564,171 @@ let call_cmd =
         (const run $ unix_sock_arg $ tcp_port_arg $ host_arg $ input_arg
        $ client_arg $ no_hello_flag $ op_arg))
 
+let churn_cmd =
+  let module Churn = Relpipe_churn in
+  let events_arg =
+    let doc = "Number of churn events to generate and replay." in
+    Arg.(value & opt int 20 & info [ "e"; "events" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Master seed for the scenario driver (one integer replays \
+               the whole trace)." in
+    Arg.(value & opt int 1 & info [ "s"; "seed" ] ~doc)
+  in
+  let mission_arg =
+    let doc = "Mission duration feeding the lifetime model that picks \
+               death victims." in
+    Arg.(value & opt float 1000.0 & info [ "mission" ] ~doc)
+  in
+  let cold_flag =
+    let doc =
+      "Solve every step from scratch instead of warm-starting.  All \
+       solution-derived output is byte-identical to the warm run \
+       ($(b,tools/check.sh) diffs the two); only reuse/bound statistics \
+       differ."
+    in
+    Arg.(value & flag & info [ "cold" ] ~doc)
+  in
+  let verify_flag =
+    let doc =
+      "After the run, cold-solve every step's world (in parallel on \
+       $(b,--workers) domains) and check the recorded answers \
+       bit-for-bit; fail loudly on any mismatch."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let churn_stats_flag =
+    let doc = "Append per-step reuse/bound/node/time-to-repair columns." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let fmt_value = function
+    | None -> "infeasible"
+    | Some v -> Printf.sprintf "%.17g" v
+  in
+  let run path objective events seed mission cold verify stats workers
+      exact_workers virtual_clock =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst when Platform.size inst.Instance.platform > Interval_exact.max_procs
+      ->
+        `Error
+          ( false,
+            Printf.sprintf "churn needs at most %d processors"
+              Interval_exact.max_procs )
+    | Ok inst -> (
+        match Churn.Driver.trace ~mission ~seed ~count:events
+                (Churn.World.of_instance inst)
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | trace ->
+            let world = Churn.World.of_instance inst in
+            let obs = make_obs ~tracing:false ~virtual_clock in
+            let steps = Churn.Engine.run ~obs ~cold ~objective world trace in
+            Printf.printf "seed:      %d\n" seed;
+            Printf.printf "events:    %d\n" events;
+            (match objective with
+            | Instance.Min_latency { max_failure } ->
+                Printf.printf "objective: min-latency max-failure=%g\n"
+                  max_failure
+            | Instance.Min_failure { max_latency } ->
+                Printf.printf "objective: min-failure max-latency=%g\n"
+                  max_latency);
+            Printf.printf "\n%-5s %-26s %-5s %-22s %-22s %-22s %s\n" "step"
+              "event" "procs" "dp-latency" "latency" "failure" "moved";
+            List.iter
+              (fun (st : Churn.Engine.step) ->
+                let dp_lat = Option.map fst st.Churn.Engine.dp in
+                let lat, fail =
+                  match st.Churn.Engine.solution with
+                  | None -> (None, None)
+                  | Some s ->
+                      ( Some s.Solution.evaluation.Instance.latency,
+                        Some s.Solution.evaluation.Instance.failure )
+                in
+                Printf.printf "%-5d %-26s %-5d %-22s %-22s %-22s %d"
+                  st.Churn.Engine.index st.Churn.Engine.label
+                  (Churn.World.size st.Churn.Engine.world)
+                  (fmt_value dp_lat) (fmt_value lat) (fmt_value fail)
+                  st.Churn.Engine.moved_stages;
+                if stats then
+                  Printf.printf "  reuse=%d/%d bound=%s nodes=%d ttr=%dns"
+                    st.Churn.Engine.reuse.Interval_exact.Dp.cells_reused
+                    st.Churn.Engine.reuse.Interval_exact.Dp.cells_total
+                    (if st.Churn.Engine.warm_bound then "yes" else "no")
+                    st.Churn.Engine.bb_stats.Bb.nodes st.Churn.Engine.ttr_ns;
+                print_newline ())
+              steps;
+            let count kind =
+              List.length
+                (List.filter
+                   (fun (st : Churn.Engine.step) ->
+                     match st.Churn.Engine.event with
+                     | Some ev -> String.equal (Churn.Event.kind ev) kind
+                     | None -> false)
+                   steps)
+            in
+            let total_moved =
+              List.fold_left
+                (fun acc (st : Churn.Engine.step) ->
+                  acc + st.Churn.Engine.moved_stages)
+                0 steps
+            in
+            Printf.printf
+              "\nsummary: steps=%d deaths=%d joins=%d speed-drifts=%d \
+               bw-drifts=%d moved=%d\n"
+              (List.length steps) (count "death") (count "join")
+              (count "speed") (count "bandwidth") total_moved;
+            (match List.rev steps with
+            | last :: _ -> (
+                match last.Churn.Engine.solution with
+                | Some s ->
+                    Format.printf "final:   %a@." Mapping.pp s.Solution.mapping
+                | None -> print_string "final:   infeasible\n")
+            | [] -> ());
+            if verify then begin
+              let workers =
+                if workers <= 0 then Service.Pool.cpu_count () else workers
+              in
+              let workers =
+                Service.Pool.effective_workers ~cap:(not exact_workers) workers
+              in
+              if Churn.Engine.verify ~obs ~workers ~objective steps then begin
+                Printf.printf "verify:  warm == cold on %d steps\n"
+                  (List.length steps);
+                `Ok ()
+              end
+              else
+                `Error
+                  (false, "churn verify failed: warm and cold solves disagree")
+            end
+            else `Ok ())
+  in
+  let doc = "Replay a seeded churn scenario with incremental re-solving." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates a deterministic event trace (processor deaths, \
+         speed/bandwidth drift, node joins) from one master seed, then \
+         re-solves after every event: the interval DP warm-starts from \
+         its previous table and branch-and-bound prunes against the \
+         surviving incumbent.  Warm answers are byte-identical to cold \
+         solves — $(b,--verify) re-proves it, $(b,--cold) replays the \
+         scenario from scratch for diffing.";
+      `P
+        "Reports per step the re-solved optimum, the mapping stability \
+         (stages whose replica set changed, by stable processor \
+         identity) and, with $(b,--stats), DP table reuse and \
+         time-to-repair through the (optionally virtual) clock.";
+    ]
+  in
+  Cmd.v (Cmd.info "churn" ~doc ~man)
+    Term.(
+      ret
+        (const run $ instance_arg $ objective_arg $ events_arg $ seed_arg
+       $ mission_arg $ cold_flag $ verify_flag $ churn_stats_flag
+       $ workers_arg $ exact_workers_arg $ virtual_clock_flag))
+
 let demo_cmd =
   let out_arg =
     let doc = "Where to write the sample instance." in
@@ -1596,5 +1761,5 @@ let () =
             describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
             batch_cmd; serve_cmd; call_cmd; prof_cmd; sweep_cmd; fuzz_cmd;
-            devlint_cmd; demo_cmd;
+            devlint_cmd; churn_cmd; demo_cmd;
           ]))

@@ -1,0 +1,80 @@
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+module Failure_inject = Relpipe_sim.Failure_inject
+module Lifetime = Relpipe_sim.Lifetime
+
+let max_procs = Relpipe_core.Interval_exact.max_procs
+
+(* A fresh positive sub-seed drawn from the event's own stream, handed to
+   the seeded sim helpers (which re-derive their private sub-streams). *)
+let sub_seed rng = Int64.to_int (Rng.int64 rng) land max_int
+
+let gen_one ~mission ~cap rng world =
+  let platform = World.platform world in
+  let m = World.size world in
+  (* The paper's Bernoulli failure model decides whether this slot is a
+     breakdown at all... *)
+  let pattern = Failure_inject.sample_seeded ~seed:(sub_seed rng) platform in
+  let any_dead = Array.exists not pattern in
+  if m >= 3 && any_dead && Rng.bool rng then begin
+    (* ...and the exponential-lifetime refinement picks the victim: the
+       sampled-dead processor with the earliest failure instant. *)
+    let rates =
+      Array.init m (fun u ->
+          let r =
+            Failure_rate.rate_of_fp ~fp:(Platform.failure platform u) ~mission
+          in
+          if Float.is_finite r then r else 1e12)
+    in
+    let times = Lifetime.failure_times ~seed:(sub_seed rng) ~rates in
+    let victim = ref (-1) in
+    Array.iteri
+      (fun u alive ->
+        if (not alive) && (!victim < 0 || times.(u) < times.(!victim)) then
+          victim := u)
+      pattern;
+    Event.Death !victim
+  end
+  else begin
+    let roll = Rng.int rng 10 in
+    if roll < 2 && m < cap then
+      let speed = Rng.float_range rng 1.0 10.0 in
+      let failure = Rng.float_range rng 0.01 0.3 in
+      let bandwidth = Rng.float_range rng 1.0 10.0 in
+      Event.Join { speed; failure; bandwidth }
+    else if roll < 6 || m < 2 then
+      Event.Speed_drift
+        { proc = Rng.int rng m; factor = Rng.float_range rng 0.6 1.7 }
+    else begin
+      let factor = Rng.float_range rng 0.6 1.7 in
+      let link =
+        match Rng.int rng 4 with
+        | 0 -> Event.In (Rng.int rng m)
+        | 1 -> Event.Out (Rng.int rng m)
+        | _ ->
+            let u = Rng.int rng m in
+            let v = Rng.int rng (m - 1) in
+            Event.Between (u, (if v >= u then v + 1 else v))
+      in
+      Event.Bandwidth_drift { link; factor }
+    end
+  end
+
+let trace ?(mission = 1000.0) ?(cap = max_procs) ~seed ~count world =
+  if count < 0 then invalid_arg "Churn.Driver.trace: count must be non-negative";
+  if mission <= 0.0 || not (Float.is_finite mission) then
+    invalid_arg "Churn.Driver.trace: mission must be positive";
+  if cap < 1 || cap > max_procs then
+    invalid_arg "Churn.Driver.trace: cap must lie in [1, max_procs]";
+  let rec go i world acc =
+    if i >= count then List.rev acc
+    else begin
+      (* Per-event sub-stream: event [i] draws only from its own derived
+         generator, so a trace is a pure function of (seed, world). *)
+      let rng = Rng.derive ~seed ~salt:(i + 1) in
+      let ev = gen_one ~mission ~cap rng world in
+      let world', _ = World.apply world ev in
+      go (i + 1) world' (ev :: acc)
+    end
+  in
+  go 0 world []

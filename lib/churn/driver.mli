@@ -1,0 +1,34 @@
+(** Seeded churn scenario generation.
+
+    Every event draws from its own SplitMix64 sub-stream
+    ({!Relpipe_util.Rng.derive} with the event index as salt, the same
+    discipline as the fuzzer's oracle registry), so a trace is a pure
+    function of [(seed, world)] — replayable from a single master seed,
+    and stable under changes to how {e other} events consume randomness.
+
+    The [lib/sim] models feed the generator: a slot is a breakdown when
+    the paper's Bernoulli failure sample
+    ({!Relpipe_sim.Failure_inject.sample_seeded}) kills somebody (and at
+    least three processors remain), and the victim is the sampled-dead
+    processor with the earliest exponential failure instant
+    ({!Relpipe_sim.Lifetime.failure_times} with rates from
+    {!Relpipe_model.Failure_rate.rate_of_fp} over [mission]).  Other
+    slots split between joins (while below {!max_procs}), speed drifts
+    and bandwidth drifts. *)
+
+val max_procs : int
+(** Join cap, [= Relpipe_core.Interval_exact.max_procs]. *)
+
+val trace :
+  ?mission:float ->
+  ?cap:int ->
+  seed:int ->
+  count:int ->
+  World.t ->
+  Event.t list
+(** [count] events, each valid against the world produced by its
+    predecessors ([mission] defaults to [1000.]; [cap] — default
+    {!max_procs} — stops joins beyond that platform size, letting callers
+    with cost ceilings, e.g. the fuzz oracle, bound the search space).
+    @raise Invalid_argument on a negative count, non-positive mission, or
+    cap outside [\[1, max_procs\]]. *)

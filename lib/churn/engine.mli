@@ -1,0 +1,69 @@
+(** The incremental re-mapping engine.
+
+    {!run} solves the initial world, then replays a churn trace: after
+    every event the interval DP warm-starts from its previous table
+    ({!Relpipe_core.Interval_exact.Dp}) and the branch-and-bound search
+    reuses the surviving previous solution as a static prune bound
+    ({!Relpipe_core.Bb.solve} [~prune_above]).  The contract — pinned by
+    {!verify}, [test/test_churn.ml] and the [churn-incremental] fuzz
+    oracle — is that every warm answer is {e byte-identical} to a cold
+    solve of the same world: warm-starting buys time, never a different
+    mapping.
+
+    Per step the engine records (when given an [obs]) the [churn.steps]
+    and [churn.events.<kind>] counters, the [churn.ttr_ns] time-to-repair
+    histogram, the [churn.moved_stages] stability counter, the
+    [churn.dp.cells_reused] counter and the [churn.bb.warm_bounds]
+    counter, under the [churn.run] / [churn.solve.dp] / [churn.solve.bb]
+    spans.  Time-to-repair is measured through the [obs] clock, so runs
+    under a virtual clock are deterministic. *)
+
+open Relpipe_model
+
+type step = {
+  index : int;  (** 0 for the initial solve, then the 1-based event index *)
+  event : Event.t option;  (** [None] for the initial solve *)
+  label : string;  (** {!World.describe} of the event, ["-"] initially *)
+  world : World.t;  (** the world {e after} the event *)
+  dp : (float * Mapping.t) option;
+      (** optimal unreplicated interval mapping (latency) *)
+  solution : Relpipe_core.Solution.t option;
+      (** branch-and-bound optimum for the objective, [None] if infeasible *)
+  reuse : Relpipe_core.Interval_exact.Dp.reuse;
+      (** DP cells carried over from the previous step *)
+  bb_stats : Relpipe_core.Bb.stats;
+  warm_bound : bool;  (** the previous solution survived as a prune bound *)
+  moved_stages : int;
+      (** stages whose replica {e identity} set changed vs the previous
+          step's solution (stable ids, so renumbering is not movement) *)
+  ttr_ns : int;  (** time-to-repair: both solver legs, via the obs clock *)
+}
+
+val run :
+  ?obs:Relpipe_obs.Obs.t ->
+  ?cold:bool ->
+  objective:Instance.objective ->
+  World.t ->
+  Event.t list ->
+  step list
+(** The initial solve plus one step per event.  With [~cold:true] every
+    step solves from scratch — same [step] shape, zero reuse, no bounds;
+    all solution-derived fields are identical to the warm run's. *)
+
+val verify :
+  ?obs:Relpipe_obs.Obs.t ->
+  workers:int ->
+  objective:Instance.objective ->
+  step list ->
+  bool
+(** Cold-solve every step's world (in parallel on [workers] domains —
+    each step depends only on the trace, not on warm results) and check
+    the recorded answers bit-for-bit. *)
+
+(**/**)
+
+val equal_dp :
+  (float * Mapping.t) option -> (float * Mapping.t) option -> bool
+
+val equal_solution :
+  Relpipe_core.Solution.t option -> Relpipe_core.Solution.t option -> bool

@@ -1,0 +1,32 @@
+type link = In of int | Out of int | Between of int * int
+
+type t =
+  | Death of int
+  | Speed_drift of { proc : int; factor : float }
+  | Bandwidth_drift of { link : link; factor : float }
+  | Join of { speed : float; failure : float; bandwidth : float }
+
+let link_equal a b =
+  match (a, b) with
+  | In u, In v | Out u, Out v -> u = v
+  | Between (a1, a2), Between (b1, b2) -> a1 = b1 && a2 = b2
+  | (In _ | Out _ | Between _), _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Death u, Death v -> u = v
+  | Speed_drift a, Speed_drift b ->
+      a.proc = b.proc && Float.equal a.factor b.factor
+  | Bandwidth_drift a, Bandwidth_drift b ->
+      link_equal a.link b.link && Float.equal a.factor b.factor
+  | Join a, Join b ->
+      Float.equal a.speed b.speed
+      && Float.equal a.failure b.failure
+      && Float.equal a.bandwidth b.bandwidth
+  | (Death _ | Speed_drift _ | Bandwidth_drift _ | Join _), _ -> false
+
+let kind = function
+  | Death _ -> "death"
+  | Speed_drift _ -> "speed"
+  | Bandwidth_drift _ -> "bandwidth"
+  | Join _ -> "join"

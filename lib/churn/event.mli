@@ -1,0 +1,31 @@
+(** The churn event vocabulary.
+
+    Processors are named by their {e dense index at the moment the event
+    fires} (the driver generates events against the evolving world;
+    {!World.describe} renders them with stable identities).  A death
+    compacts the index space — survivors keep their relative order — and
+    a join appends at the end; this ordering discipline is what lets the
+    warm DP translate its previous table (see
+    {!Relpipe_core.Interval_exact.Dp}). *)
+
+type link =
+  | In of int  (** the [Pin -> u] input link *)
+  | Out of int  (** the [u -> Pout] output link *)
+  | Between of int * int  (** the bidirectional [u <-> v] link *)
+
+type t =
+  | Death of int  (** processor disappears; indices above it shift down *)
+  | Speed_drift of { proc : int; factor : float }
+      (** speed multiplied by [factor] (> 0; [1.0] is a no-op) *)
+  | Bandwidth_drift of { link : link; factor : float }
+      (** link bandwidth multiplied by [factor] (> 0) *)
+  | Join of { speed : float; failure : float; bandwidth : float }
+      (** a new processor appended at the end, all its links at
+          [bandwidth] *)
+
+val equal : t -> t -> bool
+(** Structural equality (bit-exact on the float payloads). *)
+
+val kind : t -> string
+(** ["death" | "speed" | "bandwidth" | "join"] — also the suffixes of the
+    [churn.events.*] metric names. *)

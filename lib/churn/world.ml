@@ -1,0 +1,173 @@
+open Relpipe_model
+
+type t = {
+  pipeline : Pipeline.t;
+  next_id : int;
+  ids : int array;
+  speeds : float array;
+  failures : float array;
+  bw_in : float array;
+  bw_out : float array;
+  bw_pp : float array;  (* m*m, diagonal unused, kept symmetric *)
+  bw_io : float;  (* Pin <-> Pout *)
+}
+
+let size w = Array.length w.speeds
+let id w u = w.ids.(u)
+
+let of_instance { Instance.pipeline; platform } =
+  let m = Platform.size platform in
+  let bw_pp = Array.make (m * m) 0.0 in
+  for u = 0 to m - 1 do
+    for v = 0 to m - 1 do
+      if u <> v then
+        bw_pp.((u * m) + v) <-
+          Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+    done
+  done;
+  {
+    pipeline;
+    next_id = m;
+    ids = Array.init m (fun u -> u);
+    speeds = Array.init m (Platform.speed platform);
+    failures = Array.init m (Platform.failure platform);
+    bw_in =
+      Array.init m (fun u ->
+          Platform.bandwidth platform Platform.Pin (Platform.Proc u));
+    bw_out =
+      Array.init m (fun u ->
+          Platform.bandwidth platform (Platform.Proc u) Platform.Pout);
+    bw_pp;
+    bw_io = Platform.bandwidth platform Platform.Pin Platform.Pout;
+  }
+
+let platform w =
+  let m = size w in
+  Platform.make ~speeds:w.speeds ~failures:w.failures
+    ~bandwidth:(fun a b ->
+      match (a, b) with
+      | Platform.Pin, Platform.Proc u | Platform.Proc u, Platform.Pin ->
+          w.bw_in.(u)
+      | Platform.Proc u, Platform.Pout | Platform.Pout, Platform.Proc u ->
+          w.bw_out.(u)
+      | Platform.Proc u, Platform.Proc v -> w.bw_pp.((u * m) + v)
+      | Platform.Pin, Platform.Pout | Platform.Pout, Platform.Pin -> w.bw_io
+      | Platform.Pin, Platform.Pin | Platform.Pout, Platform.Pout -> 1.0)
+
+let instance w = Instance.make w.pipeline (platform w)
+
+let check_proc w u ctx =
+  if u < 0 || u >= size w then
+    invalid_arg (Printf.sprintf "Churn.World.apply: %s out of range" ctx)
+
+let check_factor factor =
+  if not (Float.is_finite factor && factor > 0.0) then
+    invalid_arg "Churn.World.apply: factor must be finite and positive"
+
+let drop a k = Array.init (Array.length a - 1) (fun i -> if i < k then a.(i) else a.(i + 1))
+let push a x = Array.append a [| x |]
+
+let identity_prev_of m = Array.init m (fun u -> u)
+
+let apply w event =
+  let m = size w in
+  match event with
+  | Event.Death k ->
+      check_proc w k "dead processor";
+      if m < 2 then invalid_arg "Churn.World.apply: cannot kill the last processor";
+      let bw_pp = Array.make ((m - 1) * (m - 1)) 0.0 in
+      for u = 0 to m - 2 do
+        for v = 0 to m - 2 do
+          if u <> v then begin
+            let pu = if u < k then u else u + 1
+            and pv = if v < k then v else v + 1 in
+            bw_pp.((u * (m - 1)) + v) <- w.bw_pp.((pu * m) + pv)
+          end
+        done
+      done;
+      ( {
+          w with
+          ids = drop w.ids k;
+          speeds = drop w.speeds k;
+          failures = drop w.failures k;
+          bw_in = drop w.bw_in k;
+          bw_out = drop w.bw_out k;
+          bw_pp;
+        },
+        Array.init (m - 1) (fun u -> if u < k then u else u + 1) )
+  | Event.Speed_drift { proc; factor } ->
+      check_proc w proc "drifting processor";
+      check_factor factor;
+      let speeds = Array.copy w.speeds in
+      speeds.(proc) <- speeds.(proc) *. factor;
+      if not (Float.is_finite speeds.(proc) && speeds.(proc) > 0.0) then
+        invalid_arg "Churn.World.apply: drifted speed must stay positive";
+      ({ w with speeds }, identity_prev_of m)
+  | Event.Bandwidth_drift { link; factor } ->
+      check_factor factor;
+      let w' =
+        match link with
+        | Event.In u ->
+            check_proc w u "input-link endpoint";
+            let bw_in = Array.copy w.bw_in in
+            bw_in.(u) <- bw_in.(u) *. factor;
+            { w with bw_in }
+        | Event.Out u ->
+            check_proc w u "output-link endpoint";
+            let bw_out = Array.copy w.bw_out in
+            bw_out.(u) <- bw_out.(u) *. factor;
+            { w with bw_out }
+        | Event.Between (u, v) ->
+            check_proc w u "link endpoint";
+            check_proc w v "link endpoint";
+            if u = v then invalid_arg "Churn.World.apply: no self link";
+            let bw_pp = Array.copy w.bw_pp in
+            bw_pp.((u * m) + v) <- bw_pp.((u * m) + v) *. factor;
+            bw_pp.((v * m) + u) <- bw_pp.((u * m) + v);
+            { w with bw_pp }
+      in
+      (w', identity_prev_of m)
+  | Event.Join { speed; failure; bandwidth } ->
+      if not (Float.is_finite speed && speed > 0.0) then
+        invalid_arg "Churn.World.apply: joining speed must be positive";
+      if not (Float.is_finite bandwidth && bandwidth > 0.0) then
+        invalid_arg "Churn.World.apply: joining bandwidth must be positive";
+      if failure < 0.0 || failure > 1.0 || not (Float.is_finite failure) then
+        invalid_arg "Churn.World.apply: joining failure must lie in [0,1]";
+      let m' = m + 1 in
+      let bw_pp = Array.make (m' * m') 0.0 in
+      for u = 0 to m - 1 do
+        for v = 0 to m - 1 do
+          if u <> v then bw_pp.((u * m') + v) <- w.bw_pp.((u * m) + v)
+        done
+      done;
+      for u = 0 to m - 1 do
+        bw_pp.((u * m') + m) <- bandwidth;
+        bw_pp.((m * m') + u) <- bandwidth
+      done;
+      ( {
+          w with
+          next_id = w.next_id + 1;
+          ids = push w.ids w.next_id;
+          speeds = push w.speeds speed;
+          failures = push w.failures failure;
+          bw_in = push w.bw_in bandwidth;
+          bw_out = push w.bw_out bandwidth;
+          bw_pp;
+        },
+        Array.init m' (fun u -> if u = m then -1 else u) )
+
+let describe w event =
+  match event with
+  | Event.Death k -> Printf.sprintf "death p%d" (id w k)
+  | Event.Speed_drift { proc; factor } ->
+      Printf.sprintf "speed p%d x%.6g" (id w proc) factor
+  | Event.Bandwidth_drift { link; factor } -> (
+      match link with
+      | Event.In u -> Printf.sprintf "bw in-p%d x%.6g" (id w u) factor
+      | Event.Out u -> Printf.sprintf "bw p%d-out x%.6g" (id w u) factor
+      | Event.Between (u, v) ->
+          Printf.sprintf "bw p%d-p%d x%.6g" (id w u) (id w v) factor)
+  | Event.Join { speed; failure; bandwidth } ->
+      Printf.sprintf "join p%d s=%.6g fp=%.6g bw=%.6g" w.next_id speed failure
+        bandwidth

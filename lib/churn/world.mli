@@ -1,0 +1,38 @@
+(** The evolving platform a churn scenario runs against.
+
+    A world is an immutable snapshot: the (fixed) pipeline plus dense
+    per-processor attribute arrays and a stable identity per processor
+    ([id]) that survives renumbering.  {!apply} returns the perturbed
+    world together with the index translation the warm solver needs:
+    [prev_of.(u)] is processor [u]'s dense index {e before} the event
+    ([-1] for a fresh join).  Deaths compact the index space preserving
+    relative order and joins append, so [prev_of] is always strictly
+    increasing on its defined entries — the discipline
+    {!Relpipe_core.Interval_exact.Dp.solve} requires. *)
+
+open Relpipe_model
+
+type t
+
+val of_instance : Instance.t -> t
+(** Snapshot an instance; processor [u] gets stable id [u]. *)
+
+val size : t -> int
+(** Number of (alive) processors. *)
+
+val id : t -> int -> int
+(** Stable identity of the processor at a dense index. *)
+
+val platform : t -> Platform.t
+val instance : t -> Instance.t
+(** Rebuild the model objects (bandwidths kept symmetric). *)
+
+val apply : t -> Event.t -> t * int array
+(** [(world', prev_of)] after one event.
+    @raise Invalid_argument on out-of-range processors, non-positive
+    factors/attributes, or killing the last processor. *)
+
+val describe : t -> Event.t -> string
+(** Render an event {e against the world it fires on}, using stable
+    processor ids (e.g. ["death p3"], ["speed p1 x1.25"],
+    ["join p7 s=4 fp=0.05 bw=2"]). *)

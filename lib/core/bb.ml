@@ -36,6 +36,11 @@ type ctx = {
   bw_out : float array;  (* u -> Pout *)
   bw_pp : float array;  (* u -> v at u*m+v, diagonal unused *)
   rem : float array;  (* rem.(d): remaining-work bound after stage d *)
+  (* Static upper bound on the objective (PR 8 warm starts): subtrees
+     whose objective lower bound strictly exceeds it cannot contain the
+     optimum, so cutting them leaves the returned solution bit-identical
+     to an unbounded solve.  [Float.infinity] disables it. *)
+  bound0 : float;
   memo : memo option;
   mutable best : Solution.t option;
   mutable nodes : int;
@@ -56,9 +61,13 @@ let prune ctx ~partial_latency ~partial_failure ~done_upto =
   let incumbent = incumbent_objective ctx in
   match ctx.objective with
   | Instance.Min_failure { max_latency } ->
-      (not (F.leq latency_lb max_latency)) || partial_failure >= incumbent
+      (not (F.leq latency_lb max_latency))
+      || partial_failure >= incumbent
+      || partial_failure > ctx.bound0
   | Instance.Min_latency { max_failure } ->
-      (not (F.leq partial_failure max_failure)) || latency_lb >= incumbent
+      (not (F.leq partial_failure max_failure))
+      || latency_lb >= incumbent
+      || latency_lb > ctx.bound0
 
 (* Slowest speed in [procs]; memoized per mask.  Ascending scan, matching
    the reference's fold order. *)
@@ -243,7 +252,7 @@ let rec branch (ctx : ctx) ~next_stage ~used ~closed ~pending ~latency_closed
     done
   end
 
-let solve_with_stats instance objective =
+let solve_with_stats ?(prune_above = Float.infinity) instance objective =
   let { Instance.pipeline; platform } = instance in
   let n = Pipeline.length pipeline and m = Platform.size platform in
   if m > B.max_width then invalid_arg "Bb.solve: too many processors";
@@ -293,6 +302,7 @@ let solve_with_stats instance objective =
       bw_out;
       bw_pp;
       rem;
+      bound0 = prune_above;
       memo;
       best = None;
       nodes = 0;
@@ -309,4 +319,5 @@ let solve_with_stats instance objective =
   Obs.add obs "core.bb.pruned" ctx.pruned;
   (ctx.best, { nodes = ctx.nodes; evaluated = ctx.evaluated; pruned = ctx.pruned })
 
-let solve instance objective = fst (solve_with_stats instance objective)
+let solve ?prune_above instance objective =
+  fst (solve_with_stats ?prune_above instance objective)

@@ -29,9 +29,25 @@ type stats = { nodes : int; evaluated : int; pruned : int }
 (** Search effort: decision nodes expanded, complete mappings evaluated,
     and subtrees cut by the admissible bounds. *)
 
-val solve : Instance.t -> Instance.objective -> Solution.t option
+val solve :
+  ?prune_above:float -> Instance.t -> Instance.objective -> Solution.t option
 (** Optimal interval mapping, or [None] when infeasible.  Agrees with
-    {!Exact.solve} (property-tested). *)
+    {!Exact.solve} (property-tested).
+
+    [?prune_above] (default [infinity]) is a static upper bound on the
+    objective used as an extra admissible cut: any subtree whose objective
+    lower bound {e strictly} exceeds it is pruned.  When the caller
+    supplies a sound bound — the evaluated objective of any known-feasible
+    mapping, e.g. the surviving solution of the previous churn step,
+    slightly inflated for the eps-tolerant acceptance in
+    {!Instance.better} — the returned solution is {e bit-identical} to an
+    unbounded solve: the search visits the surviving nodes in the same
+    order, and the optimum is never strictly above the bound.  Only the
+    node/pruned counts change.  [test/test_churn.ml] and the
+    [churn-incremental] fuzz oracle pin this contract. *)
 
 val solve_with_stats :
-  Instance.t -> Instance.objective -> Solution.t option * stats
+  ?prune_above:float ->
+  Instance.t ->
+  Instance.objective ->
+  Solution.t option * stats

@@ -134,6 +134,267 @@ let min_latency instance =
     Some (!best, Mapping.make ~n ~m intervals)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Resumable DP (PR 8): an owned-state twin of [min_latency] for the
+   churn engine.  A cell (e, u, mask) depends only on the pipeline and on
+   the attributes of the processors in [mask] (their speeds, their Pin
+   input links, and the links between them), so after a platform
+   perturbation every cell whose mask avoids the touched processors is
+   carried over bit-for-bit from the previous table; only cells naming a
+   dirty processor are recomputed — by the {e same} loop nest in the same
+   iteration order, so values and tie-breaking parents land exactly where
+   a cold solve would put them (the churn-incremental fuzz oracle checks
+   warm == cold on every event of random traces). *)
+module Dp = struct
+  type state = {
+    st_n : int;
+    st_m : int;
+    st_wp : float array;
+    st_delta : float array;
+    st_spd : float array;
+    st_bw_in : float array;
+    st_bw_pp : float array;
+    st_dp : float array;
+    st_parent : int array;
+  }
+
+  type reuse = { cells_reused : int; cells_total : int }
+
+  let bits_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+  (* The clean set: current processors whose every cost input matches the
+     previous state's counterpart.  [prev_of.(u)] is the previous index of
+     current processor [u], [-1] for a processor with no previous
+     counterpart (a join).  The mapping must be strictly increasing on its
+     defined entries — relative iteration order is what makes previous
+     tie-breaking decisions identical to a cold solve's — otherwise
+     everything is treated as dirty. *)
+  let dirty_set ~prev ~prev_of ~n ~m ~wp ~delta ~spd ~bw_in ~bw_pp =
+    let full = (1 lsl m) - 1 in
+    let arrays_eq a b =
+      Array.length a = Array.length b
+      && (let ok = ref true in
+          Array.iteri (fun i x -> if not (bits_eq x b.(i)) then ok := false) a;
+          !ok)
+    in
+    if
+      prev.st_n <> n
+      || Array.length prev_of <> m
+      || not (arrays_eq prev.st_wp wp)
+      || not (arrays_eq prev.st_delta delta)
+    then full
+    else begin
+      let monotone = ref true and last = ref (-1) in
+      Array.iter
+        (fun p ->
+          if p >= 0 then begin
+            if p <= !last || p >= prev.st_m then monotone := false;
+            last := p
+          end)
+        prev_of;
+      if not !monotone then full
+      else begin
+        let dirty = ref 0 in
+        for u = 0 to m - 1 do
+          let p = prev_of.(u) in
+          let clean_base =
+            p >= 0
+            && bits_eq spd.(u) prev.st_spd.(p)
+            && bits_eq bw_in.(u) prev.st_bw_in.(p)
+          in
+          if not clean_base then dirty := !dirty lor (1 lsl u)
+        done;
+        let base_dirty = !dirty in
+        (* A changed link dirties both endpoints: masks containing either
+           are recomputed, masks containing neither never price it. *)
+        for u = 0 to m - 1 do
+          if base_dirty land (1 lsl u) = 0 then
+            for v = u + 1 to m - 1 do
+              if base_dirty land (1 lsl v) = 0 then begin
+                let pu = prev_of.(u) and pv = prev_of.(v) in
+                if
+                  not
+                    (bits_eq
+                       bw_pp.((u * m) + v)
+                       prev.st_bw_pp.((pu * prev.st_m) + pv))
+                then dirty := !dirty lor (1 lsl u) lor (1 lsl v)
+              end
+            done
+        done;
+        !dirty
+      end
+    end
+
+  let solve ?warm instance =
+    let { Instance.pipeline; platform } = instance in
+    let n = Pipeline.length pipeline and m = Platform.size platform in
+    if m > max_procs then
+      invalid_arg "Interval_exact.Dp.solve: too many processors (cap 14)";
+    let masks = 1 lsl m in
+    let wp = Pipeline.work_prefixes pipeline in
+    let delta = Array.init (n + 1) (Pipeline.delta pipeline) in
+    let spd = Array.init m (Platform.speed platform) in
+    let bw_in =
+      Array.init m (fun u ->
+          Platform.bandwidth platform Platform.Pin (Platform.Proc u))
+    in
+    let bw_out =
+      Array.init m (fun u ->
+          Platform.bandwidth platform (Platform.Proc u) Platform.Pout)
+    in
+    let bw_pp = Array.make (m * m) 0.0 in
+    for u = 0 to m - 1 do
+      for v = 0 to m - 1 do
+        if u <> v then
+          bw_pp.((u * m) + v) <-
+            Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+      done
+    done;
+    let dirty_mask =
+      match warm with
+      | None -> masks - 1
+      | Some (prev, prev_of) ->
+          dirty_set ~prev ~prev_of ~n ~m ~wp ~delta ~spd ~bw_in ~bw_pp
+    in
+    let cells = (n + 1) * m * masks in
+    let dp = Array.make cells Float.infinity in
+    let parent = Array.make cells (-1) in
+    (* Carry over every clean cell from the previous table. *)
+    let reused = ref 0 in
+    (match warm with
+    | None -> ()
+    | Some (prev, prev_of) ->
+        let clean_set = (masks - 1) land lnot dirty_mask in
+        if clean_set <> 0 || dirty_mask <> masks - 1 then begin
+          let cur_of_prev = Array.make prev.st_m (-1) in
+          Array.iteri
+            (fun u p -> if p >= 0 then cur_of_prev.(p) <- u)
+            prev_of;
+          let prev_masks = 1 lsl prev.st_m in
+          let sub = ref clean_set in
+          let continue_ = ref true in
+          while !continue_ do
+            let cmask = !sub in
+            if cmask <> 0 then begin
+              (* Translate the mask into the previous index space. *)
+              let pmask = ref 0 in
+              for u = 0 to m - 1 do
+                if cmask land (1 lsl u) <> 0 then
+                  pmask := !pmask lor (1 lsl prev_of.(u))
+              done;
+              let pmask = !pmask in
+              for u = 0 to m - 1 do
+                if cmask land (1 lsl u) <> 0 then begin
+                  let pu = prev_of.(u) in
+                  for e = 1 to n do
+                    let cell = (((e * m) + u) * masks) + cmask in
+                    let pcell = (((e * prev.st_m) + pu) * prev_masks) + pmask in
+                    dp.(cell) <- prev.st_dp.(pcell);
+                    (match prev.st_parent.(pcell) with
+                    | -1 -> ()
+                    | code ->
+                        let pe = code / prev.st_m and pv = code mod prev.st_m in
+                        parent.(cell) <- (pe * m) + cur_of_prev.(pv));
+                    incr reused
+                  done
+                end
+              done
+            end;
+            if cmask = 0 then continue_ := false
+            else sub := (cmask - 1) land clean_set
+          done
+        end);
+    (* Base rows for dirty processors (clean ones were carried over). *)
+    for v = 0 to m - 1 do
+      if dirty_mask land (1 lsl v) <> 0 then begin
+        let input = delta.(0) /. bw_in.(v) in
+        let sv = spd.(v) in
+        let cell = 1 lsl v in
+        for e = 1 to n do
+          dp.((((e * m) + v) * masks) + cell) <- input +. ((wp.(e) -. wp.(0)) /. sv)
+        done
+      end
+    done;
+    (* The cold loop nest, skipping relaxations into clean targets: a
+       clean target already holds its final (previous == cold) value, and
+       every dirty target receives exactly the cold sequence of candidate
+       updates because sources at stage e are final when the outer loop
+       reaches e. *)
+    for e = 1 to n - 1 do
+      let delta_e = delta.(e) in
+      let wp_e = wp.(e) in
+      for u = 0 to m - 1 do
+        let row = ((e * m) + u) * masks in
+        let bw_row = u * m in
+        for mask = 0 to masks - 1 do
+          let base = dp.(row + mask) in
+          if Float.is_finite base then
+            for v = 0 to m - 1 do
+              if
+                mask land (1 lsl v) = 0
+                && (mask lor (1 lsl v)) land dirty_mask <> 0
+              then begin
+                let comm = delta_e /. bw_pp.(bw_row + v) in
+                let nmask = mask lor (1 lsl v) in
+                let sv = spd.(v) in
+                let base_comm = base +. comm in
+                let col = (v * masks) + nmask in
+                for e' = e + 1 to n do
+                  let cand = base_comm +. ((wp.(e') -. wp_e) /. sv) in
+                  let cell = (e' * m * masks) + col in
+                  if cand < dp.(cell) then begin
+                    dp.(cell) <- cand;
+                    parent.(cell) <- (e * m) + u
+                  end
+                done
+              end
+            done
+        done
+      done
+    done;
+    let best = ref Float.infinity and best_u = ref (-1) and best_mask = ref 0 in
+    for u = 0 to m - 1 do
+      let out = delta.(n) /. bw_out.(u) in
+      let row = ((n * m) + u) * masks in
+      for mask = 0 to masks - 1 do
+        let total = dp.(row + mask) +. out in
+        if total < !best then begin
+          best := total;
+          best_u := u;
+          best_mask := mask
+        end
+      done
+    done;
+    let state =
+      {
+        st_n = n;
+        st_m = m;
+        st_wp = wp;
+        st_delta = delta;
+        st_spd = spd;
+        st_bw_in = bw_in;
+        st_bw_pp = bw_pp;
+        st_dp = dp;
+        st_parent = parent;
+      }
+    in
+    let reuse = { cells_reused = !reused; cells_total = n * m * (masks / 2) } in
+    if not (Float.is_finite !best) then (None, state, reuse)
+    else begin
+      let rec rebuild e u mask acc =
+        match parent.((((e * m) + u) * masks) + mask) with
+        | -1 -> { Mapping.first = 1; last = e; procs = [ u ] } :: acc
+        | code ->
+            let pe = code / m and pu = code mod m in
+            rebuild pe pu
+              (mask land lnot (1 lsl u))
+              ({ Mapping.first = pe + 1; last = e; procs = [ u ] } :: acc)
+      in
+      let intervals = rebuild n !best_u !best_mask [] in
+      (Some (!best, Mapping.make ~n ~m intervals), state, reuse)
+    end
+end
+
 let interval_vs_general_gap instance =
   match min_latency instance with
   | None -> Float.nan

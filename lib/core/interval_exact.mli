@@ -32,3 +32,41 @@ val min_latency : Instance.t -> (float * Mapping.t) option
 val interval_vs_general_gap : Instance.t -> float
 (** [optimal interval latency / optimal general latency >= 1]: the price
     of the interval restriction on this instance. *)
+
+(** Resumable twin of {!min_latency} for incremental re-solving under
+    platform churn (PR 8).
+
+    A DP cell [(e, u, mask)] depends only on the pipeline and on the
+    attributes of the processors in [mask] (speeds, input links, links
+    within the set) — never on processors outside it, and the output link
+    only enters the final closing scan, which is always recomputed.  A
+    warm solve therefore carries over, bit-for-bit, every cell whose mask
+    avoids the processors touched by an event, and re-runs the identical
+    loop nest only on the rest, so its answer is byte-identical to a cold
+    solve's (the [churn-incremental] fuzz oracle and
+    [test/test_churn.ml] pin this). *)
+module Dp : sig
+  type state
+  (** Owned snapshot of one solve: the instance's cost inputs plus the
+      full DP/parent tables.  Unlike {!min_latency} this does not use the
+      shared domain-local workspace, so states survive later solves. *)
+
+  type reuse = { cells_reused : int; cells_total : int }
+  (** Carried-over vs. total meaningful cells ([n * m * 2^(m-1)]: cells
+      whose processor belongs to their mask; the rest are structurally
+      infinite).  A cold solve reports [cells_reused = 0]. *)
+
+  val solve :
+    ?warm:state * int array ->
+    Instance.t ->
+    (float * Mapping.t) option * state * reuse
+  (** [solve ?warm instance] returns the same optimum as
+      {!min_latency instance} plus the owned state for the next warm
+      start.  [warm = (prev, prev_of)] gives the previous state and the
+      index translation: [prev_of.(u)] is processor [u]'s index in the
+      previous platform, [-1] for a fresh join.  [prev_of] must be
+      strictly increasing on its defined entries (deaths compact, joins
+      append — the churn driver's discipline); anything else, or a
+      pipeline change, safely degrades to a full recompute.
+      @raise Invalid_argument when [m > max_procs]. *)
+end

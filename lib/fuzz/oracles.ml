@@ -597,6 +597,44 @@ let check_opt_vs_reference ctx _rng (case : Gen.case) =
   end
 
 (* ------------------------------------------------------------------ *)
+(* 11. churn-incremental: warm-started re-solves == cold solves        *)
+(* ------------------------------------------------------------------ *)
+
+let check_churn _ctx rng (case : Gen.case) =
+  let module Churn = Relpipe_churn in
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let n, m = shape case in
+  if n > 6 || m > 6 then skipf "size guard: n=%d m=%d (needs n <= 6, m <= 6)" n m;
+  let world = Churn.World.of_instance inst in
+  let trace_seed = Int64.to_int (Rng.int64 rng) land max_int in
+  let count = 3 + Rng.int rng 5 in
+  (* Joins capped at 8 processors to keep 500-trace campaigns fast. *)
+  let events = Churn.Driver.trace ~cap:8 ~seed:trace_seed ~count world in
+  let warm = Churn.Engine.run ~objective:obj world events in
+  let cold = Churn.Engine.run ~cold:true ~objective:obj world events in
+  List.iter2
+    (fun (w : Churn.Engine.step) (c : Churn.Engine.step) ->
+      if not (Churn.Engine.equal_dp w.Churn.Engine.dp c.Churn.Engine.dp) then
+        failf "step %d (%s): warm interval DP differs from cold"
+          w.Churn.Engine.index w.Churn.Engine.label;
+      if
+        not
+          (Churn.Engine.equal_solution w.Churn.Engine.solution
+             c.Churn.Engine.solution)
+      then
+        failf "step %d (%s): warm B&B solution differs from cold"
+          w.Churn.Engine.index w.Churn.Engine.label)
+    warm cold;
+  (* A cold replay must see zero reuse and no warm bounds. *)
+  List.iter
+    (fun (c : Churn.Engine.step) ->
+      if c.Churn.Engine.reuse.Core.Interval_exact.Dp.cells_reused <> 0 then
+        failf "cold step %d reports reused DP cells" c.Churn.Engine.index;
+      if c.Churn.Engine.warm_bound then
+        failf "cold step %d reports a warm bound" c.Churn.Engine.index)
+    cold
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -641,6 +679,11 @@ let registry =
         "optimized solver kernels are bit-identical to their frozen reference \
          twins"
       check_opt_vs_reference;
+    oracle ~name:"churn-incremental" ~salt:11
+      ~doc:
+        "warm-started churn re-solves are byte-identical to cold solves at \
+         every event"
+      check_churn;
   ]
 
 let all () = registry

@@ -5,6 +5,12 @@ let sample rng platform =
   Array.init (Platform.size platform) (fun u ->
       not (Rng.bernoulli rng (Platform.failure platform u)))
 
+(* Dedicated sub-stream salt: replays depend only on the master seed, not
+   on how many draws other components made first (see Rng.derive). *)
+let salt = 0xFA11
+
+let sample_seeded ~seed platform = sample (Rng.derive ~seed ~salt) platform
+
 let all_alive platform = Array.make (Platform.size platform) true
 
 let kill alive procs =

@@ -10,6 +10,13 @@ val sample : Relpipe_util.Rng.t -> Platform.t -> bool array
 (** [sample rng platform] draws an aliveness vector: entry [u] is [false]
     with probability [Platform.failure platform u]. *)
 
+val sample_seeded : seed:int -> Platform.t -> bool array
+(** [sample] on a private sub-stream of the master [seed]
+    ({!Relpipe_util.Rng.derive} with this module's salt): the vector is a
+    pure function of [(seed, platform)], independent of any other
+    generator traffic — the replayability contract churn scenarios rely
+    on. *)
+
 val all_alive : Platform.t -> bool array
 
 val kill : bool array -> int list -> bool array

@@ -26,6 +26,17 @@ let sample_failure_times rng rates =
     (fun rate -> if Float.equal rate 0.0 then Float.infinity else Rng.exponential rng rate)
     rates
 
+(* Dedicated sub-stream salt (see Failure_inject.salt). *)
+let salt = 0x11FE
+
+let failure_times ~seed ~rates =
+  Array.iter
+    (fun r ->
+      if r < 0.0 || not (Float.is_finite r) then
+        invalid_arg "Lifetime.failure_times: rates must be finite and non-negative")
+    rates;
+  sample_failure_times (Rng.derive ~seed ~salt) rates
+
 let interval_death_time platform mapping failure_times =
   ignore platform;
   (* An interval dies when its last replica dies. *)

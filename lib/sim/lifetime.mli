@@ -24,6 +24,14 @@ type result = {
   compromise_time : float option;  (** earliest interval-death instant *)
 }
 
+val failure_times : seed:int -> rates:float array -> float array
+(** Per-processor exponential failure instants (rate [0.] never fails:
+    [infinity]) drawn from a private sub-stream of the master [seed]
+    ({!Relpipe_util.Rng.derive} with this module's salt), so the draw is a
+    pure function of [(seed, rates)] — the replayability contract churn
+    scenarios rely on.
+    @raise Invalid_argument on negative or non-finite rates. *)
+
 val run :
   Relpipe_util.Rng.t ->
   Instance.t ->

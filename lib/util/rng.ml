@@ -11,6 +11,8 @@ let create seed = { state = mix (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
+let derive ~seed ~salt = create ((seed lxor (salt * 0x9E3779B9)) land max_int)
+
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

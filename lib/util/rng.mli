@@ -16,6 +16,14 @@ val create : int -> t
 val copy : t -> t
 (** Independent copy sharing no state with the original. *)
 
+val derive : seed:int -> salt:int -> t
+(** [derive ~seed ~salt] builds the sub-stream of master [seed] tagged by
+    [salt]: [create ((seed lxor (salt * 0x9E3779B9)) land max_int)].
+    Distinct salts give decorrelated streams from one master seed — the
+    discipline the fuzzer's oracle registry and the churn driver's
+    per-event streams share, so whole scenarios replay from a single
+    integer. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

@@ -34,7 +34,9 @@ let expected_listing =
    metrics-invariance     metrics and tracing sinks never change solver or \
    engine responses\n\
    opt-vs-reference       optimized solver kernels are bit-identical to \
-   their frozen reference twins\n"
+   their frozen reference twins\n\
+   churn-incremental      warm-started churn re-solves are byte-identical \
+   to cold solves at every event\n"
 
 let registry_tests =
   [

@@ -150,6 +150,26 @@ echo "== relpipe fuzz: smoke campaign =="
 # fails the gate and prints the minimized repro inline.
 "$relpipe" fuzz --count 200 --seed 42 --all-oracles
 
+echo "== relpipe churn: incremental == cold smoke (20 events) =="
+# A seeded 20-event churn scenario re-solved incrementally must print the
+# same solutions as a from-scratch replay (warm-start reuse must never
+# change an answer), and --verify re-proves every step bit-for-bit
+# against parallel cold solves.
+churn_fix=test/fixtures/churn_grid.relpipe
+"$relpipe" churn -i "$churn_fix" --max-failure 0.5 -e 20 -s 11 \
+  --virtual-clock > "$tmp/churn-warm.out"
+"$relpipe" churn -i "$churn_fix" --max-failure 0.5 -e 20 -s 11 --cold \
+  --virtual-clock > "$tmp/churn-cold.out"
+if ! diff -q "$tmp/churn-warm.out" "$tmp/churn-cold.out" >/dev/null; then
+  echo "check.sh: churn warm run differs from --cold run" >&2
+  diff "$tmp/churn-warm.out" "$tmp/churn-cold.out" >&2 || true
+  exit 1
+fi
+"$relpipe" churn -i "$churn_fix" --max-failure 0.5 -e 20 -s 11 --verify \
+  --workers 4 --exact-workers --virtual-clock > "$tmp/churn-verify.out"
+grep -q "verify:  warm == cold on 21 steps" "$tmp/churn-verify.out" || {
+  echo "check.sh: churn --verify did not confirm all 21 steps" >&2; exit 1; }
+
 echo "== bench: kernel-twin smoke (virtual clock) =="
 # The optimized-vs-reference twin harness must run, emit a well-formed v2
 # report, and pass the regression gate against its own output.
