@@ -3,6 +3,8 @@
    Subcommands:
      describe     classify a platform and say which algorithm applies
      solve        solve a bi-criteria mapping problem from an instance file
+     exact        run the exact kernels serial/parallel, optionally certified
+     cert         independently check an optimality certificate
      simulate     Monte-Carlo-validate a solved mapping
      pareto       print the latency/reliability trade-off front
      batch        answer a JSONL stream of solve requests (cached, parallel)
@@ -80,25 +82,250 @@ let describe_cmd =
   Cmd.v (Cmd.info "describe" ~doc)
     Term.(ret (const run $ instance_arg))
 
+(* Certificate plumbing shared by `solve --certify`, `exact --certify`
+   and `cert`.  The emitted text is written before the self-check so a
+   rejected certificate is still on disk for inspection. *)
+let write_certificate path cert =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Relpipe_cert.Cert.to_string cert))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg ->
+      Error (Printf.sprintf "cannot write certificate %s: %s" path msg)
+
+let self_check_certificate ~path inst cert =
+  match Relpipe_cert.Check.check inst cert with
+  | Ok entries ->
+      Format.printf "certificate: %s (%d entries, checker accepted)@." path
+        entries;
+      Ok ()
+  | Error msg ->
+      Error
+        (Printf.sprintf "certificate self-check rejected %s: %s" path msg)
+
+let certify_solution ~path inst objective =
+  let best, cert = Certify.bb inst objective in
+  match write_certificate path cert with
+  | Error _ as e -> e
+  | Ok () -> (
+      match self_check_certificate ~path inst cert with
+      | Error _ as e -> e
+      | Ok () -> Ok best)
+
 let solve_cmd =
-  let run path objective method_ =
+  let certify_arg =
+    let doc =
+      "Write an optimality certificate (a replayable branch-and-bound \
+       transcript) to $(docv) and replay it through the independent \
+       checker before reporting.  Forces the exact branch-and-bound \
+       solver; the answer is bit-identical to the uncertified solve."
+    in
+    Arg.(value & opt (some string) None & info [ "certify" ] ~docv:"FILE" ~doc)
+  in
+  let run path objective method_ certify =
     match load_instance path with
     | Error msg -> `Error (false, msg)
     | Ok inst -> (
-        match Solver.solve ~method_ inst objective with
-        | Some s ->
-            print_solution inst s;
-            `Ok ()
-        | None ->
-            Format.printf "no feasible mapping for %a@." Instance.pp_objective
-              objective;
-            `Ok ()
-        | exception Invalid_argument msg -> `Error (false, msg)
-        | exception Exact.Too_large msg -> `Error (false, msg))
+        match certify with
+        | Some cert_path -> (
+            match certify_solution ~path:cert_path inst objective with
+            | Error msg -> `Error (false, msg)
+            | Ok (Some s) ->
+                print_solution inst s;
+                `Ok ()
+            | Ok None ->
+                Format.printf "no feasible mapping for %a@."
+                  Instance.pp_objective objective;
+                `Ok ()
+            | exception Invalid_argument msg -> `Error (false, msg))
+        | None -> (
+            match Solver.solve ~method_ inst objective with
+            | Some s ->
+                print_solution inst s;
+                `Ok ()
+            | None ->
+                Format.printf "no feasible mapping for %a@."
+                  Instance.pp_objective objective;
+                `Ok ()
+            | exception Invalid_argument msg -> `Error (false, msg)
+            | exception Exact.Too_large msg -> `Error (false, msg)))
   in
   let doc = "Solve a bi-criteria mapping problem." in
   Cmd.v (Cmd.info "solve" ~doc)
-    Term.(ret (const run $ instance_arg $ objective_arg $ method_arg))
+    Term.(
+      ret (const run $ instance_arg $ objective_arg $ method_arg $ certify_arg))
+
+(* --- exact: the parallel/serial exact kernels, head to head --------- *)
+
+let exact_cmd =
+  let leg_arg =
+    let doc =
+      "Exact kernel to run: $(b,bb) (branch and bound, full bi-criteria \
+       objective) or $(b,dp) (interval DP, unreplicated minimum latency; \
+       the objective bound is ignored)."
+    in
+    Arg.(value & opt (enum [ ("bb", `Bb); ("dp", `Dp) ]) `Bb
+         & info [ "leg" ] ~docv:"LEG" ~doc)
+  in
+  let workers_arg =
+    let doc =
+      "Run the parallel kernel over this many pool domains.  The answer \
+       is bit-identical to $(b,--serial) at every worker count — diff the \
+       outputs to check."
+    in
+    Arg.(value & opt (some int) None & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let serial_flag =
+    let doc = "Run the serial kernel (the default)." in
+    Arg.(value & flag & info [ "serial" ] ~doc)
+  in
+  let certify_arg =
+    let doc =
+      "Write the optimality certificate for the chosen leg to $(docv) and \
+       replay it through the independent checker."
+    in
+    Arg.(value & opt (some string) None & info [ "certify" ] ~docv:"FILE" ~doc)
+  in
+  (* Hex floats alongside %g so serial-vs-parallel runs can be compared
+     byte-for-byte (tools/check.sh does exactly that). *)
+  let print_exact latency failure mapping =
+    Format.printf "mapping:  %a@." Mapping.pp mapping;
+    Format.printf "latency:  %g (%h)@." latency latency;
+    match failure with
+    | None -> ()
+    | Some f -> Format.printf "failure:  %g (%h)@." f f
+  in
+  let run path objective leg workers serial certify =
+    match (workers, serial) with
+    | Some _, true -> `Error (true, "pass at most one of --workers and --serial")
+    | _ -> (
+        match load_instance path with
+        | Error msg -> `Error (false, msg)
+        | Ok inst -> (
+            let finish_cert emit =
+              match certify with
+              | None -> Ok ()
+              | Some cert_path -> (
+                  match emit () with
+                  | None -> Error "nothing to certify: no feasible mapping"
+                  | Some cert -> (
+                      match write_certificate cert_path cert with
+                      | Error _ as e -> e
+                      | Ok () -> self_check_certificate ~path:cert_path inst cert))
+            in
+            match leg with
+            | `Bb -> (
+                let solution =
+                  match workers with
+                  | None -> Bb.solve inst objective
+                  | Some w -> Bb.solve_par ~workers:w inst objective
+                in
+                (match solution with
+                 | Some s ->
+                     print_exact s.Solution.evaluation.Instance.latency
+                       (Some s.Solution.evaluation.Instance.failure)
+                       s.Solution.mapping
+                 | None ->
+                     Format.printf "no feasible mapping for %a@."
+                       Instance.pp_objective objective);
+                match
+                  finish_cert (fun () -> Some (snd (Certify.bb inst objective)))
+                with
+                | Ok () -> `Ok ()
+                | Error msg -> `Error (false, msg))
+            | `Dp -> (
+                if Platform.size inst.Instance.platform > Interval_exact.max_procs
+                then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "interval DP supports at most %d processors"
+                        Interval_exact.max_procs )
+                else
+                  let opt =
+                    match workers with
+                    | None -> Interval_exact.min_latency inst
+                    | Some w -> Interval_exact.min_latency_par ~workers:w inst
+                  in
+                  (match opt with
+                   | Some (latency, mapping) -> print_exact latency None mapping
+                   | None -> Format.printf "no interval mapping@.");
+                  match
+                    finish_cert (fun () -> snd (Certify.interval inst))
+                  with
+                  | Ok () -> `Ok ()
+                  | Error msg -> `Error (false, msg))))
+  in
+  let doc = "Run the exact kernels, serial or parallel, optionally certified." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs one exact kernel directly: $(b,--leg bb) is the bi-criteria \
+         branch and bound, $(b,--leg dp) the unreplicated interval DP.  \
+         With $(b,-w N) the parallel twin runs over N pool domains; the \
+         printed answer (including the hex float bits) is bit-identical \
+         to the serial kernel at every worker count, so piping two runs \
+         through $(b,diff) is a real determinism check.";
+      `P
+        "$(b,--certify FILE) additionally emits an optimality certificate \
+         — a replayable search transcript for bb, a potential-function \
+         table for dp — and replays it through the independent checker in \
+         lib/cert, which shares no solver code.  $(b,relpipe cert) \
+         re-checks a stored certificate later.";
+    ]
+  in
+  Cmd.v (Cmd.info "exact" ~doc ~man)
+    Term.(
+      ret
+        (const run $ instance_arg $ objective_arg $ leg_arg $ workers_arg
+       $ serial_flag $ certify_arg))
+
+(* --- cert: independent certificate checking ------------------------ *)
+
+let cert_cmd =
+  let cert_file_arg =
+    let doc = "Certificate file written by solve/exact $(b,--certify)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CERTFILE" ~doc)
+  in
+  let run path cert_path =
+    match load_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok inst -> (
+        let text =
+          In_channel.with_open_text cert_path In_channel.input_all
+        in
+        match Relpipe_cert.Cert.of_string text with
+        | Error msg ->
+            Format.eprintf "%s: unreadable certificate: %s@." cert_path msg;
+            Stdlib.exit 1
+        | Ok cert -> (
+            match Relpipe_cert.Check.check inst cert with
+            | Ok entries ->
+                Format.printf "%s: accepted (%d entries)@." cert_path entries;
+                `Ok ()
+            | Error msg ->
+                Format.eprintf "%s: REJECTED: %s@." cert_path msg;
+                Stdlib.exit 1))
+  in
+  let doc = "Check an optimality certificate against an instance." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays a certificate written by $(b,relpipe solve --certify) or \
+         $(b,relpipe exact --certify) through the independent checker in \
+         lib/cert.  The checker shares no code with the solvers: it \
+         re-walks the branch-and-bound transcript (re-deriving every \
+         bound and justifying every cut) or re-verifies the DP table as a \
+         potential function, and binds the certificate to the instance \
+         via its digest.";
+      `P "Exit status is 1 when the certificate is rejected, 0 otherwise.";
+    ]
+  in
+  Cmd.v (Cmd.info "cert" ~doc ~man)
+    Term.(ret (const run $ instance_arg $ cert_file_arg))
 
 let simulate_cmd =
   let trials_arg =
@@ -1758,7 +1985,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            describe_cmd; solve_cmd; simulate_cmd; pareto_cmd; eval_cmd;
+            describe_cmd; solve_cmd; exact_cmd; cert_cmd; simulate_cmd;
+            pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
             batch_cmd; serve_cmd; call_cmd; prof_cmd; sweep_cmd; fuzz_cmd;
             devlint_cmd; churn_cmd; demo_cmd;

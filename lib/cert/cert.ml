@@ -1,0 +1,389 @@
+open Relpipe_model
+
+let magic = "relpipe-cert v1"
+
+type reason = Threshold | Dominated
+
+type status =
+  | Expanded
+  | Evaluated of { latency : float; failure : float }
+  | Pruned of { reason : reason; latency_lb : float; partial_failure : float }
+
+type node = { path : Mapping.interval list; status : status }
+type cell = { e : int; u : int; mask : int; value : float }
+
+type bb_claim =
+  | Infeasible
+  | Feasible of {
+      latency : float;
+      failure : float;
+      mapping : Mapping.interval list;
+    }
+
+type body =
+  | Bb of {
+      objective : Instance.objective;
+      claim : bb_claim;
+      nodes : node list;
+    }
+  | Dp of {
+      latency : float;
+      mapping : Mapping.interval list;
+      cells : cell list;
+    }
+
+type t = { n : int; m : int; instance_digest : string option; body : body }
+
+let entries t =
+  match t.body with
+  | Bb { nodes; _ } -> List.length nodes
+  | Dp { cells; _ } -> List.length cells
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Hexadecimal float literals round-trip bit-for-bit through
+   [float_of_string], which is the whole point of a certificate: every
+   number the checker reads is exactly the number the solver computed. *)
+let fstr = Printf.sprintf "%h"
+
+let interval_str { Mapping.first; last; procs } =
+  Printf.sprintf "%d-%d:%s" first last
+    (String.concat "," (List.map string_of_int procs))
+
+let path_str = function
+  | [] -> "-"
+  | ivs -> String.concat "|" (List.map interval_str ivs)
+
+let status_str = function
+  | Expanded -> "expanded"
+  | Evaluated { latency; failure } ->
+      Printf.sprintf "evaluated %s %s" (fstr latency) (fstr failure)
+  | Pruned { reason; latency_lb; partial_failure } ->
+      Printf.sprintf "pruned %s %s %s"
+        (match reason with Threshold -> "threshold" | Dominated -> "dominated")
+        (fstr latency_lb) (fstr partial_failure)
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "%s" magic;
+  line "kind %s" (match t.body with Bb _ -> "bb" | Dp _ -> "interval-dp");
+  line "n %d" t.n;
+  line "m %d" t.m;
+  (match t.instance_digest with
+  | None -> ()
+  | Some d -> line "instance md5 %s" d);
+  (match t.body with
+  | Bb { objective; claim; nodes } ->
+      (match objective with
+      | Instance.Min_latency { max_failure } ->
+          line "objective min-latency %s" (fstr max_failure)
+      | Instance.Min_failure { max_latency } ->
+          line "objective min-failure %s" (fstr max_latency));
+      (match claim with
+      | Infeasible -> line "claim infeasible"
+      | Feasible { latency; failure; mapping } ->
+          line "claim feasible %s %s" (fstr latency) (fstr failure);
+          line "mapping %s" (path_str mapping));
+      List.iter
+        (fun { path; status } ->
+          line "node %s %s" (path_str path) (status_str status))
+        nodes
+  | Dp { latency; mapping; cells } ->
+      line "claim feasible %s" (fstr latency);
+      line "mapping %s" (path_str mapping);
+      List.iter
+        (fun { e; u; mask; value } -> line "cell %d %d %d %s" e u mask (fstr value))
+        cells);
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let int_of tok = match int_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> fail "not an integer: %S" tok
+
+let float_of tok = match float_of_string_opt tok with
+  | Some v -> Ok v
+  | None -> fail "not a float: %S" tok
+
+let parse_interval s =
+  match String.index_opt s ':' with
+  | None -> fail "interval missing ':': %S" s
+  | Some i -> (
+      let range = String.sub s 0 i in
+      let procs = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt range '-' with
+      | None -> fail "interval missing '-': %S" s
+      | Some j ->
+          let* first = int_of (String.sub range 0 j) in
+          let* last =
+            int_of (String.sub range (j + 1) (String.length range - j - 1))
+          in
+          let* procs =
+            List.fold_left
+              (fun acc tok ->
+                let* acc = acc in
+                let* p = int_of tok in
+                Ok (p :: acc))
+              (Ok [])
+              (String.split_on_char ',' procs)
+          in
+          if procs = [] then fail "interval with no processors: %S" s
+          else
+            Ok { Mapping.first; last; procs = List.sort Int.compare procs })
+
+let parse_path = function
+  | "-" -> Ok []
+  | s ->
+      let* rev =
+        List.fold_left
+          (fun acc part ->
+            let* acc = acc in
+            let* iv = parse_interval part in
+            Ok (iv :: acc))
+          (Ok [])
+          (String.split_on_char '|' s)
+      in
+      Ok (List.rev rev)
+
+let parse_status = function
+  | [ "expanded" ] -> Ok Expanded
+  | [ "evaluated"; l; f ] ->
+      let* latency = float_of l in
+      let* failure = float_of f in
+      Ok (Evaluated { latency; failure })
+  | [ "pruned"; reason; lb; pf ] ->
+      let* reason =
+        match reason with
+        | "threshold" -> Ok Threshold
+        | "dominated" -> Ok Dominated
+        | r -> fail "unknown prune reason %S" r
+      in
+      let* latency_lb = float_of lb in
+      let* partial_failure = float_of pf in
+      Ok (Pruned { reason; latency_lb; partial_failure })
+  | toks -> fail "malformed node status: %S" (String.concat " " toks)
+
+(* Raw directives collected in a first pass: the format is order-free
+   below the magic line, so nothing is interpreted until everything has
+   been read. *)
+type raw = {
+  mutable kind : string option;
+  mutable rn : int option;
+  mutable rm : int option;
+  mutable digest : string option;
+  mutable objective : Instance.objective option;
+  mutable claim : string list option;  (* tokens after "claim" *)
+  mutable mapping : Mapping.interval list option;
+  mutable nodes : node list;  (* reversed *)
+  mutable cells : cell list;  (* reversed *)
+}
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let once what prev store =
+  match prev with
+  | Some _ -> fail "duplicate %s directive" what
+  | None ->
+      store ();
+      Ok ()
+
+let parse_line raw line =
+  match tokens line with
+  | [] -> Ok ()
+  | "kind" :: rest -> (
+      match rest with
+      | [ ("bb" | "interval-dp") as k ] ->
+          once "kind" raw.kind (fun () -> raw.kind <- Some k)
+      | _ -> fail "malformed kind line: %S" line)
+  | [ "n"; v ] ->
+      let* n = int_of v in
+      once "n" raw.rn (fun () -> raw.rn <- Some n)
+  | [ "m"; v ] ->
+      let* m = int_of v in
+      once "m" raw.rm (fun () -> raw.rm <- Some m)
+  | [ "instance"; "md5"; d ] ->
+      once "instance" raw.digest (fun () -> raw.digest <- Some d)
+  | [ "objective"; which; v ] ->
+      let* v = float_of v in
+      let* objective =
+        match which with
+        | "min-latency" -> Ok (Instance.Min_latency { max_failure = v })
+        | "min-failure" -> Ok (Instance.Min_failure { max_latency = v })
+        | w -> fail "unknown objective %S" w
+      in
+      once "objective" raw.objective (fun () -> raw.objective <- Some objective)
+  | "claim" :: rest -> once "claim" raw.claim (fun () -> raw.claim <- Some rest)
+  | [ "mapping"; p ] ->
+      let* mapping = parse_path p in
+      once "mapping" raw.mapping (fun () -> raw.mapping <- Some mapping)
+  | "node" :: p :: rest ->
+      let* path = parse_path p in
+      let* status = parse_status rest in
+      raw.nodes <- { path; status } :: raw.nodes;
+      Ok ()
+  | [ "cell"; e; u; mask; v ] ->
+      let* e = int_of e in
+      let* u = int_of u in
+      let* mask = int_of mask in
+      let* value = float_of v in
+      raw.cells <- { e; u; mask; value } :: raw.cells;
+      Ok ()
+  | tok :: _ -> fail "unknown directive %S" tok
+
+let require what = function
+  | Some v -> Ok v
+  | None -> fail "missing %s directive" what
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> fail "empty certificate"
+  | first :: rest ->
+      if first <> magic then fail "bad magic line %S (want %S)" first magic
+      else
+        let raw =
+          {
+            kind = None;
+            rn = None;
+            rm = None;
+            digest = None;
+            objective = None;
+            claim = None;
+            mapping = None;
+            nodes = [];
+            cells = [];
+          }
+        in
+        let* () =
+          List.fold_left
+            (fun acc line ->
+              let* () = acc in
+              parse_line raw line)
+            (Ok ()) rest
+        in
+        let* kind = require "kind" raw.kind in
+        let* n = require "n" raw.rn in
+        let* m = require "m" raw.rm in
+        let* claim = require "claim" raw.claim in
+        let* body =
+          match kind with
+          | "bb" ->
+              let* objective = require "objective" raw.objective in
+              let* claim =
+                match claim with
+                | [ "infeasible" ] ->
+                    if raw.mapping <> None then
+                      fail "mapping directive with an infeasible claim"
+                    else Ok Infeasible
+                | [ "feasible"; l; f ] ->
+                    let* latency = float_of l in
+                    let* failure = float_of f in
+                    let* mapping = require "mapping" raw.mapping in
+                    Ok (Feasible { latency; failure; mapping })
+                | toks -> fail "malformed bb claim: %S" (String.concat " " toks)
+              in
+              if raw.cells <> [] then fail "cell directive in a bb certificate"
+              else Ok (Bb { objective; claim; nodes = List.rev raw.nodes })
+          | "interval-dp" ->
+              let* latency =
+                match claim with
+                | [ "feasible"; l ] -> float_of l
+                | toks -> fail "malformed dp claim: %S" (String.concat " " toks)
+              in
+              let* mapping = require "mapping" raw.mapping in
+              if raw.nodes <> [] then
+                fail "node directive in an interval-dp certificate"
+              else if raw.objective <> None then
+                fail "objective directive in an interval-dp certificate"
+              else Ok (Dp { latency; mapping; cells = List.rev raw.cells })
+          | _ -> assert false
+        in
+        Ok { n; m; instance_digest = raw.digest; body }
+
+(* ------------------------------------------------------------------ *)
+(* Order-insensitive equality                                          *)
+(* ------------------------------------------------------------------ *)
+
+let equal a b =
+  let sorted_lines t =
+    to_string t |> String.split_on_char '\n' |> List.sort String.compare
+  in
+  a.n = b.n && List.equal String.equal (sorted_lines a) (sorted_lines b)
+
+(* ------------------------------------------------------------------ *)
+(* Mutations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* One ulp away from zero: the smallest perturbation that is guaranteed
+   to change the bit pattern, which is all the checker's bit-exact replay
+   needs to notice. *)
+let bump x =
+  if x >= 0.0 then Int64.float_of_bits (Int64.add (Int64.bits_of_float x) 1L)
+  else Int64.float_of_bits (Int64.sub (Int64.bits_of_float x) 1L)
+
+let pick index len = ((index mod len) + len) mod len
+
+let mutate_raise_bound ?(index = 0) t =
+  match t.body with
+  | Bb ({ nodes; _ } as bb) ->
+      let numbered =
+        List.filter (fun { status; _ } -> status <> Expanded) nodes
+      in
+      if numbered = [] then None
+      else
+        let victim = List.nth numbered (pick index (List.length numbered)) in
+        let nodes =
+          List.map
+            (fun node ->
+              if node != victim then node
+              else
+                let status =
+                  match node.status with
+                  | Expanded -> assert false
+                  | Evaluated ev ->
+                      Evaluated { ev with latency = bump ev.latency }
+                  | Pruned p -> Pruned { p with latency_lb = bump p.latency_lb }
+                in
+                { node with status })
+            nodes
+        in
+        Some { t with body = Bb { bb with nodes } }
+  | Dp ({ cells; _ } as dp) ->
+      if cells = [] then None
+      else
+        let victim = List.nth cells (pick index (List.length cells)) in
+        let cells =
+          List.map
+            (fun c -> if c != victim then c else { c with value = bump c.value })
+            cells
+        in
+        Some { t with body = Dp { dp with cells } }
+
+let mutate_drop_line ?(index = 0) t =
+  match t.body with
+  | Bb ({ nodes; _ } as bb) ->
+      if nodes = [] then None
+      else
+        let victim = List.nth nodes (pick index (List.length nodes)) in
+        Some
+          { t with body = Bb { bb with nodes = List.filter (( != ) victim) nodes } }
+  | Dp ({ cells; _ } as dp) ->
+      if cells = [] then None
+      else
+        let victim = List.nth cells (pick index (List.length cells)) in
+        Some
+          { t with body = Dp { dp with cells = List.filter (( != ) victim) cells } }

@@ -5,7 +5,6 @@ module Solution = Relpipe_core.Solution
 module Obs = Relpipe_obs.Obs
 module Clock = Relpipe_obs.Clock
 module Pool = Relpipe_service.Pool
-module F = Relpipe_util.Float_cmp
 
 type step = {
   index : int;
@@ -95,8 +94,12 @@ let warm_bound ~objective ~instance ~prev_solution ~prev_of =
         | mapping ->
             let evaluation = Instance.evaluate instance mapping in
             if Instance.feasible objective evaluation then
-              let b0 = Instance.objective_value objective evaluation in
-              Some (b0 +. (16. *. F.default_eps *. Float.max 1.0 (Float.abs b0)))
+              (* The slack lives in Core.Bb so the warm start and the
+                 parallel probe's shared incumbent can never drift apart
+                 (same [prune_slack] constant, same inflation). *)
+              Some
+                (Bb.inflate_bound
+                   (Instance.objective_value objective evaluation))
             else None)
 
 let now obs =

@@ -24,10 +24,38 @@
     implementation kept in {!Reference}. *)
 
 open Relpipe_model
+module B = Relpipe_util.Bitset
 
 type stats = { nodes : int; evaluated : int; pruned : int }
 (** Search effort: decision nodes expanded, complete mappings evaluated,
     and subtrees cut by the admissible bounds. *)
+
+val prune_slack : float
+(** The one bound-inflation slack shared by every sound-upper-bound cut:
+    [16 x Float_cmp.default_eps].  Churn warm starts and the parallel
+    probe's shared incumbent both add [prune_slack] (relative, floored at
+    the same absolute magnitude — see {!inflate_bound}) to a
+    known-feasible objective before using it as [?prune_above], so the
+    eps-tolerant acceptance in {!Instance.better} can never tie-break an
+    optimum out from under the bound.  Pinned by test/test_par_exact.ml. *)
+
+val inflate_bound : float -> float
+(** [inflate_bound b = b +. prune_slack *. max 1.0 (abs b)]: the smallest
+    sound [?prune_above] derived from a known-feasible objective [b].
+    Monotone, and [inflate_bound b >= b] for every finite [b]. *)
+
+module Bound : sig
+  type t
+  (** A lock-free monotone-min cell: the shared incumbent of the parallel
+      probe phase.  Improvements race through a CAS retry loop, so no
+      published value is ever lost. *)
+
+  val create : float -> t
+  val get : t -> float
+
+  val improve : t -> float -> unit
+  (** Lower the cell to [v] if [v] is smaller; no-op otherwise. *)
+end
 
 val solve :
   ?prune_above:float -> Instance.t -> Instance.objective -> Solution.t option
@@ -39,7 +67,7 @@ val solve :
     lower bound {e strictly} exceeds it is pruned.  When the caller
     supplies a sound bound — the evaluated objective of any known-feasible
     mapping, e.g. the surviving solution of the previous churn step,
-    slightly inflated for the eps-tolerant acceptance in
+    inflated by {!inflate_bound} for the eps-tolerant acceptance in
     {!Instance.better} — the returned solution is {e bit-identical} to an
     unbounded solve: the search visits the surviving nodes in the same
     order, and the optimum is never strictly above the bound.  Only the
@@ -51,3 +79,78 @@ val solve_with_stats :
   Instance.t ->
   Instance.objective ->
   Solution.t option * stats
+
+(** {1 Parallel solve} *)
+
+type par_stats = {
+  tasks : int;  (** frontier tasks distributed to the pool (deterministic) *)
+  probe_nodes : int;
+      (** nodes the probe phase expanded — scheduling-dependent *)
+  confirm : stats;
+      (** the confirming serial pass; depends on how tight the probe's
+          bound got, so also scheduling-dependent *)
+}
+
+val solve_par :
+  ?prune_above:float ->
+  workers:int ->
+  Instance.t ->
+  Instance.objective ->
+  Solution.t option
+(** Parallel branch and bound over the {!Relpipe_pool.Pool} domains, in
+    two phases.  {b Probe}: the root frontier — every (first interval,
+    replication set) decision, best-first by its objective lower bound —
+    is distributed over [workers] domains; each task runs a node-budgeted
+    depth-first search sharing one atomic incumbent cell ({!Bound}), into
+    which every completed feasible mapping publishes its
+    {!inflate_bound}-inflated objective, cutting dominated subtrees on
+    all domains at once.  {b Confirm}: one serial pass under the probe's
+    final bound.  Because the cell only ever holds sound inflated upper
+    bounds, the [?prune_above] contract of {!solve} applies and the
+    answer is {e bit-identical to the serial solve at every worker count}
+    — including mapping tie-breaks — while only node counts vary.
+    test/test_par_exact.ml and the [par-exact-identity] fuzz oracle pin
+    this at workers 1/2/8.
+
+    Records the deterministic [core.exact.par.bb.solves] /
+    [core.exact.par.bb.tasks] counters (plus the pool's own metrics);
+    the confirming pass's scheduling-dependent [core.bb.*] counts are
+    deliberately suppressed so metric snapshots stay byte-identical
+    across worker counts. *)
+
+val solve_par_with_stats :
+  ?prune_above:float ->
+  workers:int ->
+  Instance.t ->
+  Instance.objective ->
+  Solution.t option * par_stats
+
+(** {1 Recorded solve (certificate emission)} *)
+
+module Record : sig
+  type reason =
+    | Threshold  (** a latency/failure threshold is already unreachable *)
+    | Dominated
+        (** the objective lower bound cannot beat the incumbent, whose
+            objective upper-bounds the optimum *)
+
+  type status =
+    | Expanded
+    | Evaluated of { latency : float; failure : float }
+    | Pruned of { reason : reason; latency_lb : float; partial_failure : float }
+
+  type node = { path : (int * int * B.t) list; status : status }
+  (** One search node: the (first, last, replication set) intervals chosen
+      so far, in stage order, and what the search did there. *)
+end
+
+val solve_recorded :
+  Instance.t ->
+  Instance.objective ->
+  Solution.t option * stats * Record.node list
+(** Serial solve that also returns the full search transcript, one entry
+    per node in depth-first preorder, with every recorded number exactly
+    the float the search computed.  Runs unbounded (no [?prune_above]) so
+    each [Dominated] entry is justified by the incumbent alone — which is
+    what the independent certificate checker in [lib/cert] re-derives.
+    The transcript is the raw material for {!Certify.bb}. *)

@@ -1,0 +1,89 @@
+open Relpipe_model
+module Cert = Relpipe_cert.Cert
+module B = Relpipe_util.Bitset
+module Obs = Relpipe_obs.Obs
+
+let digest instance =
+  Digest.to_hex (Digest.string (Textio.to_string instance))
+
+let dims instance =
+  ( Pipeline.length instance.Instance.pipeline,
+    Platform.size instance.Instance.platform )
+
+let cert_status = function
+  | Bb.Record.Expanded -> Cert.Expanded
+  | Bb.Record.Evaluated { latency; failure } ->
+      Cert.Evaluated { latency; failure }
+  | Bb.Record.Pruned { reason; latency_lb; partial_failure } ->
+      let reason =
+        match reason with
+        | Bb.Record.Threshold -> Cert.Threshold
+        | Bb.Record.Dominated -> Cert.Dominated
+      in
+      Cert.Pruned { reason; latency_lb; partial_failure }
+
+let cert_path path =
+  List.map
+    (fun (first, last, procs) ->
+      { Mapping.first; last; procs = B.elements procs })
+    path
+
+let bb instance objective =
+  let best, _stats, log = Bb.solve_recorded instance objective in
+  let n, m = dims instance in
+  let claim =
+    match best with
+    | None -> Cert.Infeasible
+    | Some s ->
+        Cert.Feasible
+          {
+            latency = s.Solution.evaluation.Instance.latency;
+            failure = s.Solution.evaluation.Instance.failure;
+            mapping = Mapping.intervals s.Solution.mapping;
+          }
+  in
+  let nodes =
+    List.map
+      (fun { Bb.Record.path; status } ->
+        { Cert.path = cert_path path; status = cert_status status })
+      log
+  in
+  let cert =
+    {
+      Cert.n;
+      m;
+      instance_digest = Some (digest instance);
+      body = Cert.Bb { objective; claim; nodes };
+    }
+  in
+  let obs = Obs.ambient () in
+  Obs.incr obs "cert.emit.bb";
+  Obs.add obs "cert.emit.entries" (Cert.entries cert);
+  (best, cert)
+
+let interval instance =
+  let opt, state, _reuse = Interval_exact.Dp.solve instance in
+  match opt with
+  | None -> (None, None)
+  | Some (latency, mapping) ->
+      let n, m = dims instance in
+      let sn, sm = Interval_exact.Dp.dims state in
+      assert (sn = n && sm = m);
+      let cells =
+        Interval_exact.Dp.fold_finite_cells state ~init:[]
+          ~f:(fun acc ~e ~u ~mask value -> { Cert.e; u; mask; value } :: acc)
+        |> List.rev
+      in
+      let cert =
+        {
+          Cert.n;
+          m;
+          instance_digest = Some (digest instance);
+          body =
+            Cert.Dp { latency; mapping = Mapping.intervals mapping; cells };
+        }
+      in
+      let obs = Obs.ambient () in
+      Obs.incr obs "cert.emit.dp";
+      Obs.add obs "cert.emit.entries" (Cert.entries cert);
+      (opt, Some cert)

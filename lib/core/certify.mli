@@ -1,0 +1,28 @@
+(** Certificate emission for the exact solvers.
+
+    These are the only bridges between [lib/core] and [lib/cert]: the
+    solvers produce the raw material (a recorded search transcript, a DP
+    table) and this module shapes it into a {!Relpipe_cert.Cert.t} that
+    the independent {!Relpipe_cert.Check} replays against the instance
+    alone.  Both emitters stamp the certificate with the MD5 of the
+    instance's canonical {!Textio} text, so a certificate can never be
+    replayed against the wrong instance unnoticed.
+
+    Records [cert.emit.bb] / [cert.emit.dp] counters and
+    [cert.emit.entries] on the ambient collector. *)
+
+open Relpipe_model
+module Cert = Relpipe_cert.Cert
+
+val bb : Instance.t -> Instance.objective -> Solution.t option * Cert.t
+(** Solve with {!Bb.solve_recorded} and package the full transcript.  The
+    claim is the returned solution (or infeasibility); every recorded
+    number is exactly the float the search computed, so the checker's
+    bit-exact replay accepts.  test/test_cert.ml and the [cert-replay]
+    fuzz oracle pin acceptance — and rejection of mutants. *)
+
+val interval : Instance.t -> (float * Mapping.t) option * Cert.t option
+(** Solve with {!Interval_exact.Dp.solve} and package every finite DP
+    cell as a potential function.  [None] certificate only when the DP
+    itself returns no mapping ([n = 0] trivia).
+    @raise Invalid_argument when [m > Interval_exact.max_procs]. *)

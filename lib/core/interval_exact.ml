@@ -135,6 +135,158 @@ let min_latency instance =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Layer-parallel DP (PR 9).  A cell (e', v, nmask) only ever receives
+   relaxations from cells whose mask is [nmask] minus one processor, so
+   the table decomposes into independent layers by mask popcount: all of
+   layer k-1 is final before any layer-k cell needs it, and no two cells
+   inside a layer depend on each other.  Each layer is recomputed
+   pull-style over the pool — one job per mask, each job owning every
+   (e', v) cell of its mask — scanning the candidate sources in exactly
+   the serial nest's order (e ascending, then u ascending) with the same
+   strict-< update, so values {e and} tie-breaking parents land
+   bit-for-bit where [min_latency] puts them, at every worker count. *)
+
+module Pool = Relpipe_pool.Pool
+
+let popcount mask =
+  let rec go acc mask = if mask = 0 then acc else go (acc + 1) (mask land (mask - 1)) in
+  go 0 mask
+
+let min_latency_par ?(workers = 1) instance =
+  let { Instance.pipeline; platform } = instance in
+  let n = Pipeline.length pipeline and m = Platform.size platform in
+  if m > max_procs then
+    invalid_arg "Interval_exact.min_latency_par: too many processors (cap 14)";
+  let masks = 1 lsl m in
+  let obs = Obs.ambient () in
+  Obs.incr obs "core.exact.par.dp.runs";
+  Obs.add obs "core.exact.par.dp.cells" ((n + 1) * m * masks);
+  (* Same flat snapshot layout as [min_latency]. *)
+  let off_wp = 0 in
+  let off_delta = n + 1 in
+  let off_spd = off_delta + n + 1 in
+  let off_bw_in = off_spd + m in
+  let off_bw_out = off_bw_in + m in
+  let off_bw_pp = off_bw_out + m in
+  let env = W.get_floats ws_env ~len:(off_bw_pp + (m * m)) ~fill:0.0 in
+  Array.blit (Pipeline.work_prefixes pipeline) 0 env off_wp (n + 1);
+  for k = 0 to n do
+    env.(off_delta + k) <- Pipeline.delta pipeline k
+  done;
+  for u = 0 to m - 1 do
+    env.(off_spd + u) <- Platform.speed platform u;
+    env.(off_bw_in + u) <-
+      Platform.bandwidth platform Platform.Pin (Platform.Proc u);
+    env.(off_bw_out + u) <-
+      Platform.bandwidth platform (Platform.Proc u) Platform.Pout;
+    for v = 0 to m - 1 do
+      if u <> v then
+        env.(off_bw_pp + (u * m) + v) <-
+          Platform.bandwidth platform (Platform.Proc u) (Platform.Proc v)
+    done
+  done;
+  let cells = (n + 1) * m * masks in
+  let dp = W.get_floats ws_dp ~len:cells ~fill:Float.infinity in
+  let parent = W.get_ints ws_parent ~len:cells ~fill:(-1) in
+  (* Layer 1: base cells, cheap enough to fill on the caller. *)
+  for v = 0 to m - 1 do
+    let input = env.(off_delta) /. env.(off_bw_in + v) in
+    let sv = env.(off_spd + v) in
+    let cell = 1 lsl v in
+    for e = 1 to n do
+      dp.((((e * m) + v) * masks) + cell) <-
+        input +. ((env.(off_wp + e) -. env.(off_wp)) /. sv)
+    done
+  done;
+  (* Masks of each popcount layer, ascending within a layer. *)
+  let layer = Array.make (m + 1) [] in
+  for mask = masks - 1 downto 1 do
+    let k = popcount mask in
+    layer.(k) <- mask :: layer.(k)
+  done;
+  (* Recompute every (e', v) cell of [nmask] from the final layer-(k-1)
+     values; returns the number of strict improvements so the update
+     total stays comparable with the serial kernel's. *)
+  let relax_mask nmask =
+    let updates = ref 0 in
+    for v = 0 to m - 1 do
+      if nmask land (1 lsl v) <> 0 then begin
+        let smask = nmask lxor (1 lsl v) in
+        let sv = env.(off_spd + v) in
+        let col = (v * masks) + nmask in
+        for e = 1 to n - 1 do
+          let delta_e = env.(off_delta + e) in
+          let wp_e = env.(off_wp + e) in
+          for u = 0 to m - 1 do
+            if smask land (1 lsl u) <> 0 then begin
+              let base = dp.((((e * m) + u) * masks) + smask) in
+              if Float.is_finite base then begin
+                let base_comm =
+                  base +. (delta_e /. env.(off_bw_pp + (u * m) + v))
+                in
+                for e' = e + 1 to n do
+                  let cand = base_comm +. ((env.(off_wp + e') -. wp_e) /. sv) in
+                  let cell = (e' * m * masks) + col in
+                  if cand < dp.(cell) then begin
+                    (* devlint: allow RP-S301 — cell owned by this [nmask] job *)
+                    dp.(cell) <- cand;
+                    (* devlint: allow RP-S301 — cell owned by this [nmask] job *)
+                    parent.(cell) <- (e * m) + u;
+                    incr updates
+                  end
+                done
+              end
+            end
+          done
+        done
+      end
+    done;
+    !updates
+  in
+  let total_updates = ref 0 and layers_run = ref 0 in
+  (* Layers beyond [n] cannot host a finite cell (an interval per
+     processor needs at least one stage each), so skip them. *)
+  for k = 2 to min m n do
+    match layer.(k) with
+    | [] -> ()
+    | l ->
+        incr layers_run;
+        let jobs = Array.of_list l in
+        let counts, _stats = Pool.map ?obs ~workers relax_mask jobs in
+        Array.iter (fun c -> total_updates := !total_updates + c) counts
+  done;
+  Obs.add obs "core.exact.par.dp.layers" !layers_run;
+  Obs.add obs "core.exact.par.dp.states" !total_updates;
+  (* Close against Pout — same scan order as the serial kernel. *)
+  let best = ref Float.infinity and best_u = ref (-1) and best_mask = ref 0 in
+  for u = 0 to m - 1 do
+    let out = env.(off_delta + n) /. env.(off_bw_out + u) in
+    let row = ((n * m) + u) * masks in
+    for mask = 0 to masks - 1 do
+      let total = dp.(row + mask) +. out in
+      if total < !best then begin
+        best := total;
+        best_u := u;
+        best_mask := mask
+      end
+    done
+  done;
+  if not (Float.is_finite !best) then None
+  else begin
+    let rec rebuild e u mask acc =
+      match parent.((((e * m) + u) * masks) + mask) with
+      | -1 -> { Mapping.first = 1; last = e; procs = [ u ] } :: acc
+      | code ->
+          let pe = code / m and pu = code mod m in
+          rebuild pe pu
+            (mask land lnot (1 lsl u))
+            ({ Mapping.first = pe + 1; last = e; procs = [ u ] } :: acc)
+    in
+    let intervals = rebuild n !best_u !best_mask [] in
+    Some (!best, Mapping.make ~n ~m intervals)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Resumable DP (PR 8): an owned-state twin of [min_latency] for the
    churn engine.  A cell (e, u, mask) depends only on the pipeline and on
    the attributes of the processors in [mask] (their speeds, their Pin
@@ -393,6 +545,25 @@ module Dp = struct
       let intervals = rebuild n !best_u !best_mask [] in
       (Some (!best, Mapping.make ~n ~m intervals), state, reuse)
     end
+
+  (* Read-only views for certificate emission (lib/core/certify.ml): the
+     checker in lib/cert never sees this module, only the numbers. *)
+  let dims state = (state.st_n, state.st_m)
+
+  let fold_finite_cells state ~init ~f =
+    let n = state.st_n and m = state.st_m in
+    let masks = 1 lsl m in
+    let acc = ref init in
+    for e = 1 to n do
+      for u = 0 to m - 1 do
+        let row = ((e * m) + u) * masks in
+        for mask = 1 to masks - 1 do
+          let value = state.st_dp.(row + mask) in
+          if Float.is_finite value then acc := f !acc ~e ~u ~mask value
+        done
+      done
+    done;
+    !acc
 end
 
 let interval_vs_general_gap instance =

@@ -29,6 +29,23 @@ val min_latency : Instance.t -> (float * Mapping.t) option
     (property-tested).
     @raise Invalid_argument when [m > max_procs]. *)
 
+val min_latency_par :
+  ?workers:int -> Instance.t -> (float * Mapping.t) option
+(** Layer-parallel twin of {!min_latency} over the {!Relpipe_pool.Pool}
+    domains.  The DP table decomposes into independent relaxation layers
+    by mask popcount — every cell's predecessors live one layer down — so
+    each layer is recomputed pull-style, one pool job per mask, with a
+    join between layers.  Each cell replays the serial nest's candidate
+    order (source stage ascending, then source processor ascending) with
+    the same strict-< update, so the value {e and} the tie-breaking
+    parent chain are bit-identical to {!min_latency} at every worker
+    count — deterministic structurally, not just observably
+    (test/test_par_exact.ml and the [par-exact-identity] fuzz oracle).
+
+    Records the deterministic [core.exact.par.dp.*] counters (runs,
+    cells, layers, states) plus the pool's own metrics.
+    @raise Invalid_argument when [m > max_procs]. *)
+
 val interval_vs_general_gap : Instance.t -> float
 (** [optimal interval latency / optimal general latency >= 1]: the price
     of the interval restriction on this instance. *)
@@ -69,4 +86,17 @@ module Dp : sig
       append — the churn driver's discipline); anything else, or a
       pipeline change, safely degrades to a full recompute.
       @raise Invalid_argument when [m > max_procs]. *)
+
+  val dims : state -> int * int
+  (** [(n, m)] of the solved instance. *)
+
+  val fold_finite_cells :
+    state ->
+    init:'a ->
+    f:('a -> e:int -> u:int -> mask:int -> float -> 'a) ->
+    'a
+  (** Fold over every finite DP cell in deterministic (e, u, mask)
+      ascending order: the raw material for the interval-DP optimality
+      certificate ({!Certify.interval}).  The value passed to [f] is the
+      exact stored float. *)
 end

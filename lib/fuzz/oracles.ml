@@ -635,6 +635,113 @@ let check_churn _ctx rng (case : Gen.case) =
     cold
 
 (* ------------------------------------------------------------------ *)
+(* 12. par-exact-identity: parallel solvers == serial at every width   *)
+(* ------------------------------------------------------------------ *)
+
+let check_par_exact ctx _rng (case : Gen.case) =
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let n, m = shape case in
+  if n > 6 || m > 5 then skipf "size guard: n=%d m=%d (needs n <= 6, m <= 5)" n m;
+  let bits = Int64.bits_of_float in
+  let same a b = Int64.equal (bits a) (bits b) in
+  (* B&B: the probe+confirm parallel solve must be bit-identical to the
+     serial solve at every worker count, mapping tie-breaks included. *)
+  let serial = Core.Bb.solve inst obj in
+  List.iter
+    (fun workers ->
+      match (serial, Core.Bb.solve_par ~workers inst obj) with
+      | None, None -> ()
+      | Some _, None ->
+          failf "B&B workers=%d: parallel infeasible, serial solved" workers
+      | None, Some _ ->
+          failf "B&B workers=%d: parallel solved, serial infeasible" workers
+      | Some s, Some p ->
+          let es = s.Core.Solution.evaluation
+          and ep = p.Core.Solution.evaluation in
+          let claimed = ep.Instance.latency *. (1.0 +. ctx.Oracle.perturb) in
+          if not (same claimed es.Instance.latency) then
+            failf "B&B workers=%d: latency %.17g not bit-identical to serial \
+                   %.17g"
+              workers ep.Instance.latency es.Instance.latency;
+          if not (same ep.Instance.failure es.Instance.failure) then
+            failf "B&B workers=%d: failure %.17g not bit-identical to serial \
+                   %.17g"
+              workers ep.Instance.failure es.Instance.failure;
+          if
+            not (Mapping.equal p.Core.Solution.mapping s.Core.Solution.mapping)
+          then failf "B&B workers=%d: mapping differs from serial" workers)
+    [ 1; 2; 8 ];
+  (* Interval DP: the layer-parallel twin, under the kernel's own memory
+     guard.  Values and tie-breaking parents are pinned structurally by
+     test_par_exact; here only the returned optimum is compared. *)
+  if m <= Core.Interval_exact.max_procs then
+    let dp_serial = Core.Interval_exact.min_latency inst in
+    List.iter
+      (fun workers ->
+        match (dp_serial, Core.Interval_exact.min_latency_par ~workers inst) with
+        | None, None -> ()
+        | Some _, None | None, Some _ ->
+            failf "interval DP workers=%d: outcome class differs from serial"
+              workers
+        | Some (sl, smap), Some (pl, pmap) ->
+            if not (same pl sl) then
+              failf "interval DP workers=%d: latency %.17g not bit-identical \
+                     to serial %.17g"
+                workers pl sl;
+            if not (Mapping.equal pmap smap) then
+              failf "interval DP workers=%d: mapping differs from serial"
+                workers)
+      [ 1; 2; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* 13. cert-replay: emitted certificates check; mutants are rejected   *)
+(* ------------------------------------------------------------------ *)
+
+let check_cert_replay _ctx rng (case : Gen.case) =
+  let module Cert = Relpipe_cert.Cert in
+  let module Check = Relpipe_cert.Check in
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let n, m = shape case in
+  if n > 5 || m > 4 then skipf "size guard: n=%d m=%d (needs n <= 5, m <= 4)" n m;
+  let expect_accept what cert =
+    match Check.check inst cert with
+    | Ok entries ->
+        if entries <= 0 then failf "%s: checker accepted 0 entries" what
+    | Error msg -> failf "%s rejected by the checker: %s" what msg
+  in
+  let expect_reject what = function
+    | None -> failf "%s: mutation had nothing to mutate" what
+    | Some mutant -> (
+        match Check.check inst mutant with
+        | Error _ -> ()
+        | Ok _ -> failf "%s was accepted by the checker" what)
+  in
+  let roundtrip what cert =
+    match Cert.of_string (Cert.to_string cert) with
+    | Error msg -> failf "%s does not re-parse: %s" what msg
+    | Ok reparsed ->
+        if not (Cert.equal cert reparsed) then
+          failf "%s print->parse round trip is not stable" what
+  in
+  let battery what cert =
+    expect_accept what cert;
+    roundtrip what cert;
+    let index = Int64.to_int (Rng.int64 rng) land max_int in
+    expect_reject
+      (Printf.sprintf "%s with a raised bound (index %d)" what index)
+      (Cert.mutate_raise_bound ~index cert);
+    expect_reject
+      (Printf.sprintf "%s with a dropped admission (index %d)" what index)
+      (Cert.mutate_drop_line ~index cert)
+  in
+  let _best, bb_cert = Core.Certify.bb inst obj in
+  battery "B&B certificate" bb_cert;
+  if m <= Check.dp_max_procs then
+    match Core.Certify.interval inst with
+    | _, None -> failf "interval DP emitted no certificate"
+    | _, Some dp_cert -> battery "interval DP certificate" dp_cert
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -684,6 +791,16 @@ let registry =
         "warm-started churn re-solves are byte-identical to cold solves at \
          every event"
       check_churn;
+    oracle ~name:"par-exact-identity" ~salt:12
+      ~doc:
+        "parallel B&B and layer-parallel DP are bit-identical to serial at \
+         workers 1/2/8"
+      check_par_exact;
+    oracle ~name:"cert-replay" ~salt:13
+      ~doc:
+        "emitted certificates pass the independent checker; raised-bound and \
+         dropped-line mutants are rejected"
+      check_cert_replay;
   ]
 
 let all () = registry

@@ -1,0 +1,115 @@
+let cpu_count () = max 1 (Domain.recommended_domain_count ())
+
+let effective_workers ?(cap = true) requested =
+  let w = max 1 requested in
+  if cap then min w (cpu_count ()) else w
+
+(* ------------------------------------------------------------------ *)
+(* Job queue                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A closable FIFO: workers block in [pop] until a job arrives or the
+   queue is closed.  The batch engine pushes every job before spawning
+   workers, so [close] races nothing; the queue still supports the
+   general push/close order for future streaming use. *)
+module Jobq = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { q = Queue.create (); mu = Mutex.create (); nonempty = Condition.create (); closed = false }
+
+  let push t x =
+    Mutex.lock t.mu;
+    Queue.push x t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu
+
+  let close t =
+    Mutex.lock t.mu;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu
+
+  let pop t =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.q && not t.closed do
+      Condition.wait t.nonempty t.mu
+    done;
+    let item = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+    Mutex.unlock t.mu;
+    item
+end
+
+type stats = { workers : int; jobs : int }
+
+module Obs = Relpipe_obs.Obs
+module Clock = Relpipe_obs.Clock
+
+let map ?obs ~workers f jobs =
+  let n = Array.length jobs in
+  let w = max 1 (min workers (max 1 n)) in
+  (* All n jobs are enqueued before any worker starts, so the queue's
+     peak depth is n for every worker count — recording it (and the job
+     count) keeps metric snapshots identical across [--workers]. *)
+  Obs.add obs "pool.jobs" n;
+  if n > 0 then Obs.gauge_max obs "pool.queue.peak_depth" n;
+  (* Per-slot durations, written by whichever domain runs the slot and
+     read only after the joins below; observed into the histogram in
+     submission order so the result is scheduling-independent.  Each
+     slot times itself on a clock forked from the context's clock, which
+     under a virtual clock makes every duration a fixed tick count. *)
+  let durs = Array.make (if Option.is_none obs then 0 else n) 0 in
+  let timed i job =
+    match obs with
+    | None -> f job
+    | Some o ->
+        let clk = Clock.fork o.Obs.clock i in
+        let t0 = Clock.now_ns clk in
+        let r = f job in
+        durs.(i) <- Clock.now_ns clk - t0;
+        r
+  in
+  let finish out =
+    Array.iter
+      (fun d -> Obs.observe obs "pool.task.duration_ns" (float_of_int d))
+      durs;
+    (out, { workers = w; jobs = n })
+  in
+  if w = 1 then finish (Array.mapi timed jobs)
+  else begin
+    let queue = Jobq.create () in
+    Array.iteri (fun i job -> Jobq.push queue (i, job)) jobs;
+    Jobq.close queue;
+    (* Each slot is written by exactly one worker and read only after the
+       joins below, which establish the happens-before edge. *)
+    let results = Array.make n None in
+    let worker () =
+      let rec loop () =
+        match Jobq.pop queue with
+        | None -> ()
+        | Some (i, job) ->
+            let r = match timed i job with v -> Ok v | exception e -> Error e in
+            (* devlint: allow RP-S301 — exactly one writer per slot i *)
+            results.(i) <- Some r;
+            loop ()
+      in
+      loop ()
+    in
+    let domains = Array.init (w - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    let out =
+      Array.map
+        (function
+          | Some (Ok v) -> v
+          | Some (Error e) -> raise e
+          | None -> assert false (* every index was queued *))
+        results
+    in
+    finish out
+  end

@@ -1,0 +1,36 @@
+(** Domain-based worker pool over a mutex/condvar job queue.
+
+    {!map} runs a pure function over an array of jobs on [workers]
+    domains (the calling domain participates, so [workers = 1] spawns
+    nothing) and reassembles the results {e in submission order}: the
+    output is independent of scheduling, so any engine built on it stays
+    deterministic for every worker count.
+
+    Jobs must not share mutable state — the pool provides no
+    synchronization beyond the queue itself. *)
+
+type stats = {
+  workers : int;  (** domains that executed jobs (including the caller) *)
+  jobs : int;  (** jobs executed *)
+}
+
+val cpu_count : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val effective_workers : ?cap:bool -> int -> int
+(** Clamp a requested worker count to [1 .. cpu_count] ([cap] defaults to
+    [true]; with [~cap:false] only the lower bound applies, letting tests
+    oversubscribe a small machine with more domains than cores). *)
+
+val map :
+  ?obs:Relpipe_obs.Obs.t -> workers:int -> ('a -> 'b) -> 'a array -> 'b array * stats
+(** [map ~workers f jobs] spawns exactly [max 1 workers] workers (apply
+    {!effective_workers} first for the [min(requested, cpus)] policy).
+    If any [f job] raises, the first exception in submission order is
+    re-raised after all workers have drained.
+
+    With [obs], the pool records the [pool.jobs] counter, the
+    [pool.queue.peak_depth] gauge and the [pool.task.duration_ns]
+    histogram (per-task durations on per-slot forked clocks, observed in
+    submission order).  No worker-count-dependent value is recorded, so
+    snapshots stay identical across [~workers] settings. *)

@@ -170,6 +170,70 @@ fi
 grep -q "verify:  warm == cold on 21 steps" "$tmp/churn-verify.out" || {
   echo "check.sh: churn --verify did not confirm all 21 steps" >&2; exit 1; }
 
+echo "== relpipe exact: parallel == serial byte-diff smoke =="
+# The probe+confirm parallel B&B and the layer-parallel interval DP must
+# print byte-identical answers — hex float bits included — at every
+# worker count.
+for leg in bb dp; do
+  "$relpipe" exact -i examples/instances/fig5.relpipe -F 0.5 --leg "$leg" \
+    --serial > "$tmp/exact-$leg-serial.out"
+  for w in 2 8; do
+    "$relpipe" exact -i examples/instances/fig5.relpipe -F 0.5 --leg "$leg" \
+      -w "$w" > "$tmp/exact-$leg-w$w.out"
+    if ! diff -q "$tmp/exact-$leg-serial.out" "$tmp/exact-$leg-w$w.out" \
+      >/dev/null; then
+      echo "check.sh: exact --leg $leg differs between --serial and -w $w" >&2
+      diff "$tmp/exact-$leg-serial.out" "$tmp/exact-$leg-w$w.out" >&2 || true
+      exit 1
+    fi
+  done
+done
+"$relpipe" exact -i examples/instances/lab-cluster.relpipe -F 0.5 --serial \
+  > "$tmp/exact-lab-serial.out"
+"$relpipe" exact -i examples/instances/lab-cluster.relpipe -F 0.5 -w 4 \
+  > "$tmp/exact-lab-w4.out"
+if ! diff -q "$tmp/exact-lab-serial.out" "$tmp/exact-lab-w4.out" >/dev/null
+then
+  echo "check.sh: exact bb on lab-cluster differs between --serial and -w 4" >&2
+  diff "$tmp/exact-lab-serial.out" "$tmp/exact-lab-w4.out" >&2 || true
+  exit 1
+fi
+
+echo "== relpipe cert: certify + independent-check gate =="
+# Solve shipped instances with --certify and replay every certificate
+# through the independent checker (lib/cert shares no solver code).  The
+# gate is size-aware: B&B transcripts grow with the search tree
+# (federation's is ~160 MB), so the bb leg covers fig5 and lab-cluster;
+# the dp leg additionally covers federation (m=12, within the DP's
+# 14-processor cap) — campus-grid and volunteer-network exceed it.
+"$relpipe" solve -i examples/instances/fig5.relpipe -F 0.5 \
+  --certify "$tmp/fig5.cert" >/dev/null
+"$relpipe" cert -i examples/instances/fig5.relpipe "$tmp/fig5.cert" >/dev/null
+"$relpipe" exact -i examples/instances/lab-cluster.relpipe -F 0.5 \
+  --certify "$tmp/lab.cert" >/dev/null
+"$relpipe" cert -i examples/instances/lab-cluster.relpipe "$tmp/lab.cert" \
+  >/dev/null
+for f in fig5 lab-cluster federation; do
+  "$relpipe" exact -i "examples/instances/$f.relpipe" -F 0.5 --leg dp \
+    --certify "$tmp/$f-dp.cert" >/dev/null
+  "$relpipe" cert -i "examples/instances/$f.relpipe" "$tmp/$f-dp.cert" \
+    >/dev/null
+done
+# Oversized instances are refused loudly, not silently skipped: the DP
+# leg must reject volunteer-network (m=24, above the 14-processor cap).
+if "$relpipe" exact -i examples/instances/volunteer-network.relpipe -F 0.5 \
+  --leg dp >/dev/null 2>&1; then
+  echo "check.sh: exact --leg dp accepted an oversized instance" >&2
+  exit 1
+fi
+# Digest binding: a certificate checked against the wrong instance must
+# be rejected (exit 1).
+if "$relpipe" cert -i examples/instances/lab-cluster.relpipe \
+  "$tmp/fig5.cert" >/dev/null 2>&1; then
+  echo "check.sh: checker accepted a certificate for the wrong instance" >&2
+  exit 1
+fi
+
 echo "== bench: kernel-twin smoke (virtual clock) =="
 # The optimized-vs-reference twin harness must run, emit a well-formed v2
 # report, and pass the regression gate against its own output.
