@@ -569,11 +569,11 @@ type throughput = {
   t_sec_par : float;
 }
 
-let batch_throughput () =
+let batch_throughput ?(n_requests = 200) () =
   let module Engine = Relpipe_service.Engine in
   let module Protocol = Relpipe_service.Protocol in
   let requests =
-    Array.init 200 (fun k ->
+    Array.init n_requests (fun k ->
         let inst = make_fully_hetero (1000 + k) ~n:8 ~m:5 in
         Protocol.request
           ~id:(Printf.sprintf "bench-%03d" k)
@@ -596,17 +596,26 @@ let batch_throughput () =
         String.equal (Protocol.encode_response a) (Protocol.encode_response b))
       r_seq r_par
   in
-  print_endline "Batch-engine throughput (200-request sweep, n=8 m=5)";
+  let cpus = Relpipe_service.Pool.cpu_count () in
+  Printf.printf "Batch-engine throughput (%d-request sweep, n=8 m=5)\n"
+    n_requests;
   print_endline "====================================================";
   Printf.printf "  1 worker : %6.2f s  (%7.1f req/s)\n" sec_seq
-    (200.0 /. sec_seq);
-  Printf.printf "  %d workers: %6.2f s  (%7.1f req/s)  speedup %.2fx on %d cpus\n"
-    par sec_par (200.0 /. sec_par) (sec_seq /. sec_par)
-    (Relpipe_service.Pool.cpu_count ());
+    (float_of_int n_requests /. sec_seq);
+  Printf.printf "  %d workers: %6.2f s  (%7.1f req/s)  speedup %.2fx on %d cpus%s\n"
+    par sec_par
+    (float_of_int n_requests /. sec_par)
+    (sec_seq /. sec_par) cpus
+    (if par > cpus then " [oversubscribed]" else "");
   Printf.printf "  responses byte-identical across worker counts: %b\n\n"
     identical;
   if not identical then failwith "batch engine nondeterminism detected";
-  { t_requests = 200; t_workers_par = par; t_sec_seq = sec_seq; t_sec_par = sec_par }
+  {
+    t_requests = n_requests;
+    t_workers_par = par;
+    t_sec_seq = sec_seq;
+    t_sec_par = sec_par;
+  }
 
 (* Serve-daemon throughput: the same style of sweep pushed through a live
    [relpipe serve] daemon on a Unix socket by one pipelined client — so
@@ -703,8 +712,122 @@ let serve_throughput () =
     { s_workers = par; s_sec = sec_par; s_requests = n_requests };
   ]
 
+(* End-to-end atlas: the streaming load harness as a benchmark.  One
+   seeded 20k-request stream per Zipf skew (hit rate and latency
+   percentiles are deterministic; the wall clock is the benchmark), plus
+   the same stream at 1 and [par] workers with the reports compared
+   byte-for-byte. *)
+type atlas_skew_point = {
+  az_zipf : float;
+  az_hit_rate : float;
+  az_p50 : float;
+  az_p95 : float;
+  az_p99 : float;
+  az_sec : float;
+}
+
+type atlas_workers_point = { aw_workers : int; aw_sec : float }
+
+type atlas_bench = {
+  ab_requests : int;
+  ab_pool : int;
+  ab_skew : atlas_skew_point list;
+  ab_workers : atlas_workers_point list;
+  ab_identical : bool;
+}
+
+let atlas_bench ?(n_requests = 20_000) () =
+  let module Atlas = Relpipe_service.Atlas in
+  let module Engine = Relpipe_service.Engine in
+  let module Protocol = Relpipe_service.Protocol in
+  let module Stream_gen = Relpipe_workload.Stream_gen in
+  let seed = 42 in
+  let source_of spec =
+    let entries = Stream_gen.pool_entries ~seed spec in
+    let slots =
+      Array.map
+        (fun (e : Stream_gen.entry) ->
+          match Protocol.method_of_string e.Stream_gen.method_name with
+          | Ok m ->
+              {
+                Atlas.sl_text = e.Stream_gen.text;
+                sl_objective = e.Stream_gen.objective;
+                sl_method = m;
+                sl_class = e.Stream_gen.plat_class;
+              }
+          | Error msg -> failwith msg)
+        entries
+    in
+    {
+      Atlas.slots;
+      events =
+        (fun f ->
+          Stream_gen.iter ~seed spec ~n:n_requests (fun ev ->
+              f
+                {
+                  Atlas.ev_index = ev.Stream_gen.ev_index;
+                  ev_slot = ev.Stream_gen.ev_slot;
+                  ev_gap_ns = ev.Stream_gen.ev_gap_ns;
+                }))
+    }
+  in
+  let run ~workers spec =
+    let engine = Engine.create ~workers ~cap_to_cpus:false () in
+    let t0 = Unix.gettimeofday () in
+    let report = Atlas.run ~solve:(Engine.run_requests engine) (source_of spec) in
+    (Unix.gettimeofday () -. t0, report)
+  in
+  Printf.printf "Atlas end-to-end (%d-request stream, online aggregation)\n"
+    n_requests;
+  print_endline "========================================================";
+  let skew =
+    List.map
+      (fun z ->
+        let spec = { Stream_gen.default_spec with Stream_gen.zipf_s = z } in
+        let sec, r = run ~workers:1 spec in
+        let q phi = Relpipe_obs.Stream.Quantile.quantile r.Atlas.latency phi in
+        Printf.printf
+          "  zipf %.1f: hit rate %.4f, p50 %.4g, p95 %.4g, p99 %.4g  (%5.2f \
+           s, %7.1f req/s)\n"
+          z (Atlas.hit_rate r) (q 0.5) (q 0.95) (q 0.99) sec
+          (float_of_int n_requests /. sec);
+        {
+          az_zipf = z;
+          az_hit_rate = Atlas.hit_rate r;
+          az_p50 = q 0.5;
+          az_p95 = q 0.95;
+          az_p99 = q 0.99;
+          az_sec = sec;
+        })
+      [ 0.0; 0.5; 1.1; 1.5 ]
+  in
+  let par = max 4 (Relpipe_service.Pool.cpu_count ()) in
+  let cpus = Relpipe_service.Pool.cpu_count () in
+  let sec1, r1 = run ~workers:1 Stream_gen.default_spec in
+  let secp, rp = run ~workers:par Stream_gen.default_spec in
+  let identical = String.equal (Atlas.render r1) (Atlas.render rp) in
+  Printf.printf "  1 worker : %5.2f s  (%7.1f req/s)\n" sec1
+    (float_of_int n_requests /. sec1);
+  Printf.printf "  %d workers: %5.2f s  (%7.1f req/s)  on %d cpus%s\n" par secp
+    (float_of_int n_requests /. secp)
+    cpus
+    (if par > cpus then " [oversubscribed]" else "");
+  Printf.printf "  reports byte-identical across worker counts: %b\n\n"
+    identical;
+  if not identical then failwith "atlas report nondeterminism detected";
+  {
+    ab_requests = n_requests;
+    ab_pool = Relpipe_workload.Stream_gen.default_spec.Relpipe_workload.Stream_gen.pool;
+    ab_skew = skew;
+    ab_workers =
+      [
+        { aw_workers = 1; aw_sec = sec1 }; { aw_workers = par; aw_sec = secp };
+      ];
+    ab_identical = identical;
+  }
+
 let write_json path ~virtual_clock ~twins ?(serve = []) ?(churn = [])
-    ?(par = []) kernels throughput =
+    ?(par = []) ?atlas kernels throughput =
   let module J = Relpipe_service.Json in
   let date =
     (* The virtual-clock report must be byte-stable across runs, so it
@@ -743,20 +866,28 @@ let write_json path ~virtual_clock ~twins ?(serve = []) ?(churn = [])
         ("speedup_lo", J.float (speedup_lo tw));
       ]
   in
+  (* Every wall-clock throughput row names the host CPU count and flags
+     oversubscription, so a 0.14x "speedup" measured with 4 workers on a
+     1-cpu host cannot be misread as a regression. *)
+  let cpus = Relpipe_service.Pool.cpu_count () in
+  let host_fields workers =
+    [ ("cpus", J.Int cpus); ("oversubscribed", J.Bool (workers > cpus)) ]
+  in
   let throughput_json =
     match throughput with
     | None -> J.Null
     | Some tp ->
         J.Obj
-          [
-            ("requests", J.Int tp.t_requests);
-            ("workers", J.Int tp.t_workers_par);
-            ("sec_1_worker", J.float tp.t_sec_seq);
-            ("sec_n_workers", J.float tp.t_sec_par);
-            ("req_per_sec_1_worker", J.float (float_of_int tp.t_requests /. tp.t_sec_seq));
-            ("req_per_sec_n_workers", J.float (float_of_int tp.t_requests /. tp.t_sec_par));
-            ("speedup", J.float (tp.t_sec_seq /. tp.t_sec_par));
-          ]
+          ([
+             ("requests", J.Int tp.t_requests);
+             ("workers", J.Int tp.t_workers_par);
+             ("sec_1_worker", J.float tp.t_sec_seq);
+             ("sec_n_workers", J.float tp.t_sec_par);
+             ("req_per_sec_1_worker", J.float (float_of_int tp.t_requests /. tp.t_sec_seq));
+             ("req_per_sec_n_workers", J.float (float_of_int tp.t_requests /. tp.t_sec_par));
+             ("speedup", J.float (tp.t_sec_seq /. tp.t_sec_par));
+           ]
+          @ host_fields tp.t_workers_par)
   in
   let serve_json =
     match serve with
@@ -766,14 +897,56 @@ let write_json path ~virtual_clock ~twins ?(serve = []) ?(churn = [])
           (List.map
              (fun p ->
                J.Obj
-                 [
-                   ("workers", J.Int p.s_workers);
-                   ("requests", J.Int p.s_requests);
-                   ("sec", J.float p.s_sec);
-                   ( "req_per_sec",
-                     J.float (float_of_int p.s_requests /. p.s_sec) );
-                 ])
+                 ([
+                    ("workers", J.Int p.s_workers);
+                    ("requests", J.Int p.s_requests);
+                    ("sec", J.float p.s_sec);
+                    ( "req_per_sec",
+                      J.float (float_of_int p.s_requests /. p.s_sec) );
+                  ]
+                 @ host_fields p.s_workers))
              points)
+  in
+  let atlas_json =
+    match atlas with
+    | None -> J.Null
+    | Some ab ->
+        J.Obj
+          [
+            ("requests", J.Int ab.ab_requests);
+            ("pool", J.Int ab.ab_pool);
+            ( "skew",
+              J.List
+                (List.map
+                   (fun p ->
+                     J.Obj
+                       [
+                         ("zipf", J.float p.az_zipf);
+                         ("hit_rate", J.float p.az_hit_rate);
+                         ("latency_p50", J.float p.az_p50);
+                         ("latency_p95", J.float p.az_p95);
+                         ("latency_p99", J.float p.az_p99);
+                         ("sec", J.float p.az_sec);
+                         ( "req_per_sec",
+                           J.float (float_of_int ab.ab_requests /. p.az_sec) );
+                       ])
+                   ab.ab_skew) );
+            ( "workers",
+              J.List
+                (List.map
+                   (fun w ->
+                     J.Obj
+                       ([
+                          ("workers", J.Int w.aw_workers);
+                          ("sec", J.float w.aw_sec);
+                          ( "req_per_sec",
+                            J.float (float_of_int ab.ab_requests /. w.aw_sec)
+                          );
+                        ]
+                       @ host_fields w.aw_workers))
+                   ab.ab_workers) );
+            ("report_identical", J.Bool ab.ab_identical);
+          ]
   in
   let churn_json ch =
     let warm_lo, warm_hi = ch.ch_ci_warm and cold_lo, cold_hi = ch.ch_ci_cold in
@@ -826,6 +999,7 @@ let write_json path ~virtual_clock ~twins ?(serve = []) ?(churn = [])
         ("benchmarks", J.List (List.map kernel_json kernels));
         ("batch_throughput", throughput_json);
         ("serve_throughput", serve_json);
+        ("atlas", atlas_json);
       ]
   in
   Out_channel.with_open_text path (fun oc ->
@@ -978,6 +1152,7 @@ let () =
   let json_path = ref None and kernels_only = ref false in
   let obs_guard_only = ref false in
   let virtual_clock = ref false and against = ref None in
+  let throughput_only = ref false and throughput_requests = ref 200 in
   let rec parse = function
     | [] -> ()
     | "--json" :: path :: rest ->
@@ -995,10 +1170,21 @@ let () =
     | "--against" :: path :: rest ->
         against := Some path;
         parse rest
+    | "--throughput-only" :: rest ->
+        throughput_only := true;
+        parse rest
+    | "--throughput-requests" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v > 0 -> throughput_requests := v
+        | _ ->
+            Printf.eprintf "--throughput-requests needs a positive integer\n";
+            exit 2);
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "usage: %s [--json FILE] [--kernels-only] [--obs-guard] \
-           [--virtual-clock] [--against FILE]\n\
+           [--virtual-clock] [--against FILE] [--throughput-only] \
+           [--throughput-requests N]\n\
           \  unknown argument %S\n"
           Sys.argv.(0) arg;
         exit 2
@@ -1006,6 +1192,17 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !obs_guard_only then begin
     obs_guard ~threshold:0.02;
+    exit 0
+  end;
+  if !throughput_only then begin
+    (* The wall-clock throughput section alone, sized by
+       [--throughput-requests] — the cheap real-clock path the
+       cpus/oversubscribed regression test drives. *)
+    let throughput = batch_throughput ~n_requests:!throughput_requests () in
+    (match !json_path with
+    | None -> ()
+    | Some path ->
+        write_json path ~virtual_clock:false ~twins:[] [] (Some throughput));
     exit 0
   end;
   print_endline "relpipe benchmark harness";
@@ -1028,11 +1225,12 @@ let () =
   let kernels = if !virtual_clock then [] else run_benchmarks () in
   let throughput = if !virtual_clock then None else Some (batch_throughput ()) in
   let serve = if !virtual_clock then [] else serve_throughput () in
+  let atlas = if !virtual_clock then None else Some (atlas_bench ()) in
   (match !json_path with
   | None -> ()
   | Some path ->
       write_json path ~virtual_clock:!virtual_clock ~twins ~serve ~churn ~par
-        kernels throughput);
+        ?atlas kernels throughput);
   match !against with
   | None -> ()
   | Some baseline -> check_against ~baseline twins

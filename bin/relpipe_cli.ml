@@ -11,6 +11,7 @@
      serve        daemon: the batch protocol over Unix/TCP sockets
      call         scripted client for a running serve daemon
      sweep        generate synthetic scenarios and batch-solve them
+     atlas        stream a seeded Zipf/bursty workload with online aggregation
      experiments  regenerate every paper experiment (E1-E14)
      demo         write a sample instance file (the paper's Fig. 5) *)
 
@@ -18,6 +19,7 @@ open Cmdliner
 open Relpipe_model
 open Relpipe_core
 module Service = Relpipe_service
+module Serve = Relpipe_serve
 
 (* Every file-loading subcommand shares this helper; parse failures are
    rendered through the Relpipe_analysis spans ("path:line:col:
@@ -1200,6 +1202,211 @@ let sweep_cmd =
        $ exact_workers_arg $ cache_size_arg $ stats_flag $ emit_arg
        $ dry_run_arg))
 
+let atlas_cmd =
+  let module Stream_gen = Relpipe_workload.Stream_gen in
+  let requests_arg =
+    let doc = "Stream length (number of requests to replay)." in
+    Arg.(value & opt int 10_000 & info [ "n"; "requests" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "Master seed for the workload (pool, slots and gaps)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let pool_arg =
+    let doc = "Distinct instances in the workload pool." in
+    Arg.(value & opt int Stream_gen.default_spec.Stream_gen.pool & info [ "pool" ] ~doc)
+  in
+  let zipf_arg =
+    let doc = "Zipf skew exponent of slot popularity (0 = uniform)." in
+    Arg.(
+      value
+      & opt float Stream_gen.default_spec.Stream_gen.zipf_s
+      & info [ "zipf" ] ~doc)
+  in
+  let burst_arg =
+    let doc = "Mean arrival burst length (>= 1)." in
+    Arg.(
+      value
+      & opt float Stream_gen.default_spec.Stream_gen.burst
+      & info [ "burst" ] ~doc)
+  in
+  let chunk_arg =
+    let doc =
+      "Requests per engine call — the only stream-length-proportional \
+       buffer the driver holds."
+    in
+    Arg.(value & opt int 512 & info [ "chunk" ] ~doc)
+  in
+  let unix_arg =
+    let doc =
+      "Stream through a running $(b,relpipe serve) daemon on this Unix \
+       socket instead of an in-process engine."
+    in
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH" ~doc)
+  in
+  let gc_stats_flag =
+    let doc =
+      "Print allocation counters ($(b,Gc.quick_stat)) to stderr after the \
+       run — the constant-memory guard in check.sh parses these."
+    in
+    Arg.(value & flag & info [ "gc-stats" ] ~doc)
+  in
+  let daemon_solve c reqs =
+    (* Lockstep per request: the daemon answers every line in order, and
+       strict call/reply alternation cannot deadlock on full socket
+       buffers however large the chunk is. *)
+    Array.map
+      (fun r ->
+        match Serve.Client.call c (Service.Protocol.encode_request r) with
+        | None -> failwith "atlas: server closed the stream mid-chunk"
+        | Some line -> (
+            match Service.Protocol.decode_response line with
+            | Ok resp -> resp
+            | Error msg -> failwith ("atlas: bad response line: " ^ msg)))
+      reqs
+  in
+  let run requests seed pool zipf burst chunk unix_path output workers
+      exact_workers cache_size stats metrics virtual_clock gc_stats =
+    let spec =
+      {
+        Stream_gen.default_spec with
+        Stream_gen.pool;
+        zipf_s = zipf;
+        burst;
+      }
+    in
+    match Stream_gen.validate spec with
+    | Error msg -> `Error (true, "atlas: " ^ msg)
+    | Ok () -> (
+        match open_sink metrics with
+        | Error msg -> `Error (false, msg)
+        | Ok metrics_sink -> (
+            let obs =
+              match metrics_sink with
+              | None -> None
+              | Some _ -> Some (make_obs ~tracing:false ~virtual_clock)
+            in
+            let entries = Stream_gen.pool_entries ~seed spec in
+            let slots =
+              Array.map
+                (fun (e : Stream_gen.entry) ->
+                  match
+                    Service.Protocol.method_of_string e.Stream_gen.method_name
+                  with
+                  | Ok m ->
+                      {
+                        Service.Atlas.sl_text = e.Stream_gen.text;
+                        sl_objective = e.Stream_gen.objective;
+                        sl_method = m;
+                        sl_class = e.Stream_gen.plat_class;
+                      }
+                  | Error msg -> failwith ("atlas: " ^ msg))
+                entries
+            in
+            let source =
+              {
+                Service.Atlas.slots;
+                events =
+                  (fun f ->
+                    Stream_gen.iter ~seed spec ~n:requests (fun ev ->
+                        f
+                          {
+                            Service.Atlas.ev_index = ev.Stream_gen.ev_index;
+                            ev_slot = ev.Stream_gen.ev_slot;
+                            ev_gap_ns = ev.Stream_gen.ev_gap_ns;
+                          }));
+              }
+            in
+            let finish report =
+              (match obs with
+              | None -> ()
+              | Some o ->
+                  write_sink metrics_sink (Relpipe_obs.Obs.metrics_jsonl o));
+              if gc_stats then begin
+                let st = Gc.quick_stat () in
+                Printf.eprintf
+                  "gc: top_heap_words=%d heap_words=%d minor_collections=%d \
+                   major_collections=%d\n\
+                   %!"
+                  st.Gc.top_heap_words st.Gc.heap_words st.Gc.minor_collections
+                  st.Gc.major_collections
+              end;
+              with_output output (fun oc ->
+                  Out_channel.output_string oc
+                    (Service.Atlas.render report))
+            in
+            match
+              match unix_path with
+              | None ->
+                  let engine =
+                    make_engine ?obs ~workers ~exact_workers ~cache_size ()
+                  in
+                  let report =
+                    Service.Atlas.run ?obs ~chunk
+                      ~solve:(Service.Engine.run_requests engine)
+                      source
+                  in
+                  finish_batch engine stats;
+                  finish report
+              | Some path -> (
+                  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+                  match Serve.Client.connect (`Unix path) with
+                  | exception Unix.Unix_error (e, _, _) ->
+                      Error ("connect: " ^ Unix.error_message e)
+                  | c ->
+                      let hello =
+                        Serve.Client.call c
+                          (Service.Protocol.encode_control
+                             (Service.Protocol.hello ~client:"atlas" ()))
+                      in
+                      (match hello with
+                      | Some _ -> ()
+                      | None -> failwith "atlas: no hello reply");
+                      let report =
+                        Service.Atlas.run ?obs ~chunk ~solve:(daemon_solve c)
+                          source
+                      in
+                      Serve.Client.finish_sending c;
+                      Serve.Client.close c;
+                      finish report)
+            with
+            | Ok () -> `Ok ()
+            | Error msg ->
+                close_sink metrics_sink;
+                `Error (false, msg)
+            | exception Failure msg ->
+                close_sink metrics_sink;
+                `Error (false, msg)))
+  in
+  let doc = "Stream a seeded million-request workload through the engine." in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Generates a Zipf-skewed, bursty request stream over a bounded \
+         pool of distinct instances (mixed platform classes and solver \
+         methods) and streams it through the cached parallel engine — or a \
+         live $(b,relpipe serve) daemon with $(b,--unix) — without ever \
+         materializing the batch.  Aggregation is fully online (mergeable \
+         quantile sketches, exponential smoothing, a bloom-filter \
+         duplicate tracker), so peak memory is independent of \
+         $(b,--requests).";
+      `P
+        "The report (outcome counts, cache hit rate and curve, latency \
+         percentiles, arrival rates, per-class mix) derives only from \
+         response contents and the event sequence, so it is byte-identical \
+         at every worker count; the snapshot tests pin it at workers 1, 2 \
+         and 8.";
+    ]
+  in
+  Cmd.v (Cmd.info "atlas" ~doc ~man)
+    Term.(
+      ret
+        (const run $ requests_arg $ seed_arg $ pool_arg $ zipf_arg $ burst_arg
+       $ chunk_arg $ unix_arg $ output_arg $ workers_arg $ exact_workers_arg
+       $ cache_size_arg $ stats_flag $ metrics_arg $ virtual_clock_flag
+       $ gc_stats_flag))
+
 let fuzz_cmd =
   let module Fuzz = Relpipe_fuzz in
   let seed_arg =
@@ -1512,8 +1719,6 @@ let devlint_cmd =
 (* ------------------------------------------------------------------ *)
 (* Serve daemon and its client                                         *)
 (* ------------------------------------------------------------------ *)
-
-module Serve = Relpipe_serve
 
 let unix_sock_arg =
   let doc = "Listen on (or connect to) this Unix-domain socket path." in
@@ -1988,6 +2193,7 @@ let () =
             describe_cmd; solve_cmd; exact_cmd; cert_cmd; simulate_cmd;
             pareto_cmd; eval_cmd;
             tri_cmd; goodput_cmd; experiments_cmd; catalog_cmd; lint_cmd;
-            batch_cmd; serve_cmd; call_cmd; prof_cmd; sweep_cmd; fuzz_cmd;
+            batch_cmd; serve_cmd; call_cmd; prof_cmd; sweep_cmd; atlas_cmd;
+            fuzz_cmd;
             devlint_cmd; churn_cmd; demo_cmd;
           ]))

@@ -21,7 +21,7 @@ let r_bad_name =
       "doc/index.mld documents every recorded name; dashboards, the prof \
        subcommand and the golden snapshots key on them.  A name must be \
        dot-separated lowercase segments ([a-z][a-z0-9_]*), at least two \
-       deep, rooted at engine/pool/core/fuzz/serve/churn/cert."
+       deep, rooted at engine/pool/core/fuzz/serve/churn/cert/atlas/stream."
     ~example:"Obs.incr obs \"Solved-Requests\""
 
 let r_dynamic_name =
@@ -37,7 +37,9 @@ let rules = [ r_bad_name; r_dynamic_name ]
 
 (* ------------------------------------------------------------------ *)
 
-let roots = [ "cert"; "churn"; "core"; "engine"; "fuzz"; "pool"; "serve" ]
+let roots =
+  [ "atlas"; "cert"; "churn"; "core"; "engine"; "fuzz"; "pool"; "serve";
+    "stream" ]
 
 (* Recording entry points, by 2-component path suffix, with the position
    of the name among the unlabeled arguments ([`Label] for ~name). *)

@@ -742,6 +742,192 @@ let check_cert_replay _ctx rng (case : Gen.case) =
     | _, Some dp_cert -> battery "interval DP certificate" dp_cert
 
 (* ------------------------------------------------------------------ *)
+(* 14. stream-aggregation: streamed atlas equals materialized batch    *)
+(* ------------------------------------------------------------------ *)
+
+let check_stream_aggregation _ctx rng (case : Gen.case) =
+  let module Atlas = Service.Atlas in
+  let module Stream = Relpipe_obs.Stream in
+  let inst = case.Gen.instance and obj = case.Gen.objective in
+  let n_stages, m = shape case in
+  if n_stages > 6 || m > 5 then
+    skipf "size guard: n=%d m=%d (needs n <= 6, m <= 5)" n_stages m;
+  (* A small pool of work-scaled variants of the case instance: distinct
+     texts, so distinct canonical keys, so the stream mixes misses and
+     duplicate-driven hits. *)
+  let pool = 4 + Rng.int rng 3 in
+  let slots =
+    Array.init pool (fun i ->
+        let scale = 1.0 +. (0.25 *. float_of_int i) in
+        let stages =
+          List.map
+            (fun (s : Pipeline.stage) ->
+              { s with Pipeline.work = s.Pipeline.work *. scale })
+            (Pipeline.stages inst.Instance.pipeline)
+        in
+        let pipeline =
+          Pipeline.make ~input:(Pipeline.delta inst.Instance.pipeline 0) stages
+        in
+        let variant = Instance.make pipeline inst.Instance.platform in
+        {
+          Atlas.sl_text = Textio.to_string variant;
+          sl_objective = obj;
+          sl_method = Core.Solver.Auto;
+          sl_class = Printf.sprintf "v%d" i;
+        })
+  in
+  let n_events = 96 + Rng.int rng 64 in
+  let events =
+    Array.init n_events (fun i ->
+        {
+          Atlas.ev_index = i;
+          ev_slot = Rng.int rng pool;
+          ev_gap_ns = (if i = 0 then 0 else Rng.int rng 10_000);
+        })
+  in
+  let source = { Atlas.slots; events = (fun f -> Array.iter f events) } in
+  let run_stream ~chunk () =
+    let engine = Service.Engine.create ~workers:1 ~cache_capacity:64 () in
+    Atlas.run ~chunk ~solve:(Service.Engine.run_requests engine) source
+  in
+  let r = run_stream ~chunk:16 () in
+  (* Determinism: a fresh engine and a second pass, byte-identical. *)
+  let r2 = run_stream ~chunk:16 () in
+  if not (String.equal (Atlas.render r) (Atlas.render r2)) then
+    failf "atlas report differs between two identical streamed runs";
+  (* Chunk invariance: aggregation must not depend on flush boundaries
+     (everything except the chunk bookkeeping itself). *)
+  let r7 = run_stream ~chunk:7 () in
+  let same_buckets a b =
+    List.equal
+      (fun (i1, c1) (i2, c2) -> Int.equal i1 i2 && Int.equal c1 c2)
+      (Stream.Quantile.buckets a) (Stream.Quantile.buckets b)
+  in
+  if
+    r7.Atlas.solved <> r.Atlas.solved
+    || r7.Atlas.infeasible <> r.Atlas.infeasible
+    || r7.Atlas.failed <> r.Atlas.failed
+    || r7.Atlas.cache_hits <> r.Atlas.cache_hits
+    || r7.Atlas.bloom_dups <> r.Atlas.bloom_dups
+    || r7.Atlas.distinct_slots <> r.Atlas.distinct_slots
+    || (not (same_buckets r7.Atlas.latency r.Atlas.latency))
+    || not
+         (List.equal
+            (fun (p1, h1) (p2, h2) -> Int.equal p1 p2 && Float.equal h1 h2)
+            r7.Atlas.curve r.Atlas.curve)
+  then failf "atlas aggregates depend on the chunk size (7 vs 16)";
+  (* Materialized reference: parse each slot's text back and solve it
+     once on an independent engine. *)
+  let ref_engine = Service.Engine.create ~workers:1 ~cache_capacity:64 () in
+  let slot_outcomes =
+    Array.map
+      (fun (s : Atlas.slot) ->
+        match Textio.parse s.Atlas.sl_text with
+        | Error msg -> failf "slot text does not re-parse: %s" msg
+        | Ok vinst ->
+            (Service.Engine.solve_instance ref_engine vinst
+               s.Atlas.sl_objective)
+              .Service.Protocol.r_outcome)
+      slots
+  in
+  let exp_solved = ref 0
+  and exp_infeasible = ref 0
+  and exp_failed = ref 0
+  and lats = ref [] in
+  let touched = Array.make pool false in
+  Array.iter
+    (fun (ev : Atlas.event) ->
+      touched.(ev.Atlas.ev_slot) <- true;
+      match slot_outcomes.(ev.Atlas.ev_slot) with
+      | Service.Protocol.Solved { latency; _ } ->
+          incr exp_solved;
+          lats := latency :: !lats
+      | Service.Protocol.Infeasible -> incr exp_infeasible
+      | Service.Protocol.Failed _ -> incr exp_failed)
+    events;
+  let distinct =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 touched
+  in
+  (* Exact counters: bit-for-bit against the reference computation. *)
+  if r.Atlas.requests <> n_events then
+    failf "streamed %d requests, expected %d" r.Atlas.requests n_events;
+  if
+    r.Atlas.solved <> !exp_solved
+    || r.Atlas.infeasible <> !exp_infeasible
+    || r.Atlas.failed <> !exp_failed
+  then
+    failf
+      "outcome counts diverge: streamed (%d, %d, %d), reference (%d, %d, %d)"
+      r.Atlas.solved r.Atlas.infeasible r.Atlas.failed !exp_solved
+      !exp_infeasible !exp_failed;
+  if r.Atlas.distinct_slots <> distinct then
+    failf "distinct slots: streamed %d, reference %d" r.Atlas.distinct_slots
+      distinct;
+  (* Every slot solves at most once (cache capacity covers the pool), so
+     the hit count is exactly stream length minus first occurrences. *)
+  if r.Atlas.cache_hits <> n_events - distinct then
+    failf "cache hits %d, expected %d (= %d events - %d first occurrences)"
+      r.Atlas.cache_hits (n_events - distinct) n_events distinct;
+  (match List.rev r.Atlas.curve with
+  | (pos, rate) :: _ ->
+      if pos <> n_events || not (Float.equal rate (Atlas.hit_rate r)) then
+        failf "curve does not end at the stream end with the final hit rate"
+  | [] -> failf "empty hit-rate curve on a non-empty stream");
+  (* Bloom: duplicates can never be missed; false positives are bounded
+     (pool distinct keys against a 65536-key filter — allow a thin
+     margin rather than betting on zero collisions). *)
+  let exact_dups = n_events - distinct in
+  if r.Atlas.bloom_dups < exact_dups then
+    failf "bloom missed duplicates: flagged %d, at least %d are real"
+      r.Atlas.bloom_dups exact_dups;
+  if r.Atlas.bloom_dups > exact_dups + ((n_events / 10) + 1) then
+    failf "bloom duplicate count %d far exceeds the real %d"
+      r.Atlas.bloom_dups exact_dups;
+  (* Sketch vs exact offline quantiles, within the documented relative
+     guarantee; and structural equality with an offline sketch fed the
+     materialized latencies in reverse, split and merged. *)
+  let lats = Array.of_list !lats in
+  if Stream.Quantile.count r.Atlas.latency <> Array.length lats then
+    failf "latency sketch count %d, reference has %d samples"
+      (Stream.Quantile.count r.Atlas.latency)
+      (Array.length lats);
+  if Array.length lats > 0 then begin
+    let sorted = Array.copy lats in
+    Array.sort Float.compare sorted;
+    let gamma = Stream.Quantile.gamma r.Atlas.latency in
+    List.iter
+      (fun phi ->
+        let rank =
+          let k =
+            int_of_float
+              (Float.ceil (phi *. float_of_int (Array.length sorted)))
+          in
+          if k < 1 then 1 else k
+        in
+        let exact = sorted.(rank - 1) in
+        let est = Stream.Quantile.quantile r.Atlas.latency phi in
+        if
+          est < exact *. (1.0 -. 1e-9)
+          || est > exact *. gamma *. (1.0 +. 1e-9)
+        then
+          failf
+            "quantile(%g) = %.17g outside [x*, gamma x*] for exact %.17g \
+             (gamma %.17g)"
+            phi est exact gamma)
+      [ 0.5; 0.9; 0.95; 0.99; 1.0 ];
+    let half = Array.length lats / 2 in
+    let a = Stream.Quantile.create () and b = Stream.Quantile.create () in
+    for i = Array.length lats - 1 downto 0 do
+      Stream.Quantile.add (if i < half then a else b) lats.(i)
+    done;
+    let merged = Stream.Quantile.merge a b in
+    if not (same_buckets merged r.Atlas.latency) then
+      failf "streamed sketch differs structurally from merged offline halves";
+    if Stream.Quantile.low_count merged <> Stream.Quantile.low_count r.Atlas.latency
+    then failf "low-bucket counts diverge between streamed and offline sketches"
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -801,6 +987,11 @@ let registry =
         "emitted certificates pass the independent checker; raised-bound and \
          dropped-line mutants are rejected"
       check_cert_replay;
+    oracle ~name:"stream-aggregation" ~salt:14
+      ~doc:
+        "streamed atlas aggregates equal the batch-materialized reference: \
+         counters bit-for-bit, sketches within rank tolerance"
+      check_stream_aggregation;
   ]
 
 let all () = registry

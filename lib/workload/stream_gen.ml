@@ -1,0 +1,194 @@
+(* Seeded Zipf/bursty request-stream generator.  See stream_gen.mli. *)
+
+open Relpipe_model
+module Rng = Relpipe_util.Rng
+
+module Zipf = struct
+  type t = { z_s : float; z_n : int; z_cum : float array }
+
+  let create ~s ~n =
+    if n <= 0 then invalid_arg "Stream_gen.Zipf.create: n must be positive";
+    if Float.is_nan s || not (Float.is_finite s) || not (s >= 0.0) then
+      invalid_arg "Stream_gen.Zipf.create: s must be finite and >= 0";
+    let cum = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      cum.(i) <- !acc
+    done;
+    { z_s = s; z_n = n; z_cum = cum }
+
+  let n t = t.z_n
+  let s t = t.z_s
+
+  let pmf t i =
+    if i < 0 || i >= t.z_n then invalid_arg "Stream_gen.Zipf.pmf: slot out of range";
+    let total = t.z_cum.(t.z_n - 1) in
+    let prev = if i = 0 then 0.0 else t.z_cum.(i - 1) in
+    (t.z_cum.(i) -. prev) /. total
+
+  let sample t rng =
+    let u = Rng.float rng t.z_cum.(t.z_n - 1) in
+    (* First index whose cumulative weight exceeds u. *)
+    let lo = ref 0 and hi = ref (t.z_n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.z_cum.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo
+end
+
+type entry = {
+  slot : int;
+  text : string;
+  objective : Instance.objective;
+  method_name : string;
+  plat_class : string;
+  app_kind : string;
+}
+
+type event = { ev_index : int; ev_slot : int; ev_gap_ns : int }
+
+type spec = {
+  pool : int;
+  zipf_s : float;
+  burst : float;
+  intra_gap_ns : float;
+  inter_gap_ns : float;
+}
+
+let default_spec =
+  {
+    pool = 64;
+    zipf_s = 1.1;
+    burst = 16.0;
+    intra_gap_ns = 2_000.0;
+    inter_gap_ns = 200_000.0;
+  }
+
+let validate spec =
+  if spec.pool <= 0 then Error "pool must be positive"
+  else if
+    Float.is_nan spec.zipf_s
+    || not (Float.is_finite spec.zipf_s)
+    || not (spec.zipf_s >= 0.0)
+  then Error "zipf_s must be finite and >= 0"
+  else if Float.is_nan spec.burst || not (spec.burst >= 1.0) then
+    Error "burst must be >= 1"
+  else if Float.is_nan spec.intra_gap_ns || not (spec.intra_gap_ns > 0.0) then
+    Error "intra_gap_ns must be positive"
+  else if Float.is_nan spec.inter_gap_ns || not (spec.inter_gap_ns > 0.0) then
+    Error "inter_gap_ns must be positive"
+  else Ok ()
+
+let check_spec who spec =
+  match validate spec with
+  | Ok () -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Stream_gen.%s: %s" who msg)
+
+(* Distinct salts under one master seed, following the fuzz/churn
+   discipline: one sub-stream per concern so pool contents never depend
+   on how many events were drawn and vice versa. *)
+let pool_salt = 0x0A51
+let slot_salt = 0x0A52
+let gap_salt = 0x0A53
+
+let plat_classes =
+  [| "fully-homogeneous"; "comm-homogeneous"; "fully-heterogeneous";
+     "speed-correlated"; "clustered" |]
+
+let app_kinds = [| "reference"; "compute-bound"; "data-bound" |]
+
+(* Service method vocabulary.  [polynomial] is optimal-but-partial
+   (Not_applicable off the tractable classes), so it only enters the
+   rotation on fully homogeneous slots; the rest are total. *)
+let methods_total =
+  [| "auto"; "auto"; "portfolio"; "single-greedy"; "split-replicate";
+     "local-search" |]
+
+let methods_homogeneous =
+  [| "auto"; "polynomial"; "polynomial"; "portfolio"; "single-greedy";
+     "split-replicate"; "local-search" |]
+
+let gen_platform rng class_ ~m =
+  let speed = (1.0, 10.0) and failure = (0.01, 0.3) in
+  match class_ with
+  | "fully-homogeneous" ->
+      Plat_gen.random_fully_homogeneous rng ~m ~speed ~failure
+        ~bandwidth:(1.0, 10.0)
+  | "comm-homogeneous" ->
+      Plat_gen.random_comm_homogeneous rng ~m ~speed ~failure ~bandwidth:5.0
+  | "fully-heterogeneous" ->
+      Plat_gen.random_fully_heterogeneous rng ~m ~speed ~failure
+        ~bandwidth:(1.0, 10.0)
+  | "speed-correlated" ->
+      Plat_gen.speed_correlated_failures rng ~m ~speed ~failure ~bandwidth:5.0
+  | "clustered" ->
+      Plat_gen.clustered rng ~clusters:2 ~cluster_size:(max 1 (m / 2)) ~speed
+        ~failure ~intra_bandwidth:10.0 ~inter_bandwidth:1.0 ~io_bandwidth:5.0
+  | _ -> assert false
+
+let gen_pipeline rng kind ~n =
+  match kind with
+  | "reference" -> App_gen.random_sized rng ~n
+  | "compute-bound" -> App_gen.compute_bound rng ~n
+  | "data-bound" -> App_gen.data_bound rng ~n
+  | _ -> assert false
+
+let pool_entries ~seed spec =
+  check_spec "pool_entries" spec;
+  let rng = Rng.derive ~seed ~salt:pool_salt in
+  Array.init spec.pool (fun slot ->
+      let plat_class = plat_classes.(slot mod Array.length plat_classes) in
+      let app_kind = app_kinds.(slot / Array.length plat_classes mod Array.length app_kinds) in
+      let n = 3 + Rng.int rng 6 in
+      let m = 2 + Rng.int rng 5 in
+      let pipeline = gen_pipeline rng app_kind ~n in
+      let platform = gen_platform rng plat_class ~m in
+      let inst = Instance.make pipeline platform in
+      (* Loose thresholds so most slots are feasible; the stream is about
+         caching and aggregation, not about stressing infeasibility. *)
+      let objective =
+        if slot mod 2 = 0 then
+          Instance.Min_latency { max_failure = Rng.float_range rng 0.5 0.99 }
+        else
+          Instance.Min_failure
+            { max_latency = Rng.float_range rng 200.0 2_000.0 }
+      in
+      let vocab =
+        match plat_class with
+        | "fully-homogeneous" -> methods_homogeneous
+        | _ -> methods_total
+      in
+      let method_name = Rng.pick rng vocab in
+      {
+        slot;
+        text = Textio.to_string inst;
+        objective;
+        method_name;
+        plat_class;
+        app_kind;
+      })
+
+let iter ~seed spec ~n f =
+  check_spec "iter" spec;
+  if n < 0 then invalid_arg "Stream_gen.iter: n must be >= 0";
+  let slot_rng = Rng.derive ~seed ~salt:slot_salt in
+  let gap_rng = Rng.derive ~seed ~salt:gap_salt in
+  let zipf = Zipf.create ~s:spec.zipf_s ~n:spec.pool in
+  (* Geometric burst lengths with mean [spec.burst]: each arrival ends
+     the current burst with probability 1/burst. *)
+  let p_break = 1.0 /. spec.burst in
+  for i = 0 to n - 1 do
+    let slot = Zipf.sample zipf slot_rng in
+    let gap_ns =
+      if i = 0 then 0
+      else
+        let mean =
+          if Rng.bernoulli gap_rng p_break then spec.inter_gap_ns
+          else spec.intra_gap_ns
+        in
+        int_of_float (Rng.exponential gap_rng (1.0 /. mean))
+    in
+    f { ev_index = i; ev_slot = slot; ev_gap_ns = gap_ns }
+  done

@@ -1,0 +1,85 @@
+(** Seeded request-stream generator for the million-request atlas.
+
+    Real request logs are not uniform: a few hot instances dominate
+    (Zipf-skewed popularity) and arrivals cluster into bursts.  This
+    module reproduces both from a single integer seed, at any stream
+    length, without materializing the stream: a bounded {e pool} of
+    distinct instances is rendered once, then {!iter} replays a
+    deterministic sequence of [(slot, gap)] events over it.
+
+    Layering: this library depends on [util] and [model] only, so pool
+    entries carry solver method {e names} (the service vocabulary) and
+    rendered instance {e text}; the atlas driver turns them into protocol
+    requests. *)
+
+open Relpipe_model
+
+(** Zipf-skewed sampling over [{0, ..., n-1}]: slot [i] has weight
+    [1 / (i + 1)^s].  [s = 0] is uniform; larger [s] concentrates mass
+    on low slots.  Sampling is inverse-CDF binary search over
+    precomputed cumulative weights — O(log n) per draw, deterministic
+    for a given generator state. *)
+module Zipf : sig
+  type t
+
+  val create : s:float -> n:int -> t
+  (** @raise Invalid_argument unless [n > 0] and [s >= 0] is finite. *)
+
+  val n : t -> int
+  val s : t -> float
+
+  val pmf : t -> int -> float
+  (** Normalized probability of slot [i].
+      @raise Invalid_argument when [i] is out of range. *)
+
+  val sample : t -> Relpipe_util.Rng.t -> int
+end
+
+type entry = {
+  slot : int;
+  text : string;  (** rendered instance ({!Relpipe_model.Textio} grammar) *)
+  objective : Instance.objective;
+  method_name : string;  (** service method vocabulary, e.g. ["auto"] *)
+  plat_class : string;  (** platform-class tag for the report *)
+  app_kind : string;  (** pipeline-shape tag for the report *)
+}
+
+type event = {
+  ev_index : int;  (** 0-based position in the stream *)
+  ev_slot : int;  (** pool slot this request duplicates *)
+  ev_gap_ns : int;  (** arrival gap since the previous event, >= 0 *)
+}
+
+type spec = {
+  pool : int;  (** distinct instances (cache working set) *)
+  zipf_s : float;  (** popularity skew across pool slots *)
+  burst : float;  (** mean burst length (>= 1); arrivals inside a burst
+                      are [intra_gap_ns] apart on average *)
+  intra_gap_ns : float;  (** mean gap inside a burst, ns *)
+  inter_gap_ns : float;  (** mean gap between bursts, ns *)
+}
+
+val default_spec : spec
+(** pool 64, [zipf_s = 1.1], bursts of mean length 16, 2 us intra /
+    200 us inter gaps — a cache-friendly, visibly bursty default. *)
+
+val validate : spec -> (unit, string) result
+(** All the invariants {!pool_entries} and {!iter} assume. *)
+
+val pool_entries : seed:int -> spec -> entry array
+(** The [spec.pool] distinct instances, rendered once.  Slot [i] mixes
+    platform classes (fully homogeneous, communication homogeneous,
+    fully heterogeneous, speed-correlated, clustered), pipeline shapes
+    (reference random, compute-bound, data-bound) and the service method
+    vocabulary deterministically from [seed].  Instances stay small
+    (3-8 stages, 2-6 processors) so any slot solves quickly; scale comes
+    from the stream, not the instances.
+    @raise Invalid_argument when {!validate} rejects [spec]. *)
+
+val iter : seed:int -> spec -> n:int -> (event -> unit) -> unit
+(** Replay the first [n] events of the stream for [seed], in order,
+    without materializing anything.  Slots are Zipf-draws over the pool;
+    gaps alternate exponential intra-burst and inter-burst means with
+    geometric burst lengths.  The event sequence depends only on [seed],
+    [spec] and [n] — and is a prefix-stable function of [n].
+    @raise Invalid_argument when {!validate} rejects [spec] or [n < 0]. *)

@@ -163,6 +163,32 @@ let test_against_regression_fails () =
      in
      mem 0)
 
+let test_throughput_host_fields () =
+  (* PR9's report read "0.14x speedup with 4 workers" without recording
+     that the host had a single cpu.  The throughput row must now carry
+     the host cpu count and an explicit oversubscription flag so the
+     number can be interpreted. *)
+  let tmp = Filename.temp_file "relpipe-bench" ".json" in
+  let code, _out, _err =
+    run_bench [ "--throughput-only"; "--throughput-requests"; "8";
+                "--json"; tmp ]
+  in
+  check_int "throughput-only exits 0" 0 code;
+  let j = parse_exn (slurp tmp) in
+  Sys.remove tmp;
+  let field name = get name (Json.member name j) in
+  let row = field "batch_throughput" in
+  let rf name = get name (Json.member name row) in
+  check_int "requests honours --throughput-requests" 8
+    (get "requests" (Json.to_int (rf "requests")));
+  let workers = get "workers" (Json.to_int (rf "workers")) in
+  let cpus = get "cpus" (Json.to_int (rf "cpus")) in
+  let top_cpus = get "cpus" (Json.to_int (field "cpus")) in
+  check_int "row cpus matches host cpus" top_cpus cpus;
+  Alcotest.(check bool)
+    "oversubscribed = workers > cpus" (workers > cpus)
+    (get "oversubscribed" (Json.to_bool (rf "oversubscribed")))
+
 let () =
   Alcotest.run "bench"
     [
@@ -171,6 +197,11 @@ let () =
           Alcotest.test_case "report is deterministic" `Quick test_deterministic;
           Alcotest.test_case "report carries the v2 twin schema" `Quick
             test_schema;
+        ] );
+      ( "throughput",
+        [
+          Alcotest.test_case "row records host cpus and oversubscription"
+            `Quick test_throughput_host_fields;
         ] );
       ( "against",
         [

@@ -40,7 +40,10 @@ let expected_listing =
    par-exact-identity     parallel B&B and layer-parallel DP are \
    bit-identical to serial at workers 1/2/8\n\
    cert-replay            emitted certificates pass the independent checker; \
-   raised-bound and dropped-line mutants are rejected\n"
+   raised-bound and dropped-line mutants are rejected\n\
+   stream-aggregation     streamed atlas aggregates equal the \
+   batch-materialized reference: counters bit-for-bit, sketches within rank \
+   tolerance\n"
 
 let registry_tests =
   [

@@ -64,6 +64,36 @@ for f in examples/requests/*.jsonl; do
   "$relpipe" batch "$f" -o /dev/null
 done
 
+echo "== relpipe atlas: streaming smoke (10^4 requests, workers 4 vs 1) =="
+# A 10^4-request Zipf/bursty stream aggregated online must produce a
+# byte-identical report at 4 (oversubscribed) workers and at 1 worker
+# under the virtual clock, and the aggregation must run in bounded
+# memory: 5x more requests may not double the top heap size.
+"$relpipe" atlas -n 10000 --seed 7 --virtual-clock -w 4 --exact-workers \
+  --gc-stats -o "$tmp/atlas-w4.out" 2>"$tmp/atlas-10k.gc"
+"$relpipe" atlas -n 10000 --seed 7 --virtual-clock -w 1 \
+  -o "$tmp/atlas-w1.out"
+if ! diff -q "$tmp/atlas-w4.out" "$tmp/atlas-w1.out" >/dev/null; then
+  echo "check.sh: atlas report differs between -w 4 and -w 1" >&2
+  diff "$tmp/atlas-w4.out" "$tmp/atlas-w1.out" >&2 || true
+  exit 1
+fi
+grep -q "^requests:" "$tmp/atlas-w4.out" || {
+  echo "check.sh: atlas report is missing the requests line" >&2; exit 1; }
+"$relpipe" atlas -n 2000 --seed 7 --virtual-clock -w 4 --exact-workers \
+  --gc-stats -o /dev/null 2>"$tmp/atlas-2k.gc"
+heap_10k=$(sed -n 's/^gc: top_heap_words=\([0-9]*\).*/\1/p' "$tmp/atlas-10k.gc")
+heap_2k=$(sed -n 's/^gc: top_heap_words=\([0-9]*\).*/\1/p' "$tmp/atlas-2k.gc")
+if [ -z "$heap_10k" ] || [ -z "$heap_2k" ]; then
+  echo "check.sh: atlas --gc-stats did not report top_heap_words" >&2
+  exit 1
+fi
+if [ "$heap_10k" -ge $((heap_2k * 2)) ]; then
+  echo "check.sh: atlas memory grows with stream length" \
+    "(top_heap_words $heap_2k at 2k requests, $heap_10k at 10k)" >&2
+  exit 1
+fi
+
 echo "== relpipe serve: daemon smoke (2 clients, stats, drain, replay) =="
 # A daemon on a Unix socket serves two concurrent scripted clients with
 # overlapping request sets (shared-cache hits), renders stats, drains on
